@@ -1,0 +1,397 @@
+// Package refocus holds the top-level benchmark harness: one testing.B
+// benchmark per table and figure of the paper (see DESIGN.md §4). Each
+// benchmark regenerates its exhibit and reports the reproduced headline
+// values as custom metrics, so `go test -bench=. -benchmem` doubles as the
+// experiment runner:
+//
+//	go test -bench=Figure11 .     # ReFOCUS vs PhotoFourier ratios
+//	go test -bench=. -benchmem .  # everything
+package refocus
+
+import (
+	"math/rand"
+	"testing"
+
+	"refocus/internal/arch"
+	"refocus/internal/dataflow"
+	"refocus/internal/jtc"
+	"refocus/internal/nn"
+	"refocus/internal/paper"
+	"refocus/internal/phys"
+	"refocus/internal/sched"
+	"refocus/internal/tensor"
+	"refocus/internal/transformer"
+)
+
+// BenchmarkSection22Conversions regenerates the §2.2 accounting example
+// (paper: 1590 conversions vs 9216 MACs).
+func BenchmarkSection22Conversions(b *testing.B) {
+	var r paper.Section22Result
+	for i := 0; i < b.N; i++ {
+		r = paper.Section22()
+	}
+	b.ReportMetric(float64(r.JTCConversions), "conversions")
+	b.ReportMetric(float64(r.GPUMACs), "gpu_macs")
+	b.ReportMetric(r.Advantage, "advantage_x")
+}
+
+// BenchmarkTable1DelayLine regenerates the delay-line characteristics
+// (paper Table 1: 8.57 mm, 0.01 mm², 6.94e-3 dB per 0.1 ns).
+func BenchmarkTable1DelayLine(b *testing.B) {
+	c := phys.DefaultComponents()
+	var dl phys.DelayLine
+	for i := 0; i < b.N; i++ {
+		dl = c.DelayLineFor(1)
+	}
+	b.ReportMetric(dl.Length/phys.MM, "length_mm")
+	b.ReportMetric(phys.M2ToMM2(dl.Area)*1000, "area_mmm2") // milli-mm²
+	b.ReportMetric(dl.LossDB*1000, "loss_mdB")
+}
+
+// BenchmarkTable2WDM regenerates the wavelength study (paper Table 2:
+// +3.5% area, 1.93× FPS/mm²).
+func BenchmarkTable2WDM(b *testing.B) {
+	var r paper.Table2Result
+	for i := 0; i < b.N; i++ {
+		r = paper.Table2()
+	}
+	b.ReportMetric(r.AreaIncrease*100, "area_increase_pct")
+	b.ReportMetric(r.FPSPerMM2Gain, "fps_per_mm2_gain_x")
+}
+
+// BenchmarkFigure3Baseline regenerates the §3 case study (paper: baseline
+// 15.7 W, 90.7 mm² photonic; single-JTC converters >85%).
+func BenchmarkFigure3Baseline(b *testing.B) {
+	var r paper.Figure3Result
+	for i := 0; i < b.N; i++ {
+		r = paper.Figure3()
+	}
+	b.ReportMetric(r.BaselineTotalPower, "baseline_watts")
+	b.ReportMetric(phys.M2ToMM2(r.BaselineArea.Photonic()), "baseline_photonic_mm2")
+	b.ReportMetric(100*r.SingleJTC.Converters()/r.SingleJTC.Total(), "singlejtc_converter_pct")
+}
+
+// BenchmarkTable4DelaySweepFF regenerates the FF delay-length exploration
+// (paper Table 4: optimum M=16, FPS/W 4.51× at M=16).
+func BenchmarkTable4DelaySweepFF(b *testing.B) {
+	var r paper.Table4Result
+	for i := 0; i < b.N; i++ {
+		r = paper.Table4(arch.Feedforward)
+	}
+	reportTable4(b, r)
+}
+
+// BenchmarkTable4DelaySweepFB regenerates the FB exploration (paper:
+// FPS/W 5.20× at M=16).
+func BenchmarkTable4DelaySweepFB(b *testing.B) {
+	var r paper.Table4Result
+	for i := 0; i < b.N; i++ {
+		r = paper.Table4(arch.Feedback)
+	}
+	reportTable4(b, r)
+}
+
+func reportTable4(b *testing.B, r paper.Table4Result) {
+	b.Helper()
+	b.ReportMetric(float64(r.BestM()), "optimal_M")
+	for _, row := range r.Rows {
+		if row.M == 16 {
+			b.ReportMetric(row.RelFPSW, "rel_fpsw_at_M16")
+			b.ReportMetric(float64(row.NRFCU), "rfcus_at_M16")
+		}
+	}
+}
+
+// BenchmarkTable5LaserPower regenerates the feedback laser-power study
+// (paper Table 5: 3.87× at R=15 with optimal α).
+func BenchmarkTable5LaserPower(b *testing.B) {
+	var r paper.Table5Result
+	for i := 0; i < b.N; i++ {
+		r = paper.Table5()
+	}
+	for _, row := range r.Optimal {
+		if row.Reuses == 15 {
+			b.ReportMetric(row.RelativeLaserPower, "rel_laser_power_R15")
+			b.ReportMetric(row.DynamicRange, "dynamic_range_R15")
+		}
+	}
+}
+
+// BenchmarkTable7Reuse regenerates the reuse inventory.
+func BenchmarkTable7Reuse(b *testing.B) {
+	var rows []paper.Table7Row
+	for i := 0; i < b.N; i++ {
+		rows = paper.Table7()
+	}
+	for _, r := range rows {
+		if r.System == "ReFOCUS-FB" {
+			b.ReportMetric(float64(r.OpticalBuffer), "fb_input_reuse_x")
+		}
+	}
+}
+
+// BenchmarkFigure8Power regenerates the ReFOCUS power evaluation (paper:
+// FF 14.0 W, FB 10.8 W).
+func BenchmarkFigure8Power(b *testing.B) {
+	var r paper.Figure8Result
+	for i := 0; i < b.N; i++ {
+		r = paper.Figure8()
+	}
+	b.ReportMetric(r.FFTotal, "ff_watts")
+	b.ReportMetric(r.FBTotal, "fb_watts")
+	b.ReportMetric(100*r.FB.WeightDAC/r.FB.DAC(), "fb_weight_dac_pct")
+}
+
+// BenchmarkFigure9Area regenerates the area breakdown (paper: 171.1 mm²
+// total, 135.7 photonic).
+func BenchmarkFigure9Area(b *testing.B) {
+	var r paper.Figure9Result
+	for i := 0; i < b.N; i++ {
+		r = paper.Figure9()
+	}
+	b.ReportMetric(phys.M2ToMM2(r.Area.Total()), "total_mm2")
+	b.ReportMetric(phys.M2ToMM2(r.Area.Photonic()), "photonic_mm2")
+	b.ReportMetric(phys.M2ToMM2(r.Area.DelayLine), "delay_lines_mm2")
+}
+
+// BenchmarkFigure10Ablation regenerates the optimization ablation on
+// ResNet-34 (paper: FB ≈2× baseline FPS/W; converters 1.72× smaller).
+func BenchmarkFigure10Ablation(b *testing.B) {
+	var r paper.Figure10Result
+	for i := 0; i < b.N; i++ {
+		r = paper.Figure10()
+	}
+	b.ReportMetric(r.RelFPSW[len(r.RelFPSW)-1], "final_rel_fpsw")
+	b.ReportMetric(r.ConverterRatio, "converter_energy_ratio")
+}
+
+// BenchmarkFigure11VsPhotoFourier regenerates the headline comparison
+// (paper: 2× FPS, 2.2× FPS/W, 1.36× FPS/mm²).
+func BenchmarkFigure11VsPhotoFourier(b *testing.B) {
+	var r paper.Figure11Result
+	for i := 0; i < b.N; i++ {
+		r = paper.Figure11()
+	}
+	b.ReportMetric(r.Ratio("FPS", true), "fb_fps_x")
+	b.ReportMetric(r.Ratio("FPS/W", true), "fb_fpsw_x")
+	b.ReportMetric(r.Ratio("FPS/mm²", true), "fb_fpsmm2_x")
+}
+
+// BenchmarkFigure12Digital regenerates the digital comparison on ResNet-50
+// (paper: 5.6–24.5× FPS/W advantage).
+func BenchmarkFigure12Digital(b *testing.B) {
+	var r paper.Figure12Result
+	for i := 0; i < b.N; i++ {
+		r = paper.Figure12()
+	}
+	var fb, worst float64
+	for _, e := range r.Entries {
+		if e.Accelerator == "ReFOCUS-FB" {
+			fb = e.FPSPerWatt
+		}
+	}
+	for _, e := range r.Entries {
+		if e.Source != "this simulator" && (worst == 0 || fb/e.FPSPerWatt < worst) {
+			worst = fb / e.FPSPerWatt
+		}
+	}
+	b.ReportMetric(worst, "min_fpsw_advantage_x")
+}
+
+// BenchmarkFigure13Photonic regenerates the photonic comparison (paper: up
+// to 25× vs Albireo, 145× vs HolyLight-m).
+func BenchmarkFigure13Photonic(b *testing.B) {
+	var r paper.Figure13Result
+	for i := 0; i < b.N; i++ {
+		r = paper.Figure13()
+	}
+	fbByNet := map[string]float64{}
+	for _, e := range r.Entries {
+		if e.Accelerator == "ReFOCUS-FB" {
+			fbByNet[e.Network] = e.FPSPerWatt
+		}
+	}
+	var albireo, holy float64
+	for _, e := range r.Entries {
+		ratio := fbByNet[e.Network] / e.FPSPerWatt
+		switch e.Accelerator {
+		case "Albireo":
+			if ratio > albireo {
+				albireo = ratio
+			}
+		case "HolyLight-m":
+			if ratio > holy {
+				holy = ratio
+			}
+		}
+	}
+	b.ReportMetric(albireo, "max_vs_albireo_x")
+	b.ReportMetric(holy, "max_vs_holylight_x")
+}
+
+// BenchmarkSection73WeightSharing regenerates the weight-sharing study
+// (paper: 4.5× compression, up to 52% energy saving).
+func BenchmarkSection73WeightSharing(b *testing.B) {
+	var r paper.Section73Result
+	for i := 0; i < b.N; i++ {
+		r = paper.Section73(42)
+	}
+	b.ReportMetric(r.CompressionRatio, "compression_x")
+	b.ReportMetric(r.EnergySavingUpTo*100, "energy_saving_pct")
+	b.ReportMetric(r.ReorderReduction*100, "weight_dac_cut_pct")
+	b.ReportMetric(r.EfficiencyGain*100, "efficiency_gain_pct")
+}
+
+// BenchmarkEndToEndConvOnLight measures the physically simulated JTC
+// executing a full multi-channel convolution layer — the functional
+// substrate behind every exhibit above.
+func BenchmarkEndToEndConvOnLight(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := nonNeg(rng, 2, 12, 12)
+	w := randT(rng, 2, 2, 3, 3)
+	phys := jtc.NewPhysicalJTC(2048)
+	cfg := jtc.DefaultEngineConfig()
+	cfg.InputWaveguides = 128
+	cfg.Quant = jtc.QuantConfig{}
+	cfg.Correlator = phys.Correlate
+	engine := jtc.NewEngine(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.Conv2D(in, w, 1)
+	}
+}
+
+// BenchmarkPerfModelAllNetworks measures the full performance model over
+// the five benchmark CNNs on ReFOCUS-FB.
+func BenchmarkPerfModelAllNetworks(b *testing.B) {
+	cfg := arch.FB()
+	nets := nn.Benchmarks()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arch.EvaluateAll(cfg, nets)
+	}
+}
+
+func nonNeg(rng *rand.Rand, shape ...int) *tensor.Tensor {
+	t := tensor.New(shape...)
+	for i := range t.Data {
+		t.Data[i] = rng.Float64()
+	}
+	return t
+}
+
+func randT(rng *rand.Rand, shape ...int) *tensor.Tensor {
+	return tensor.Random(rng, shape...)
+}
+
+// BenchmarkSection533DataflowChoice regenerates the §5.3.3 buffer-ordering
+// ablation (paper: choice (1) adopted for its small every-cycle input
+// buffer).
+func BenchmarkSection533DataflowChoice(b *testing.B) {
+	var r paper.Section533Result
+	for i := 0; i < b.N; i++ {
+		r = paper.Section533()
+	}
+	b.ReportMetric(r.BufferPower[0]*1000, "choice1_buffer_mW")
+	b.ReportMetric(r.BufferPower[1]*1000, "choice2_buffer_mW")
+	b.ReportMetric(r.FPSPerWatt[0]/r.FPSPerWatt[1], "choice1_advantage_x")
+}
+
+// BenchmarkSection75SlowLight regenerates the slow-light what-if (paper
+// §7.5: smaller delay lines, but too lossy for the feedback buffer).
+func BenchmarkSection75SlowLight(b *testing.B) {
+	var r paper.Section75Result
+	for i := 0; i < b.N; i++ {
+		r = paper.Section75()
+	}
+	b.ReportMetric(r.DelayAreaRatio, "area_shrink_x")
+	b.ReportMetric(float64(r.RFCUsSlow), "rfcus_slow")
+	b.ReportMetric(r.FBLaserSlow, "fb_laser_factor")
+}
+
+// BenchmarkSection71Scheduler compiles and validates the full ResNet-34
+// instruction stream — the §7.1 static VLIW-style scheduling.
+func BenchmarkSection71Scheduler(b *testing.B) {
+	net, _ := nn.ByName("ResNet-34")
+	cfg := arch.FB().DataflowConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var padding, cycles int
+	for i := 0; i < b.N; i++ {
+		padding, cycles = 0, 0
+		for _, l := range net.Layers {
+			p := sched.Compile(l, cfg)
+			if _, err := sched.Validate(p); err != nil {
+				b.Fatal(err)
+			}
+			padding += p.PaddingCycles * l.Repeat
+			cycles += p.Cycles() * l.Repeat
+		}
+	}
+	b.ReportMetric(float64(cycles), "scheduled_cycles")
+	b.ReportMetric(100*float64(padding)/float64(cycles), "padding_pct")
+}
+
+// BenchmarkSection74FNetMixing regenerates the §7.4 transformer outlook:
+// cycles for a BERT-base-scale Fourier token-mixing sublayer.
+func BenchmarkSection74FNetMixing(b *testing.B) {
+	cfg := arch.FB().DataflowConfig()
+	var ev dataflow.Events
+	for i := 0; i < b.N; i++ {
+		ev = transformer.MixingEvents(512, 768, cfg)
+	}
+	b.ReportMetric(ev.Cycles, "mixing_cycles")
+	b.ReportMetric(ev.Cycles*0.1, "mixing_ns")
+}
+
+// BenchmarkSection72NoiseAware regenerates the §7.2 noise-compensation
+// demonstration (device-aware training recovers the fixed-pattern drop).
+func BenchmarkSection72NoiseAware(b *testing.B) {
+	var r paper.Section72Result
+	for i := 0; i < b.N; i++ {
+		r = paper.Section72(7)
+	}
+	b.ReportMetric(r.CleanTrainNoisyEval*100, "clean_trained_acc_pct")
+	b.ReportMetric(r.NoisyTrainNoisyEval*100, "aware_trained_acc_pct")
+	b.ReportMetric(r.Recovered*100, "recovered_pct")
+}
+
+// BenchmarkSensitivityAblation sweeps component costs and reports how the
+// FB/baseline advantage responds (the DESIGN.md design-choice ablation).
+func BenchmarkSensitivityAblation(b *testing.B) {
+	var r paper.SensitivityResult
+	for i := 0; i < b.N; i++ {
+		r = paper.Sensitivity()
+	}
+	n := len(r.Factors)
+	b.ReportMetric(r.FBGainVsDAC[0], "fb_gain_cheap_dac")
+	b.ReportMetric(r.FBGainVsDAC[n-1], "fb_gain_pricey_dac")
+	b.ReportMetric(r.FBGainVsLaser[n-1], "fb_gain_pricey_laser")
+}
+
+// BenchmarkSection423WDMLimit regenerates the wavelength-count study
+// (paper: fewer than 4 wavelengths; ReFOCUS ships 2).
+func BenchmarkSection423WDMLimit(b *testing.B) {
+	var r paper.Section423Result
+	for i := 0; i < b.N; i++ {
+		r = paper.Section423(5)
+	}
+	b.ReportMetric(float64(r.ChosenN), "clean_channels")
+	b.ReportMetric(r.Errors[1]*100, "err_2ch_pct")
+	b.ReportMetric(r.Errors[3]*100, "err_4ch_pct")
+}
+
+// BenchmarkMonteCarloRobustness perturbs every Table-6 component power
+// log-normally and reports the percentile band of the FB/baseline FPS/W
+// advantage.
+func BenchmarkMonteCarloRobustness(b *testing.B) {
+	var r paper.MonteCarloResult
+	for i := 0; i < b.N; i++ {
+		r = paper.MonteCarlo(200, 0.3, 42)
+	}
+	b.ReportMetric(r.P5, "fb_gain_p5")
+	b.ReportMetric(r.P50, "fb_gain_p50")
+	b.ReportMetric(r.P95, "fb_gain_p95")
+}

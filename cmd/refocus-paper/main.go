@@ -1,0 +1,49 @@
+// Command refocus-paper regenerates every table and figure of the ReFOCUS
+// paper from the simulator and prints them in order.
+//
+// Usage:
+//
+//	refocus-paper [-seed N] [-only "Table 4"]
+//
+// -seed feeds the stochastic §7.2/§7.3 experiments (noise-aware training,
+// weight-sharing clustering, channel-reordering annealing); -only filters
+// exhibits by ID prefix.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"refocus/internal/paper"
+)
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("refocus-paper", flag.ContinueOnError)
+	seed := fs.Int64("seed", 42, "seed for the stochastic §7.2/§7.3 experiments")
+	only := fs.String("only", "", "print only exhibits whose ID starts with this prefix")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	printed := 0
+	for _, t := range paper.AllTables(*seed) {
+		if *only != "" && !strings.HasPrefix(t.ID, *only) {
+			continue
+		}
+		fmt.Fprintln(out, t.Render())
+		printed++
+	}
+	if printed == 0 {
+		return fmt.Errorf("no exhibit matches %q", *only)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "refocus-paper: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExhibit(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-only", "Table 5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Table 5") || !strings.Contains(b.String(), "3.86") {
+		t.Errorf("Table 5 output wrong:\n%s", b.String())
+	}
+}
+
+func TestRunAllExhibits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates everything")
+	}
+	var b strings.Builder
+	if err := run(nil, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"Section 2.2", "Table 4", "Figure 11", "Section 7.5"} {
+		if !strings.Contains(b.String(), id) {
+			t.Errorf("missing exhibit %s", id)
+		}
+	}
+}
+
+func TestRunRejectsUnknownExhibit(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-only", "Table 99"}, &b); err == nil {
+		t.Error("unknown exhibit accepted")
+	}
+}

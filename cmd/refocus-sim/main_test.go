@@ -1,0 +1,62 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunFBResNet34(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-config", "fb", "-network", "ResNet-34", "-profile", "2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"ReFOCUS-FB", "ResNet-34", "FPS", "hot layer"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAllNetworks(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-config", "baseline", "-network", "all", "-dram"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, net := range []string{"AlexNet", "VGG-16", "ResNet-18", "ResNet-34", "ResNet-50"} {
+		if !strings.Contains(b.String(), net) {
+			t.Errorf("missing %s in -network all output", net)
+		}
+	}
+}
+
+func TestRunRejectsUnknowns(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-config", "tpu"}, &b); err == nil {
+		t.Error("unknown config accepted")
+	}
+	if err := run([]string{"-network", "LeNet"}, &b); err == nil {
+		t.Error("unknown network accepted")
+	}
+	if err := run([]string{"-bogus"}, &b); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-config", "ff", "-network", "ResNet-18", "-json"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	var reports []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &reports); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if len(reports) != 1 || reports[0]["Network"] != "ResNet-18" {
+		t.Errorf("unexpected JSON payload: %v", reports)
+	}
+	if fps, ok := reports[0]["FPS"].(float64); !ok || fps <= 0 {
+		t.Error("JSON report missing FPS")
+	}
+}

@@ -1,0 +1,98 @@
+// Command refocus-sweep explores the ReFOCUS design space: delay length M,
+// reuse count R, wavelength count, RFCU count, and Y-junction split ratio,
+// printing the metric surface the §5.4 design choices were made on.
+//
+// Usage:
+//
+//	refocus-sweep -sweep m|reuse|lambda|rfcu|alpha [-buffer fb|ff]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"refocus/internal/arch"
+	"refocus/internal/buffers"
+	"refocus/internal/nn"
+	"refocus/internal/phys"
+)
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("refocus-sweep", flag.ContinueOnError)
+	sweep := fs.String("sweep", "m", "dimension: m, reuse, lambda, rfcu, alpha")
+	buffer := fs.String("buffer", "fb", "buffer design for m/rfcu sweeps: fb or ff")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	base := arch.FB()
+	if *buffer == "ff" {
+		base = arch.FF()
+	}
+	nets := nn.Table4Networks()
+
+	eval := func(cfg arch.SystemConfig) (fpsw, fpsmm2, pap float64) {
+		rs := arch.EvaluateAll(cfg, nets)
+		return arch.GeoMean(rs, arch.MetricFPSPerWatt),
+			arch.GeoMean(rs, arch.MetricFPSPerMM2),
+			arch.GeoMean(rs, arch.MetricPAP)
+	}
+
+	switch *sweep {
+	case "m":
+		fmt.Fprintln(out, "M    N_RFCU  FPS/W   FPS/mm²  PAP")
+		for _, m := range []int{1, 2, 4, 8, 16, 32} {
+			cfg := base
+			cfg.M = m
+			cfg.NRFCU = arch.MaxRFCUsForBudget(base, m, 150*phys.MM2)
+			a, b, c := eval(cfg)
+			fmt.Fprintf(out, "%-4d %-7d %-7.0f %-8.1f %.3g\n", m, cfg.NRFCU, a, b, c)
+		}
+	case "reuse":
+		fmt.Fprintln(out, "R    α=1/(R+1)  rel laser power  dynamic range  FPS/W")
+		c := phys.DefaultComponents()
+		for _, r := range []int{1, 3, 7, 15, 31, 63} {
+			fb := buffers.NewFeedbackBuffer(buffers.OptimalFeedbackAlpha(r), 16, c)
+			cfg := arch.FB()
+			cfg.Reuses = r
+			a, _, _ := eval(cfg)
+			fmt.Fprintf(out, "%-4d %-10.4f %-16.2f %-14.2f %.0f\n",
+				r, buffers.OptimalFeedbackAlpha(r), fb.RelativeLaserPower(r), fb.DynamicRange(r), a)
+		}
+	case "lambda":
+		fmt.Fprintln(out, "Nλ   area(mm²)  FPS/W   FPS/mm²")
+		for _, l := range []int{1, 2, 3, 4} {
+			cfg := base
+			cfg.NLambda = l
+			a, b, _ := eval(cfg)
+			fmt.Fprintf(out, "%-4d %-10.1f %-7.0f %.1f\n", l, phys.M2ToMM2(arch.ComputeArea(cfg).Total()), a, b)
+		}
+	case "rfcu":
+		fmt.Fprintln(out, "N    photonic(mm²)  FPS/W   FPS/mm²  PAP")
+		for _, n := range []int{4, 8, 12, 16, 20, 24} {
+			cfg := base
+			cfg.NRFCU = n
+			a, b, c := eval(cfg)
+			fmt.Fprintf(out, "%-4d %-14.1f %-7.0f %-8.1f %.3g\n", n, phys.M2ToMM2(arch.ComputeArea(cfg).Photonic()), a, b, c)
+		}
+	case "alpha":
+		fmt.Fprintln(out, "α      rel laser power (R=15)  dynamic range")
+		c := phys.DefaultComponents()
+		for _, a := range []float64{0.03125, 0.0625, 0.125, 0.25, 0.5} {
+			fb := buffers.NewFeedbackBuffer(a, 16, c)
+			fmt.Fprintf(out, "%-6.4f %-23.4g %.4g\n", a, fb.RelativeLaserPower(15), fb.DynamicRange(15))
+		}
+	default:
+		return fmt.Errorf("unknown sweep %q", *sweep)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "refocus-sweep: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllSweepsProduceTables(t *testing.T) {
+	for _, sweep := range []string{"m", "reuse", "lambda", "rfcu", "alpha"} {
+		var b strings.Builder
+		if err := run([]string{"-sweep", sweep}, &b); err != nil {
+			t.Fatalf("sweep %s: %v", sweep, err)
+		}
+		if lines := strings.Count(b.String(), "\n"); lines < 4 {
+			t.Errorf("sweep %s produced only %d lines", sweep, lines)
+		}
+	}
+}
+
+func TestSweepFFVariant(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-sweep", "m", "-buffer", "ff"}, &b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepRejectsUnknown(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-sweep", "temperature"}, &b); err == nil {
+		t.Error("unknown sweep accepted")
+	}
+}

@@ -1,0 +1,83 @@
+// dataflow_trace prints the paper's Figure-7 alternating OS-IS schedule for
+// a conv layer on a small ReFOCUS instance: per cycle, which input channel
+// group each wavelength carries, which filter each RFCU processes, and
+// whether the input light is fresh (DACs firing) or reused from the optical
+// buffer — plus the layer's planning summary and event counts.
+package main
+
+import (
+	"fmt"
+
+	"refocus/internal/dataflow"
+	"refocus/internal/nn"
+)
+
+func main() {
+	// The paper's Figure-7 setting: 8 RFCUs, feedforward-style single
+	// reuse, 4-cycle delay lines, 2 wavelengths.
+	cfg := dataflow.Config{
+		NRFCU: 8, T: 256, WeightWaveguides: 25, NLambda: 2,
+		M: 4, Reuses: 1, UseDataBuffers: true,
+	}
+	layer := nn.ConvLayer{
+		Name: "demo", InC: 16, InH: 14, InW: 14, OutC: 16,
+		KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 1,
+	}
+
+	p := dataflow.PlanLayer(layer, cfg)
+	fmt.Printf("layer %s: %dx%dx%d -> %d filters, %dx%d kernel\n",
+		layer.Name, layer.InC, layer.InH, layer.InW, layer.OutC, layer.KH, layer.KW)
+	fmt.Printf("tiling: %v, %d regions/image, %d accumulation passes/region, %d valid outputs/region\n",
+		p.Geometry.Strategy, p.Regions, p.AccumPassesPerRegion, p.ValidPerRegion)
+	fmt.Printf("filter rounds %d (incl. pseudo-negative), fresh generations %d (optical reuse %d)\n\n",
+		p.FilterRounds, p.FreshRounds, cfg.Reuses)
+
+	// Walk the schedule for the first output region, Figure-7 style.
+	// Channel groups of M·Nλ accumulate temporally; after M cycles the
+	// reused light returns and the next filter round starts.
+	fmt.Println("cycle  light   λ1 carries   λ2 carries   RFCU0..7 process        ADC")
+	channelsPerWindow := cfg.M * cfg.NLambda
+	cycle := 0
+	for round := 0; round < min(4, p.FilterRounds); round++ {
+		fresh := round%(cfg.Reuses+1) == 0
+		sign := "+"
+		if round%2 == 1 {
+			sign = "-"
+		}
+		filterBase := round / 2 * cfg.NRFCU
+		for slot := 0; slot < cfg.M; slot++ {
+			c1 := slot * cfg.NLambda
+			c2 := c1 + 1
+			if c2 >= channelsPerWindow {
+				c2 = c1
+			}
+			light := "fresh"
+			if !fresh {
+				light = "reuse"
+			}
+			adc := ""
+			if slot == cfg.M-1 {
+				adc = "readout"
+			}
+			fmt.Printf("%5d  %-6s  IC%-2d         IC%-2d         F%d..F%d%s (group IC0-%d)   %s\n",
+				cycle, light, c1, c2, filterBase, filterBase+cfg.NRFCU-1, sign, channelsPerWindow-1, adc)
+			cycle++
+		}
+	}
+
+	ev := dataflow.LayerEvents(layer, cfg)
+	fmt.Printf("\nlayer totals: %.0f cycles, %.0f input DAC writes, %.0f weight DAC writes, %.0f ADC reads\n",
+		ev.Cycles, ev.InputDACWrites, ev.WeightDACWrites, ev.ADCReads)
+	noReuse := cfg
+	noReuse.Reuses = 0
+	ev0 := dataflow.LayerEvents(layer, noReuse)
+	fmt.Printf("without the optical buffer the same layer needs %.0f input DAC writes (%.1fx more)\n",
+		ev0.InputDACWrites, ev0.InputDACWrites/ev.InputDACWrites)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,52 @@
+// design_explorer reruns the §5.4 design-parameter study: for each delay
+// length M it sizes the largest RFCU count inside the 150 mm² photonic
+// budget, evaluates FPS/W, FPS/mm² and their product (PAP) over the
+// Table-4 networks, and reports the optimum — then cross-checks the
+// feedback buffer's reuse-count choice against the Table-5 laser-power /
+// dynamic-range trade-off.
+package main
+
+import (
+	"fmt"
+
+	"refocus/internal/arch"
+	"refocus/internal/buffers"
+	"refocus/internal/paper"
+	"refocus/internal/phys"
+)
+
+func main() {
+	for _, kind := range []arch.BufferKind{arch.Feedforward, arch.Feedback} {
+		r := paper.Table4(kind)
+		fmt.Printf("=== %s buffer: delay-length exploration (150 mm² photonic budget) ===\n", r.Buffer)
+		fmt.Println("M    N_RFCU  rel FPS/W  rel FPS/mm²  rel PAP")
+		for _, row := range r.Rows {
+			marker := ""
+			if row.M == r.BestM() {
+				marker = "  <- PAP optimum"
+			}
+			fmt.Printf("%-4d %-7d %-10.2f %-12.2f %.2f%s\n",
+				row.M, row.NRFCU, row.RelFPSW, row.RelFPSMM2, row.RelPAP, marker)
+		}
+		fmt.Printf("(paper: optimum at M=16 with 18 RFCUs; ReFOCUS ships 16 as the power-of-two choice)\n\n")
+	}
+
+	fmt.Println("=== feedback reuse count R at α = 1/(R+1) (Table 5) ===")
+	c := phys.DefaultComponents()
+	fmt.Println("R    rel laser power  dynamic range  fits 8-bit ADC?")
+	for _, rr := range []int{1, 3, 7, 15, 31, 63} {
+		b := buffers.NewFeedbackBuffer(buffers.OptimalFeedbackAlpha(rr), 16, c)
+		fits := "yes"
+		if b.DynamicRange(rr) >= c.PhotodetectorDynamicRangeLevels {
+			fits = "NO"
+		}
+		marker := ""
+		if rr == 15 {
+			marker = "  <- ReFOCUS-FB choice"
+		}
+		fmt.Printf("%-4d %-16.2f %-14.2f %s%s\n", rr, b.RelativeLaserPower(rr), b.DynamicRange(rr), fits, marker)
+	}
+	fmt.Println("\nwith the naive α=0.5, R=15 would need 6.0e3× laser power and 4.8e4 dynamic range — infeasible:")
+	naive := buffers.NewFeedbackBuffer(0.5, 16, c)
+	fmt.Printf("α=0.5, R=15: laser %.3g×, dynamic range %.3g\n", naive.RelativeLaserPower(15), naive.DynamicRange(15))
+}

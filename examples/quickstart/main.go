@@ -1,0 +1,37 @@
+// Quickstart: build the two ReFOCUS variants and the PhotoFourier-style
+// baseline, run ResNet-18 inference through the performance model, and
+// print the headline metrics — the 30-second tour of the public API.
+package main
+
+import (
+	"fmt"
+
+	"refocus/internal/arch"
+	"refocus/internal/nn"
+	"refocus/internal/phys"
+)
+
+func main() {
+	net, _ := nn.ByName("ResNet-18")
+	fmt.Printf("workload: %s — %.2f GMACs across %d conv layers\n\n",
+		net.Name, net.TotalMACs()/1e9, net.LayerCount())
+
+	configs := []arch.SystemConfig{arch.Baseline(), arch.FF(), arch.FB()}
+	fmt.Printf("%-18s %10s %10s %10s %12s %12s\n",
+		"system", "FPS", "power(W)", "FPS/W", "FPS/mm²", "area(mm²)")
+	var base arch.Report
+	for i, cfg := range configs {
+		r := arch.Evaluate(cfg, net)
+		if i == 0 {
+			base = r
+		}
+		fmt.Printf("%-18s %10.0f %10.2f %10.1f %12.1f %12.1f\n",
+			cfg.Name, r.FPS, r.Power.Total(), r.FPSPerWatt, r.FPSPerMM2,
+			phys.M2ToMM2(r.Area.Total()))
+	}
+
+	fb := arch.Evaluate(arch.FB(), net)
+	fmt.Printf("\nReFOCUS-FB vs baseline on %s: %.2f× FPS, %.2f× FPS/W, %.2f× FPS/mm²\n",
+		net.Name, fb.FPS/base.FPS, fb.FPSPerWatt/base.FPSPerWatt, fb.FPSPerMM2/base.FPSPerMM2)
+	fmt.Println("(paper headline across five CNNs: 2× FPS, 2.2× FPS/W, 1.36× FPS/mm²)")
+}

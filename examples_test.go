@@ -1,0 +1,54 @@
+package refocus
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes every example program end to end (the
+// deliverable guard: examples must stay runnable, not just compilable).
+// Skipped in -short mode; each example gets a generous timeout.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every example binary")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 6 {
+		t.Fatalf("expected at least 6 examples, found %d", len(entries))
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			ctxCmd := exec.Command("go", "run", "./"+filepath.Join("examples", name))
+			ctxCmd.Dir = "."
+			done := make(chan error, 1)
+			var out []byte
+			go func() {
+				var runErr error
+				out, runErr = ctxCmd.CombinedOutput()
+				done <- runErr
+			}()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("example %s failed: %v\n%s", name, err, out)
+				}
+				if len(out) < 40 {
+					t.Errorf("example %s produced almost no output:\n%s", name, out)
+				}
+			case <-time.After(3 * time.Minute):
+				_ = ctxCmd.Process.Kill()
+				t.Fatalf("example %s timed out", name)
+			}
+		})
+	}
+}

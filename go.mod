@@ -1,0 +1,3 @@
+module refocus
+
+go 1.22

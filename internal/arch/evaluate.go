@@ -1,0 +1,224 @@
+package arch
+
+import (
+	"math"
+
+	"refocus/internal/dataflow"
+	"refocus/internal/memory"
+	"refocus/internal/nn"
+)
+
+// PowerBreakdown itemizes average system power in watts while running a
+// network. DRAM is kept separate because the paper's headline numbers —
+// like all prior photonic accelerator work it compares against — exclude
+// DRAM power, discussing it only in §7.3.
+type PowerBreakdown struct {
+	InputDAC  float64
+	WeightDAC float64
+	ADC       float64
+	Laser     float64
+	MRR       float64
+
+	ActivationSRAM float64
+	WeightSRAM     float64
+	DataBuffers    float64
+	SRAMLeakage    float64
+
+	CMOS float64
+	DRAM float64
+}
+
+// DAC returns total DAC power.
+func (p PowerBreakdown) DAC() float64 { return p.InputDAC + p.WeightDAC }
+
+// Converters returns ADC+DAC power (the quantity Figure 10's 1.72× claim
+// compares).
+func (p PowerBreakdown) Converters() float64 { return p.DAC() + p.ADC }
+
+// Memory returns all on-chip memory power.
+func (p PowerBreakdown) Memory() float64 {
+	return p.ActivationSRAM + p.WeightSRAM + p.DataBuffers + p.SRAMLeakage
+}
+
+// Total returns system power excluding DRAM (the paper's convention).
+func (p PowerBreakdown) Total() float64 {
+	return p.Converters() + p.Laser + p.MRR + p.Memory() + p.CMOS
+}
+
+// TotalWithDRAM includes DRAM (the §7.3 discussion).
+func (p PowerBreakdown) TotalWithDRAM() float64 { return p.Total() + p.DRAM }
+
+// Report is the evaluation result of one (config, network) pair.
+type Report struct {
+	Config  string
+	Network string
+
+	// Latency is one batch-1 inference through the conv layers, seconds.
+	Latency float64
+	// Energy excludes DRAM; DRAMEnergy is reported separately.
+	Energy     float64
+	DRAMEnergy float64
+
+	Power PowerBreakdown
+	Area  AreaBreakdown
+
+	FPS        float64
+	FPSPerWatt float64
+	FPSPerMM2  float64
+	// PAP is the §5.4.1 power-efficiency·area-efficiency product.
+	PAP float64
+	// InvEDP is 1/(energy·delay).
+	InvEDP float64
+}
+
+// Evaluate runs the bottom-up model for one network on one configuration.
+func Evaluate(cfg SystemConfig, net nn.Network) Report {
+	cfg.Validate()
+	df := cfg.DataflowConfig()
+	df.InputsFromDRAM = true
+	ev := dataflow.NetworkEvents(net, df)
+	ct := cfg.Components
+
+	if ws := cfg.WeightSharing; ws != nil {
+		if ws.CompressionRatio < 1 || ws.WeightDACReduction < 0 || ws.WeightDACReduction >= 1 {
+			panic("arch: invalid weight-sharing parameters")
+		}
+		// Channel reordering skips same-codeword kernel rewrites; the
+		// codebook representation shrinks weight SRAM and DRAM traffic.
+		ev.WeightDACWrites *= 1 - ws.WeightDACReduction
+		ev.WeightSRAMReads /= ws.CompressionRatio
+		weightBytes := float64(net.TotalWeightBytes())
+		ev.DRAMReads -= weightBytes - weightBytes/ws.CompressionRatio
+	}
+
+	latency := ev.Cycles * ct.CyclePeriod()
+
+	// Per-event energies from Table 6.
+	eDAC := ct.DACPower / ct.ClockFrequency
+	eADC := ct.ADCPower / ct.ADCFrequency()
+	eMRR := ct.MRRPower / ct.ClockFrequency
+
+	actSRAM := memory.NewSRAM("activation", cfg.ActivationSRAMBytes, 32)
+	weightSRAM := memory.NewSRAM("weight", cfg.WeightSRAMBytesPerRFCU, 32)
+	plan := bufferPlan(cfg)
+	inBuf := plan.InputBuffer(true)
+	outBuf := plan.OutputBuffer(true)
+
+	var p PowerBreakdown
+	dacDerate := cfg.Calib.DACActivityFactor
+	if dacDerate == 0 {
+		dacDerate = 1
+	}
+	p.InputDAC = ev.InputDACWrites * eDAC * dacDerate / latency
+	p.WeightDAC = ev.WeightDACWrites * eDAC * dacDerate / latency
+	p.ADC = ev.ADCReads * eADC / latency
+	p.MRR = ev.MRRActiveCycles * eMRR / latency
+
+	cs := TakeCensus(cfg)
+	p.Laser = ct.LaserMinPowerPerWaveguide *
+		(float64(cs.InputDACs)*cfg.LaserPowerFactor() + float64(cs.WeightDACs))
+	if cfg.EONonlinearity {
+		// The active Fourier-plane stage: one EOM (MRR-class drive) per
+		// waveguide per RFCU, live every compute cycle; its photodetector
+		// is passive but the O/E/O hop also costs extra laser headroom.
+		p.MRR += float64(cfg.T*cfg.NRFCU) * ct.MRRPower
+		p.Laser *= 1.5 // regenerating the optical signal after detection
+	}
+
+	p.ActivationSRAM = (ev.ActSRAMReads + ev.ActSRAMWrites) * actSRAM.AccessEnergyPerByte() / latency
+	p.WeightSRAM = ev.WeightSRAMReads * weightSRAM.AccessEnergyPerByte() / latency
+	if cfg.UseDataBuffers {
+		p.DataBuffers = ((ev.InputBufferReads+ev.InputBufferWrites)*inBuf.AccessEnergyPerByte() +
+			ev.OutputBufferAccess*outBuf.AccessEnergyPerByte()) / latency
+	}
+	p.SRAMLeakage = actSRAM.LeakagePower() + float64(cfg.NRFCU)*weightSRAM.LeakagePower()
+	if cfg.UseDataBuffers {
+		p.SRAMLeakage += inBuf.LeakagePower() + float64(cfg.NRFCU)*outBuf.LeakagePower()
+	}
+
+	p.CMOS = cfg.CMOS.DynamicEnergy(ev.InputDACWrites, ev.ADCReads)/latency +
+		cfg.CMOS.ControlPower(cfg.NRFCU)
+
+	p.DRAM = cfg.DRAM.AccessEnergy(ev.DRAMReads) / latency
+
+	area := ComputeArea(cfg)
+	r := Report{
+		Config:     cfg.Name,
+		Network:    net.Name,
+		Latency:    latency,
+		Energy:     p.Total() * latency,
+		DRAMEnergy: p.DRAM * latency,
+		Power:      p,
+		Area:       area,
+	}
+	r.FPS = 1 / latency
+	r.FPSPerWatt = r.FPS / p.Total()
+	r.FPSPerMM2 = r.FPS / (area.Total() / 1e-6) // per mm²
+	r.PAP = r.FPSPerWatt * r.FPSPerMM2
+	r.InvEDP = 1 / (r.Energy * latency)
+	return r
+}
+
+// EvaluateAll evaluates every network on the configuration.
+func EvaluateAll(cfg SystemConfig, nets []nn.Network) []Report {
+	out := make([]Report, 0, len(nets))
+	for _, n := range nets {
+		out = append(out, Evaluate(cfg, n))
+	}
+	return out
+}
+
+// Metric extracts a scalar from a report for aggregation.
+type Metric func(Report) float64
+
+// Standard metrics.
+var (
+	MetricFPS        Metric = func(r Report) float64 { return r.FPS }
+	MetricFPSPerWatt Metric = func(r Report) float64 { return r.FPSPerWatt }
+	MetricFPSPerMM2  Metric = func(r Report) float64 { return r.FPSPerMM2 }
+	MetricPAP        Metric = func(r Report) float64 { return r.PAP }
+	MetricInvEDP     Metric = func(r Report) float64 { return r.InvEDP }
+)
+
+// GeoMean aggregates a metric over reports the way the paper does
+// (geometric mean across networks).
+func GeoMean(reports []Report, m Metric) float64 {
+	if len(reports) == 0 {
+		panic("arch: GeoMean of no reports")
+	}
+	sum := 0.0
+	for _, r := range reports {
+		sum += math.Log(m(r))
+	}
+	return math.Exp(sum / float64(len(reports)))
+}
+
+// MeanPower averages total power over reports (the paper's "average system
+// power" across the five CNNs).
+func MeanPower(reports []Report) float64 {
+	var sum float64
+	for _, r := range reports {
+		sum += r.Power.Total()
+	}
+	return sum / float64(len(reports))
+}
+
+// MeanBreakdown averages each power component across reports.
+func MeanBreakdown(reports []Report) PowerBreakdown {
+	var b PowerBreakdown
+	n := float64(len(reports))
+	for _, r := range reports {
+		b.InputDAC += r.Power.InputDAC / n
+		b.WeightDAC += r.Power.WeightDAC / n
+		b.ADC += r.Power.ADC / n
+		b.Laser += r.Power.Laser / n
+		b.MRR += r.Power.MRR / n
+		b.ActivationSRAM += r.Power.ActivationSRAM / n
+		b.WeightSRAM += r.Power.WeightSRAM / n
+		b.DataBuffers += r.Power.DataBuffers / n
+		b.SRAMLeakage += r.Power.SRAMLeakage / n
+		b.CMOS += r.Power.CMOS / n
+		b.DRAM += r.Power.DRAM / n
+	}
+	return b
+}

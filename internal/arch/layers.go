@@ -1,0 +1,76 @@
+package arch
+
+import (
+	"fmt"
+	"sort"
+
+	"refocus/internal/dataflow"
+	"refocus/internal/nn"
+)
+
+// LayerProfile is the per-layer view of a network evaluation: where the
+// cycles, conversions and energy go — the profile a compiler or model
+// architect would consult.
+type LayerProfile struct {
+	Layer         nn.ConvLayer
+	Plan          dataflow.LayerPlan
+	Events        dataflow.Events // one instance
+	Repeat        int
+	Latency       float64 // one instance, seconds
+	Energy        float64 // one instance, joules (no DRAM)
+	ShareOfCycles float64 // including repeats, of the whole network
+	ShareOfEnergy float64
+}
+
+// EvaluateLayers profiles every layer of the network on the configuration.
+// Profiles are returned in network order; shares include layer repeats.
+func EvaluateLayers(cfg SystemConfig, net nn.Network) []LayerProfile {
+	cfg.Validate()
+	df := cfg.DataflowConfig()
+	profiles := make([]LayerProfile, 0, len(net.Layers))
+	var totalCycles, totalEnergy float64
+	for _, l := range net.Layers {
+		ev := dataflow.LayerEvents(l, df)
+		single := nn.Network{Name: l.Name, Layers: []nn.ConvLayer{layerOnce(l)}}
+		r := Evaluate(cfg, single)
+		p := LayerProfile{
+			Layer:   l,
+			Plan:    dataflow.PlanLayer(l, df),
+			Events:  ev,
+			Repeat:  l.Repeat,
+			Latency: r.Latency,
+			Energy:  r.Energy,
+		}
+		profiles = append(profiles, p)
+		totalCycles += ev.Cycles * float64(l.Repeat)
+		totalEnergy += r.Energy * float64(l.Repeat)
+	}
+	for i := range profiles {
+		profiles[i].ShareOfCycles = profiles[i].Events.Cycles * float64(profiles[i].Repeat) / totalCycles
+		profiles[i].ShareOfEnergy = profiles[i].Energy * float64(profiles[i].Repeat) / totalEnergy
+	}
+	return profiles
+}
+
+func layerOnce(l nn.ConvLayer) nn.ConvLayer {
+	l.Repeat = 1
+	return l
+}
+
+// TopConsumers returns the n layers with the largest share of the given
+// quantity ("cycles" or "energy"), descending.
+func TopConsumers(profiles []LayerProfile, quantity string, n int) []LayerProfile {
+	out := append([]LayerProfile(nil), profiles...)
+	switch quantity {
+	case "cycles":
+		sort.SliceStable(out, func(i, j int) bool { return out[i].ShareOfCycles > out[j].ShareOfCycles })
+	case "energy":
+		sort.SliceStable(out, func(i, j int) bool { return out[i].ShareOfEnergy > out[j].ShareOfEnergy })
+	default:
+		panic(fmt.Sprintf("arch: unknown quantity %q", quantity))
+	}
+	if n > len(out) {
+		n = len(out)
+	}
+	return out[:n]
+}

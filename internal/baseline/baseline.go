@@ -1,0 +1,125 @@
+// Package baseline provides the comparison systems of the paper's
+// evaluation (§6.3): the PhotoFourier-NG JTC baseline (re-simulated on the
+// shared component tables, exactly as the paper did with the authors'
+// simulator), and the published-figures dataset for the photonic, digital
+// and RRAM accelerators of Figures 12 and 13.
+//
+// The paper compares against *reported* numbers for third-party systems
+// rather than re-simulating them; this package embeds those reference
+// points. Where a cited work did not publish a directly comparable number,
+// the entry is reconstructed from the ratios the paper states (e.g. "up to
+// 25× power efficiency compared to Albireo") and flagged as such in its
+// Source string — see EXPERIMENTS.md for the per-entry provenance.
+package baseline
+
+import (
+	"refocus/internal/arch"
+)
+
+// PhotoFourier returns the PhotoFourier-NG configuration used as the
+// paper's primary comparison: the paper's own "slightly modified version of
+// PhotoFourier-NG ... which uses our power and area number for individual
+// components and adopts non-linear material" (§6.3). Identical to the
+// ReFOCUS baseline of §3.
+func PhotoFourier() arch.SystemConfig {
+	cfg := arch.Baseline()
+	cfg.Name = "PhotoFourier"
+	return cfg
+}
+
+// PhotoFourierEO returns the original (non-NG) PhotoFourier with the
+// active electro-optic Fourier-plane nonlinearity. Comparing it against
+// PhotoFourier() quantifies why the paper adopts the passive nonlinear
+// material of the NG version (§2.1).
+func PhotoFourierEO() arch.SystemConfig {
+	cfg := PhotoFourier()
+	cfg.Name = "PhotoFourier-EO"
+	cfg.EONonlinearity = true
+	return cfg
+}
+
+// Published is a reported (or reconstructed) datapoint of a third-party
+// accelerator.
+type Published struct {
+	Accelerator string
+	Network     string
+	FPS         float64 // frames per second; 0 when unreported
+	FPSPerWatt  float64
+	Source      string
+}
+
+// Figure12Digital returns the digital-accelerator comparison points of
+// Figure 12 (ResNet-50). H100 and TPUv3 throughputs come from MLPerf
+// inference results as the paper states; their system powers, and the
+// Simba/JSSC'20 points, are reconstructed to the paper's stated 5.6-24.5×
+// FPS/W spread.
+func Figure12Digital() []Published {
+	return []Published{
+		{
+			Accelerator: "H100", Network: "ResNet-50",
+			FPS: 81292, FPSPerWatt: 81292.0 / 700,
+			Source: "MLPerf Inference v3.0 offline, single H100 [3,48]; 700 W TDP",
+		},
+		{
+			Accelerator: "TPU v3", Network: "ResNet-50",
+			FPS: 8000, FPSPerWatt: 40,
+			Source: "MLPerf Inference per-chip ResNet-50 [1,48]; reconstructed system power (paper's 24.5× bound)",
+		},
+		{
+			Accelerator: "Simba", Network: "ResNet-50",
+			FPS: 2200, FPSPerWatt: 147,
+			Source: "Simba MCM, MICRO'19 [51]; reconstructed from reported efficiency",
+		},
+		{
+			Accelerator: "JSSC'20", Network: "ResNet-50",
+			FPS: 1300, FPSPerWatt: 173,
+			Source: "Zimmer et al. JSSC'20 [70]; reconstructed (paper's 5.6× bound)",
+		},
+	}
+}
+
+// Figure13Photonic returns the accelerator comparison points of Figure 13
+// (AlexNet, VGG-16, ResNet-18): the 8-bit photonic accelerators Albireo
+// and HolyLight-m, the digital UNPU, and a tiled-RRAM design. Entries
+// marked "reconstructed" are back-derived from the paper's stated ratios
+// (up to 25× vs Albireo, up to 145× vs HolyLight-m, >2× vs RRAM); missing
+// network entries mirror the paper's "some results are missing".
+func Figure13Photonic() []Published {
+	return []Published{
+		// Albireo (ISCA'21 [52]) — ReFOCUS is up to 25× better FPS/W.
+		{Accelerator: "Albireo", Network: "AlexNet", FPS: 1100, FPSPerWatt: 436,
+			Source: "Shiflett et al. ISCA'21 [52]; reconstructed (paper's 25× bound)"},
+		{Accelerator: "Albireo", Network: "VGG-16", FPS: 170, FPSPerWatt: 78,
+			Source: "Shiflett et al. ISCA'21 [52]; reconstructed"},
+		{Accelerator: "Albireo", Network: "ResNet-18", FPS: 820, FPSPerWatt: 325,
+			Source: "Shiflett et al. ISCA'21 [52]; reconstructed"},
+		// HolyLight-m (DATE'19 [36]) — up to 145× gap.
+		{Accelerator: "HolyLight-m", Network: "AlexNet", FPS: 240, FPSPerWatt: 75.2,
+			Source: "Liu et al. DATE'19 [36]; reconstructed (paper's 145× bound)"},
+		{Accelerator: "HolyLight-m", Network: "VGG-16", FPS: 34, FPSPerWatt: 15.6,
+			Source: "Liu et al. DATE'19 [36]; reconstructed"},
+		{Accelerator: "HolyLight-m", Network: "ResNet-18", FPS: 160, FPSPerWatt: 52,
+			Source: "Liu et al. DATE'19 [36]; reconstructed"},
+		// UNPU (JSSC'19 [29]) — digital reference; 8-bit mode ≈3.08 TOPS/W.
+		{Accelerator: "UNPU", Network: "AlexNet", FPS: 238, FPSPerWatt: 2124,
+			Source: "Lee et al. JSSC'19 [29], 8-bit mode, conv workload"},
+		{Accelerator: "UNPU", Network: "VGG-16", FPS: 11, FPSPerWatt: 100,
+			Source: "Lee et al. JSSC'19 [29], 8-bit mode"},
+		// RRAM (IEDM'19 [62]) — ReFOCUS keeps >2× efficiency.
+		{Accelerator: "RRAM", Network: "AlexNet", FPS: 1420, FPSPerWatt: 4500,
+			Source: "Wang et al. IEDM'19 [62]; reconstructed (paper's >2× margin)"},
+		{Accelerator: "RRAM", Network: "ResNet-18", FPS: 510, FPSPerWatt: 1800,
+			Source: "Wang et al. IEDM'19 [62]; reconstructed"},
+	}
+}
+
+// ForNetwork filters published points to one network.
+func ForNetwork(points []Published, network string) []Published {
+	var out []Published
+	for _, p := range points {
+		if p.Network == network {
+			out = append(out, p)
+		}
+	}
+	return out
+}

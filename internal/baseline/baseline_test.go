@@ -1,0 +1,129 @@
+package baseline
+
+import (
+	"testing"
+
+	"refocus/internal/arch"
+	"refocus/internal/nn"
+)
+
+// TestPhotoFourierIsBaselineArch: the comparison target shares the §3
+// baseline architecture, only renamed.
+func TestPhotoFourierIsBaselineArch(t *testing.T) {
+	pf := PhotoFourier()
+	bl := arch.Baseline()
+	if pf.Name != "PhotoFourier" {
+		t.Errorf("name = %q", pf.Name)
+	}
+	pf.Name = bl.Name
+	if pf.NRFCU != bl.NRFCU || pf.NLambda != bl.NLambda || pf.Buffer != bl.Buffer ||
+		pf.M != bl.M || pf.UseDataBuffers != bl.UseDataBuffers {
+		t.Error("PhotoFourier config diverged from the §3 baseline")
+	}
+}
+
+// TestFigure12Spread: the digital points reproduce the paper's claims —
+// H100 and TPUv3 beat ReFOCUS-FB on raw FPS, while ReFOCUS-FB holds a
+// 5.6–24.5× FPS/W advantage over every digital system.
+func TestFigure12Spread(t *testing.T) {
+	net, _ := nn.ByName("ResNet-50")
+	rf := arch.Evaluate(arch.FB(), net)
+	minRatio, maxRatio := 1e30, 0.0
+	for _, p := range Figure12Digital() {
+		if p.FPSPerWatt <= 0 || p.FPS <= 0 {
+			t.Fatalf("%s: missing data", p.Accelerator)
+		}
+		r := rf.FPSPerWatt / p.FPSPerWatt
+		if r < minRatio {
+			minRatio = r
+		}
+		if r > maxRatio {
+			maxRatio = r
+		}
+	}
+	if minRatio < 5.0 || maxRatio > 30 {
+		t.Errorf("FPS/W advantage spread [%.1f, %.1f]; paper says 5.6–24.5×", minRatio, maxRatio)
+	}
+	var h100, tpu Published
+	for _, p := range Figure12Digital() {
+		switch p.Accelerator {
+		case "H100":
+			h100 = p
+		case "TPU v3":
+			tpu = p
+		}
+	}
+	if h100.FPS <= rf.FPS || tpu.FPS <= rf.FPS {
+		t.Errorf("H100 (%.0f) and TPUv3 (%.0f) should exceed ReFOCUS raw FPS (%.0f)", h100.FPS, tpu.FPS, rf.FPS)
+	}
+}
+
+// TestFigure13Margins: ReFOCUS-FB beats every photonic/digital/RRAM point
+// on FPS/W, with the paper's headline maxima: up to ≈25× vs Albireo and up
+// to ≈145× vs HolyLight-m.
+func TestFigure13Margins(t *testing.T) {
+	best := map[string]float64{}
+	for _, p := range Figure13Photonic() {
+		net, ok := nn.ByName(p.Network)
+		if !ok {
+			t.Fatalf("unknown network %q", p.Network)
+		}
+		rf := arch.Evaluate(arch.FB(), net)
+		if rf.FPSPerWatt <= p.FPSPerWatt {
+			t.Errorf("%s on %s: published %.0f FPS/W not below ReFOCUS %.0f", p.Accelerator, p.Network, p.FPSPerWatt, rf.FPSPerWatt)
+		}
+		if r := rf.FPSPerWatt / p.FPSPerWatt; r > best[p.Accelerator] {
+			best[p.Accelerator] = r
+		}
+	}
+	if best["Albireo"] < 20 || best["Albireo"] > 32 {
+		t.Errorf("max advantage vs Albireo = %.1f×, paper says up to 25×", best["Albireo"])
+	}
+	if best["HolyLight-m"] < 120 || best["HolyLight-m"] > 180 {
+		t.Errorf("max advantage vs HolyLight-m = %.1f×, paper says up to 145×", best["HolyLight-m"])
+	}
+	if best["RRAM"] < 2 {
+		t.Errorf("advantage vs RRAM = %.1f×, paper says more than 2×", best["RRAM"])
+	}
+}
+
+func TestForNetwork(t *testing.T) {
+	pts := ForNetwork(Figure13Photonic(), "AlexNet")
+	if len(pts) != 4 {
+		t.Errorf("AlexNet points = %d, want 4", len(pts))
+	}
+	for _, p := range pts {
+		if p.Network != "AlexNet" {
+			t.Errorf("filter leaked %q", p.Network)
+		}
+	}
+	if got := ForNetwork(Figure13Photonic(), "LeNet"); got != nil {
+		t.Error("unknown network should filter to nil")
+	}
+}
+
+// TestEONonlinearityCost quantifies the §2.1 design choice: the original
+// PhotoFourier's active Fourier-plane stage (EOM per waveguide, O/E/O
+// regeneration) costs several watts that the passive-material NG version
+// — and ReFOCUS — avoid.
+func TestEONonlinearityCost(t *testing.T) {
+	nets := nn.Benchmarks()
+	ng := arch.MeanBreakdown(arch.EvaluateAll(PhotoFourier(), nets))
+	eo := arch.MeanBreakdown(arch.EvaluateAll(PhotoFourierEO(), nets))
+	extra := eo.Total() - ng.Total()
+	if extra < 1 || extra > 6 {
+		t.Errorf("EO nonlinearity costs %.2f W extra; expected a few watts", extra)
+	}
+	if eo.MRR <= ng.MRR {
+		t.Error("the EO stage should add modulator power")
+	}
+	// The passive choice is a straight efficiency win at equal FPS.
+	ngR := arch.EvaluateAll(PhotoFourier(), nets)
+	eoR := arch.EvaluateAll(PhotoFourierEO(), nets)
+	if arch.GeoMean(eoR, arch.MetricFPS) != arch.GeoMean(ngR, arch.MetricFPS) {
+		t.Error("nonlinearity choice must not change throughput")
+	}
+	if arch.GeoMean(eoR, arch.MetricFPSPerWatt) >= arch.GeoMean(ngR, arch.MetricFPSPerWatt) {
+		t.Error("passive nonlinearity should win FPS/W")
+	}
+}

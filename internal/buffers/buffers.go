@@ -1,0 +1,278 @@
+// Package buffers models the two optical buffer designs of ReFOCUS §4.1 —
+// feedback (Figure 4a) and feedforward (Figure 4b) — both analytically
+// (paper Equations 2-4 and the Table-5 laser-power / dynamic-range study)
+// and as cycle-accurate field simulations built from the optics package
+// (Y-junctions, spiral delay lines, switch MRRs).
+package buffers
+
+import (
+	"fmt"
+	"math"
+
+	"refocus/internal/optics"
+	"refocus/internal/phys"
+)
+
+// FeedbackBuffer is the analytical model of the feedback optical buffer
+// (Figure 4a): a Y-junction splits the input, the secondary branch loops
+// through an M-cycle delay line and re-enters the main waveguide through a
+// switch MRR, allowing a signal to be reused R times with geometrically
+// decaying power.
+type FeedbackBuffer struct {
+	// Alpha is the Y-junction power split ratio toward the JTC.
+	Alpha float64
+	// DelayCycles M is the delay line length in clock cycles.
+	DelayCycles int
+	// Components provides the delay-line loss characteristics.
+	Components phys.ComponentTable
+}
+
+// NewFeedbackBuffer returns a feedback buffer with the given split ratio
+// and delay.
+func NewFeedbackBuffer(alpha float64, delayCycles int, c phys.ComponentTable) FeedbackBuffer {
+	if alpha <= 0 || alpha >= 1 {
+		panic(fmt.Sprintf("buffers: feedback split ratio %g outside (0,1)", alpha))
+	}
+	if delayCycles < 1 {
+		panic("buffers: delay must be at least one cycle")
+	}
+	return FeedbackBuffer{Alpha: alpha, DelayCycles: delayCycles, Components: c}
+}
+
+// OptimalFeedbackAlpha returns α = 1/(R+1), the split ratio that equalizes
+// the laser-power overhead and dynamic range at their joint minimum for R
+// reuses (paper §5.4.2).
+func OptimalFeedbackAlpha(reuses int) float64 {
+	if reuses < 1 {
+		panic("buffers: need at least one reuse")
+	}
+	return 1 / float64(reuses+1)
+}
+
+// DelayLineLossFraction returns l_d, the lost power fraction of one trip
+// through the M-cycle delay line.
+func (b FeedbackBuffer) DelayLineLossFraction() float64 {
+	return b.Components.DelayLineFor(b.DelayCycles).LossFraction()
+}
+
+// RoundTripFactor returns the per-reuse power retention
+// (1-l_d)·(1-α) — the l_t of paper Eq. (2).
+func (b FeedbackBuffer) RoundTripFactor() float64 {
+	return (1 - b.DelayLineLossFraction()) * (1 - b.Alpha)
+}
+
+// SignalPowerAtIteration returns X_i/X_0: the JTC-bound signal power of the
+// i-th reuse relative to the initial injection (paper Eq. 3).
+func (b FeedbackBuffer) SignalPowerAtIteration(i int) float64 {
+	if i < 0 {
+		panic("buffers: negative iteration")
+	}
+	return math.Pow(b.RoundTripFactor(), float64(i))
+}
+
+// DynamicRange returns X_0/X_R, the ratio between the strongest (fresh) and
+// weakest (last reused) JTC-bound signals after R reuses. The 8-bit ADC's
+// 256 levels bound how large this may grow (paper §5.4.2).
+func (b FeedbackBuffer) DynamicRange(reuses int) float64 {
+	if reuses < 0 {
+		panic("buffers: negative reuse count")
+	}
+	return 1 / b.SignalPowerAtIteration(reuses)
+}
+
+// RelativeLaserPower returns the average laser power relative to a
+// bufferless system, for R reuses. The laser fires once per R+1 cycles at
+// the level that keeps the *last* reuse detectable: the injected power is
+// X_0 = P_min/r^R with r the round-trip factor, the pre-split level is
+// X_0/α, and averaging over R+1 cycles gives X_0/(α·(R+1)·P_min) relative
+// to the bufferless P_min-per-cycle baseline. Reproduces paper Table 5.
+func (b FeedbackBuffer) RelativeLaserPower(reuses int) float64 {
+	if reuses < 0 {
+		panic("buffers: negative reuse count")
+	}
+	r := b.RoundTripFactor()
+	x0 := 1 / math.Pow(r, float64(reuses))
+	return x0 / (b.Alpha * float64(reuses+1))
+}
+
+// WeightScaleForIteration returns the factor the hardware-aware scheduler
+// multiplies into the *weights* of the filter processed at reuse iteration
+// i so all filters effectively see equal-magnitude inputs; the convolution
+// outputs are then scaled back digitally (paper §4.1.1). It is simply the
+// inverse of the signal decay.
+func (b FeedbackBuffer) WeightScaleForIteration(i int) float64 {
+	return 1 / b.SignalPowerAtIteration(i)
+}
+
+// FeedforwardBuffer is the analytical model of the feedforward optical
+// buffer (Figure 4b): the delayed branch rejoins the main waveguide through
+// a second Y-junction instead of looping back, so the signal is reused
+// exactly once but needs no rescaling when α is chosen per Eq. (4).
+type FeedforwardBuffer struct {
+	// Alpha is the first Y-junction's split toward the direct path.
+	Alpha float64
+	// DelayCycles M is the delay line length in cycles.
+	DelayCycles int
+	// Components provides loss characteristics.
+	Components phys.ComponentTable
+}
+
+// NewFeedforwardBuffer returns a feedforward buffer. Passing alpha <= 0
+// selects the balanced split of Eq. (4) automatically.
+func NewFeedforwardBuffer(alpha float64, delayCycles int, c phys.ComponentTable) FeedforwardBuffer {
+	if delayCycles < 1 {
+		panic("buffers: delay must be at least one cycle")
+	}
+	b := FeedforwardBuffer{Alpha: alpha, DelayCycles: delayCycles, Components: c}
+	if alpha <= 0 {
+		b.Alpha = b.BalancedAlpha()
+	}
+	if b.Alpha >= 1 {
+		panic(fmt.Sprintf("buffers: feedforward split ratio %g outside (0,1)", b.Alpha))
+	}
+	return b
+}
+
+// DelayLineLossFraction returns l_d for the M-cycle line.
+func (b FeedforwardBuffer) DelayLineLossFraction() float64 {
+	return b.Components.DelayLineFor(b.DelayCycles).LossFraction()
+}
+
+// BalancedAlpha returns α = (1-l_d)/(2-l_d) (paper Eq. 4), the split that
+// makes the direct and delayed signals reach the JTC with equal power.
+func (b FeedforwardBuffer) BalancedAlpha() float64 {
+	ld := b.DelayLineLossFraction()
+	return (1 - ld) / (2 - ld)
+}
+
+// DirectPower returns the fraction of the pre-split power reaching the JTC
+// on the direct path: α.
+func (b FeedforwardBuffer) DirectPower() float64 { return b.Alpha }
+
+// DelayedPower returns the fraction reaching the JTC via the delay line:
+// (1-l_d)·(1-α).
+func (b FeedforwardBuffer) DelayedPower() float64 {
+	return (1 - b.DelayLineLossFraction()) * (1 - b.Alpha)
+}
+
+// RelativeLaserPower returns the average laser power relative to a
+// bufferless system: the laser fires every other window at 1/α the
+// per-use level, so the average is 1/(2α) (paper §5.4.1).
+func (b FeedforwardBuffer) RelativeLaserPower() float64 {
+	return 1 / (2 * b.Alpha)
+}
+
+// ReuseCount is always 1 for the feedforward design — its defining
+// limitation (paper §4.1.2).
+func (b FeedforwardBuffer) ReuseCount() int { return 1 }
+
+// Table5Row holds one column of paper Table 5.
+type Table5Row struct {
+	Reuses             int
+	Alpha              float64
+	RelativeLaserPower float64
+	DynamicRange       float64
+}
+
+// Table5 computes the laser-power / dynamic-range trade-off of paper
+// Table 5 for the given reuse counts, with either the optimal α=1/(R+1)
+// (optimal=true) or the naive α=0.5. delayCycles is the delay line length
+// (16 in ReFOCUS).
+func Table5(c phys.ComponentTable, reuses []int, delayCycles int, optimal bool) []Table5Row {
+	rows := make([]Table5Row, 0, len(reuses))
+	for _, r := range reuses {
+		alpha := 0.5
+		if optimal {
+			alpha = OptimalFeedbackAlpha(r)
+		}
+		b := NewFeedbackBuffer(alpha, delayCycles, c)
+		rows = append(rows, Table5Row{
+			Reuses:             r,
+			Alpha:              alpha,
+			RelativeLaserPower: b.RelativeLaserPower(r),
+			DynamicRange:       b.DynamicRange(r),
+		})
+	}
+	return rows
+}
+
+// FeedbackSim is the cycle-accurate field simulation of the feedback
+// buffer: real Y-junction, delay line and switch MRR from the optics
+// package, stepped one clock at a time. It verifies the analytical
+// equations by actual light propagation.
+type FeedbackSim struct {
+	buf      FeedbackBuffer
+	junction optics.YJunction
+	line     *optics.DelayLine
+	switchOn bool
+	width    int
+}
+
+// NewFeedbackSim builds the simulation for fields of the given width.
+func NewFeedbackSim(b FeedbackBuffer, width int) *FeedbackSim {
+	return &FeedbackSim{
+		buf:      b,
+		junction: optics.YJunction{SplitRatio: b.Alpha},
+		line:     optics.NewDelayLine(b.DelayCycles, b.DelayLineLossFraction()),
+		width:    width,
+	}
+}
+
+// SetSwitch opens or closes the switch MRR that gates the feedback path.
+// It must be closed on cycles where fresh input is injected (paper §4.1.1:
+// "when a new input signal is generated ... the reuse signal should be
+// blocked to avoid corruption").
+func (s *FeedbackSim) SetSwitch(on bool) { s.switchOn = on }
+
+// Step advances one clock cycle. input is the freshly modulated field (dark
+// when the DACs are idle); the returned field is what enters the JTC.
+//
+// The light emerging from the spiral this cycle was split off M cycles ago,
+// so it must be popped before this cycle's split re-enters the line — the
+// loop has no instantaneous circularity.
+func (s *FeedbackSim) Step(input optics.Field) optics.Field {
+	if len(input) != s.width {
+		panic(fmt.Sprintf("buffers: input width %d, sim built for %d", len(input), s.width))
+	}
+	gate := optics.MRRModulator{On: s.switchOn}
+	feedback := gate.Gate(s.line.Pop(s.width))
+	main := input.Add(feedback)
+	toJTC, toDelay := s.junction.Split(main)
+	s.line.Push(toDelay)
+	return toJTC
+}
+
+// FeedforwardSim is the cycle-accurate simulation of the feedforward
+// buffer: first Y-junction splits, the secondary branch traverses the
+// delay line, and a second Y-junction merges it back (Figure 4b).
+type FeedforwardSim struct {
+	buf   FeedforwardBuffer
+	split optics.YJunction
+	merge optics.YJunction
+	line  *optics.DelayLine
+	width int
+}
+
+// NewFeedforwardSim builds the simulation for fields of the given width.
+func NewFeedforwardSim(b FeedforwardBuffer, width int) *FeedforwardSim {
+	return &FeedforwardSim{
+		buf:   b,
+		split: optics.YJunction{SplitRatio: b.Alpha},
+		merge: optics.YJunction{}, // ideal combiner
+		line:  optics.NewDelayLine(b.DelayCycles, b.DelayLineLossFraction()),
+		width: width,
+	}
+}
+
+// Step advances one clock cycle: input is the freshly modulated field (dark
+// when the DACs idle during the reuse window); the return value is the
+// JTC-bound field — the direct part of this cycle's input superposed with
+// the delayed part of the input from M cycles ago.
+func (s *FeedforwardSim) Step(input optics.Field) optics.Field {
+	if len(input) != s.width {
+		panic(fmt.Sprintf("buffers: input width %d, sim built for %d", len(input), s.width))
+	}
+	direct, toDelay := s.split.Split(input)
+	delayed := s.line.Step(toDelay)
+	return s.merge.Combine(direct, delayed)
+}

@@ -1,0 +1,290 @@
+package buffers
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"refocus/internal/optics"
+	"refocus/internal/phys"
+)
+
+func comp() phys.ComponentTable { return phys.DefaultComponents() }
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+func TestOptimalFeedbackAlpha(t *testing.T) {
+	cases := map[int]float64{1: 0.5, 3: 0.25, 7: 0.125, 15: 1.0 / 16}
+	for r, want := range cases {
+		if got := OptimalFeedbackAlpha(r); math.Abs(got-want) > 1e-12 {
+			t.Errorf("OptimalFeedbackAlpha(%d) = %g, want %g", r, got, want)
+		}
+	}
+}
+
+// TestEquation2RoundTrip verifies Eq. (2): X_i = (1-l_d)(1-α)·X_{i-1}.
+func TestEquation2RoundTrip(t *testing.T) {
+	b := NewFeedbackBuffer(0.25, 16, comp())
+	r := b.RoundTripFactor()
+	want := (1 - b.DelayLineLossFraction()) * 0.75
+	if math.Abs(r-want) > 1e-12 {
+		t.Errorf("round trip factor %g, want %g", r, want)
+	}
+	for i := 1; i <= 5; i++ {
+		ratio := b.SignalPowerAtIteration(i) / b.SignalPowerAtIteration(i-1)
+		if math.Abs(ratio-r) > 1e-12 {
+			t.Errorf("iteration %d: power ratio %g, want %g", i, ratio, r)
+		}
+	}
+}
+
+// TestTable5OptimalAlpha reproduces the α=1/(R+1) half of paper Table 5:
+// relative laser power and dynamic range are equal and stay modest.
+func TestTable5OptimalAlpha(t *testing.T) {
+	want := map[int]float64{1: 2.05, 3: 2.56, 7: 3.05, 15: 3.87, 31: 5.96, 63: 13.7}
+	rows := Table5(comp(), []int{1, 3, 7, 15, 31, 63}, 16, true)
+	for _, row := range rows {
+		w := want[row.Reuses]
+		if relErr(row.RelativeLaserPower, w) > 0.02 {
+			t.Errorf("R=%d: relative laser power %.3f, paper says %.2f", row.Reuses, row.RelativeLaserPower, w)
+		}
+		if relErr(row.DynamicRange, w) > 0.02 {
+			t.Errorf("R=%d: dynamic range %.3f, paper says %.2f", row.Reuses, row.DynamicRange, w)
+		}
+		// With the optimal α the two metrics coincide (both equal 1/r^R·(R+1)α⁻¹ ... = X0).
+		if relErr(row.RelativeLaserPower, row.DynamicRange) > 1e-9 {
+			t.Errorf("R=%d: laser power %g and dynamic range %g should be equal at optimal α",
+				row.Reuses, row.RelativeLaserPower, row.DynamicRange)
+		}
+	}
+}
+
+// TestTable5NaiveAlpha reproduces the α=0.5 half of Table 5, including the
+// catastrophic blow-up that makes R≥7 infeasible without optimizing α.
+func TestTable5NaiveAlpha(t *testing.T) {
+	wantLP := map[int]float64{1: 2.05, 3: 4.32, 7: 38.4, 15: 6.0e3, 31: 3.0e8, 63: 1.5e18}
+	wantDR := map[int]float64{1: 2.05, 3: 8.64, 7: 153, 15: 4.8e4, 31: 4.8e9, 63: 4.7e19}
+	rows := Table5(comp(), []int{1, 3, 7, 15, 31, 63}, 16, false)
+	for _, row := range rows {
+		// The paper reports 2 significant figures; the exponential R=63
+		// entries amplify its rounding, so allow 5%.
+		if relErr(row.RelativeLaserPower, wantLP[row.Reuses]) > 0.05 {
+			t.Errorf("R=%d: relative laser power %.4g, paper says %.4g", row.Reuses, row.RelativeLaserPower, wantLP[row.Reuses])
+		}
+		if relErr(row.DynamicRange, wantDR[row.Reuses]) > 0.05 {
+			t.Errorf("R=%d: dynamic range %.4g, paper says %.4g", row.Reuses, row.DynamicRange, wantDR[row.Reuses])
+		}
+	}
+}
+
+// TestReFOCUSFBChoiceFitsADC: the design point R=15 with optimal α keeps
+// the dynamic range (3.87) far inside the 8-bit ADC's 256 levels, while
+// the naive α=0.5 at R=15 (4.8e4) would not fit — the §5.4.2 argument.
+func TestReFOCUSFBChoiceFitsADC(t *testing.T) {
+	c := comp()
+	opt := NewFeedbackBuffer(OptimalFeedbackAlpha(15), 16, c)
+	if dr := opt.DynamicRange(15); dr >= c.PhotodetectorDynamicRangeLevels {
+		t.Errorf("optimal-α dynamic range %g does not fit %g ADC levels", dr, c.PhotodetectorDynamicRangeLevels)
+	}
+	naive := NewFeedbackBuffer(0.5, 16, c)
+	if dr := naive.DynamicRange(15); dr <= c.PhotodetectorDynamicRangeLevels {
+		t.Errorf("naive-α dynamic range %g unexpectedly fits the ADC", dr)
+	}
+}
+
+// TestWeightScaleCompensatesDecay: scheduler weight scaling exactly undoes
+// the per-iteration signal decay (§4.1.1).
+func TestWeightScaleCompensatesDecay(t *testing.T) {
+	b := NewFeedbackBuffer(OptimalFeedbackAlpha(15), 16, comp())
+	for i := 0; i <= 15; i++ {
+		product := b.SignalPowerAtIteration(i) * b.WeightScaleForIteration(i)
+		if math.Abs(product-1) > 1e-12 {
+			t.Errorf("iteration %d: decay × scale = %g, want 1", i, product)
+		}
+	}
+}
+
+// TestEquation4BalancedSplit verifies Eq. (4): with α = (1-l_d)/(2-l_d)
+// the direct and delayed powers are identical, eliminating rescaling.
+func TestEquation4BalancedSplit(t *testing.T) {
+	for _, m := range []int{1, 4, 16, 64} {
+		b := NewFeedforwardBuffer(0, m, comp())
+		ld := b.DelayLineLossFraction()
+		wantAlpha := (1 - ld) / (2 - ld)
+		if math.Abs(b.Alpha-wantAlpha) > 1e-12 {
+			t.Errorf("M=%d: balanced α = %g, want %g", m, b.Alpha, wantAlpha)
+		}
+		if relErr(b.DirectPower(), b.DelayedPower()) > 1e-12 {
+			t.Errorf("M=%d: direct %g vs delayed %g power", m, b.DirectPower(), b.DelayedPower())
+		}
+		// α must be just under 0.5 (the delayed path loses a little;
+		// more for longer, lossier lines).
+		if b.Alpha >= 0.5 || b.Alpha < 0.4 {
+			t.Errorf("M=%d: balanced α = %g outside the expected (0.4, 0.5)", m, b.Alpha)
+		}
+	}
+}
+
+// TestFeedforwardLaserOverheadSmall: the FF design's laser overhead 1/(2α)
+// stays within a few percent of 1 — the paper's "negligible impact" claim
+// for reasonable delay lengths.
+func TestFeedforwardLaserOverheadSmall(t *testing.T) {
+	b := NewFeedforwardBuffer(0, 16, comp())
+	lp := b.RelativeLaserPower()
+	if lp < 1 || lp > 1.05 {
+		t.Errorf("FF relative laser power %g, want within [1, 1.05]", lp)
+	}
+	if b.ReuseCount() != 1 {
+		t.Errorf("FF reuse count %d, want 1", b.ReuseCount())
+	}
+}
+
+// TestFeedbackSimMatchesEquation3: stepping actual light through the
+// Y-junction + delay line + switch MRR reproduces the analytical decay
+// X_i = r^i·X_0 at every reuse arrival.
+func TestFeedbackSimMatchesEquation3(t *testing.T) {
+	c := comp()
+	const m, reuses = 4, 5
+	b := NewFeedbackBuffer(OptimalFeedbackAlpha(reuses), m, c)
+	sim := NewFeedbackSim(b, 8)
+
+	inject := optics.Laser{PowerPerWaveguide: 1}.Emit(8)
+	dark := optics.NewField(8)
+
+	var powers []float64
+	for cycle := 0; cycle <= reuses*m; cycle++ {
+		var in optics.Field
+		if cycle == 0 {
+			in = inject
+			sim.SetSwitch(false) // block feedback while injecting
+		} else {
+			in = dark
+			sim.SetSwitch(cycle%m == 0) // open only when a reuse arrives
+		}
+		out := sim.Step(in)
+		if cycle%m == 0 {
+			powers = append(powers, out.Power())
+		} else if out.Power() > 1e-15 {
+			t.Fatalf("cycle %d: light leaked to the JTC between reuses (%g)", cycle, out.Power())
+		}
+	}
+	r := b.RoundTripFactor()
+	for i, p := range powers {
+		want := powers[0] * math.Pow(r, float64(i))
+		if relErr(p, want) > 1e-9 {
+			t.Errorf("reuse %d: simulated power %g, Eq. (3) says %g", i, p, want)
+		}
+	}
+}
+
+// TestFeedbackSimSwitchPreventsCorruption: with the switch MRR open during
+// fresh injection, stale light superposes onto the new signal — the data
+// corruption the paper's switch exists to prevent.
+func TestFeedbackSimSwitchPreventsCorruption(t *testing.T) {
+	c := comp()
+	b := NewFeedbackBuffer(0.5, 2, c)
+	mk := func(switchOnDuringInject bool) float64 {
+		sim := NewFeedbackSim(b, 4)
+		inject := optics.Laser{PowerPerWaveguide: 1}.Emit(4)
+		sim.SetSwitch(false)
+		sim.Step(inject)
+		sim.Step(optics.NewField(4))
+		// Cycle 2: the first injection's delayed copy arrives just as we
+		// inject fresh data.
+		sim.SetSwitch(switchOnDuringInject)
+		out := sim.Step(inject)
+		return out.Power()
+	}
+	clean := mk(false)
+	corrupted := mk(true)
+	if corrupted <= clean {
+		t.Errorf("open switch during injection should superpose stale light: clean %g, corrupted %g", clean, corrupted)
+	}
+}
+
+// TestFeedforwardSimEqualArrivals: the balanced FF buffer delivers the
+// original and the delayed copy at identical power, M cycles apart.
+func TestFeedforwardSimEqualArrivals(t *testing.T) {
+	const m = 4
+	b := NewFeedforwardBuffer(0, m, comp())
+	sim := NewFeedforwardSim(b, 8)
+	inject := optics.Laser{PowerPerWaveguide: 1}.Emit(8)
+	dark := optics.NewField(8)
+
+	p0 := sim.Step(inject).Power()
+	var pDelayed float64
+	for cycle := 1; cycle <= m; cycle++ {
+		p := sim.Step(dark).Power()
+		if cycle < m && p > 1e-15 {
+			t.Fatalf("cycle %d: unexpected light before the delayed arrival (%g)", cycle, p)
+		}
+		if cycle == m {
+			pDelayed = p
+		}
+	}
+	if relErr(p0, pDelayed) > 1e-9 {
+		t.Errorf("direct power %g vs delayed power %g; Eq. (4) should equalize them", p0, pDelayed)
+	}
+}
+
+// TestFeedbackLaserPowerMonotonicInReuses: more reuse always costs more
+// laser power (at the respective optimal α), but sub-linearly — the
+// economics that make R=15 attractive.
+func TestFeedbackLaserPowerMonotonicInReuses(t *testing.T) {
+	c := comp()
+	prev := 0.0
+	for _, r := range []int{1, 3, 7, 15, 31} {
+		b := NewFeedbackBuffer(OptimalFeedbackAlpha(r), 16, c)
+		lp := b.RelativeLaserPower(r)
+		if lp <= prev {
+			t.Errorf("R=%d: laser power %g not increasing (prev %g)", r, lp, prev)
+		}
+		perReuse := lp / float64(r+1)
+		if perReuse > 1.1 && r >= 3 {
+			t.Errorf("R=%d: laser power per delivered signal %g — reuse should amortize", r, perReuse)
+		}
+		prev = lp
+	}
+}
+
+// TestOptimalAlphaIsOptimal: property test — for any reuse count, the
+// α=1/(R+1) choice minimizes relative laser power over a grid of α.
+func TestOptimalAlphaIsOptimal(t *testing.T) {
+	c := comp()
+	f := func(rawR uint8) bool {
+		r := int(rawR)%30 + 1
+		opt := NewFeedbackBuffer(OptimalFeedbackAlpha(r), 16, c).RelativeLaserPower(r)
+		for a := 0.02; a < 0.99; a += 0.02 {
+			if NewFeedbackBuffer(a, 16, c).RelativeLaserPower(r) < opt-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBufferValidation(t *testing.T) {
+	c := comp()
+	for i, fn := range []func(){
+		func() { NewFeedbackBuffer(0, 16, c) },
+		func() { NewFeedbackBuffer(1, 16, c) },
+		func() { NewFeedbackBuffer(0.5, 0, c) },
+		func() { NewFeedforwardBuffer(1.5, 16, c) },
+		func() { NewFeedforwardBuffer(0, 0, c) },
+		func() { OptimalFeedbackAlpha(0) },
+	} {
+		func() {
+			defer func() { recover() }()
+			fn()
+			t.Errorf("case %d: expected panic", i)
+		}()
+	}
+}

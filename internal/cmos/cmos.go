@@ -1,0 +1,69 @@
+// Package cmos models the electronic side of ReFOCUS: the per-RFCU CMOS
+// compute units (CCUs — one generating inputs, one processing outputs at
+// the 625 MHz post-accumulation rate, paper §5.1) and the silicon area of
+// the data converters. The paper characterized this with Cadence Genus and
+// a commercial 14 nm library; this model substitutes per-operation energies
+// typical of 14 nm datapaths, calibrated so the CMOS share of system power
+// and area matches the paper's aggregates (CMOS+converters ≈ 23 mm² of the
+// 171.1 mm² total, Figure 9).
+package cmos
+
+import "refocus/internal/phys"
+
+// Model holds the CMOS energy/area parameters.
+type Model struct {
+	// InputPrepEnergyPerByte is the input-CCU energy to fetch, align and
+	// issue one activation byte to its DAC.
+	InputPrepEnergyPerByte float64
+	// OutputOpEnergyPerSample is the output-CCU energy to read one ADC
+	// sample, scale it (optical-buffer decay compensation), accumulate,
+	// and apply ReLU.
+	OutputOpEnergyPerSample float64
+	// ControlPowerPerRFCU is the always-on sequencing/control power per
+	// RFCU pair of CCUs.
+	ControlPowerPerRFCU float64
+
+	// LogicAreaPerRFCU is the two CCUs' logic area.
+	LogicAreaPerRFCU float64
+	// GlobalLogicArea covers the top-level scheduler and NoC.
+	GlobalLogicArea float64
+	// DACArea is the silicon area of one 8-bit 10 GS/s DAC (from the
+	// compact switched-capacitor design of [7]).
+	DACArea float64
+	// ADCArea is the area of one 8-bit ADC (2850 µm² in [35]).
+	ADCArea float64
+}
+
+// Default returns the calibrated 14 nm model.
+func Default() Model {
+	return Model{
+		InputPrepEnergyPerByte:  0.15 * phys.PJ,
+		OutputOpEnergyPerSample: 0.40 * phys.PJ,
+		ControlPowerPerRFCU:     5 * phys.MilliWatt,
+
+		LogicAreaPerRFCU: 0.30 * phys.MM2,
+		GlobalLogicArea:  2.0 * phys.MM2,
+		DACArea:          5000 * phys.UM2,
+		ADCArea:          2850 * phys.UM2,
+	}
+}
+
+// DynamicEnergy returns the CCU energy for the given activity counts.
+func (m Model) DynamicEnergy(inputBytes, outputSamples float64) float64 {
+	return inputBytes*m.InputPrepEnergyPerByte + outputSamples*m.OutputOpEnergyPerSample
+}
+
+// ControlPower returns the static sequencing power for n RFCUs.
+func (m Model) ControlPower(nRFCU int) float64 {
+	return float64(nRFCU) * m.ControlPowerPerRFCU
+}
+
+// LogicArea returns the total CMOS logic area for n RFCUs.
+func (m Model) LogicArea(nRFCU int) float64 {
+	return float64(nRFCU)*m.LogicAreaPerRFCU + m.GlobalLogicArea
+}
+
+// ConverterArea returns the silicon area of the given converter counts.
+func (m Model) ConverterArea(dacs, adcs int) float64 {
+	return float64(dacs)*m.DACArea + float64(adcs)*m.ADCArea
+}

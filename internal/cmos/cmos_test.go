@@ -1,0 +1,50 @@
+package cmos
+
+import (
+	"testing"
+
+	"refocus/internal/phys"
+)
+
+func TestDynamicEnergyLinear(t *testing.T) {
+	m := Default()
+	e1 := m.DynamicEnergy(1000, 500)
+	e2 := m.DynamicEnergy(2000, 1000)
+	if e2 != 2*e1 {
+		t.Errorf("dynamic energy not linear: %g vs %g", e2, 2*e1)
+	}
+	if e1 != 1000*m.InputPrepEnergyPerByte+500*m.OutputOpEnergyPerSample {
+		t.Error("dynamic energy formula wrong")
+	}
+}
+
+func TestControlPowerScales(t *testing.T) {
+	m := Default()
+	if m.ControlPower(16) != 16*m.ControlPowerPerRFCU {
+		t.Error("control power should scale with RFCUs")
+	}
+}
+
+// TestConverterAreaMatchesFigure9Share: the ReFOCUS converter complement
+// (1312 DACs + 4096 ADCs) plus CMOS logic lands near the ~23 mm² the
+// paper's Figure-9 accounting implies (171.1 total − 135.7 photonic −
+// 12.4 memory).
+func TestConverterAreaMatchesFigure9Share(t *testing.T) {
+	m := Default()
+	area := m.ConverterArea(512+800, 4096) + m.LogicArea(16)
+	mm2 := phys.M2ToMM2(area)
+	if mm2 < 20 || mm2 < 0 || mm2 > 27 {
+		t.Errorf("converters+logic = %.1f mm², Figure 9 implies ≈23", mm2)
+	}
+}
+
+func TestPerOpEnergiesPlausible(t *testing.T) {
+	m := Default()
+	// 14 nm datapath ops sit in the 0.1-1 pJ range.
+	if m.InputPrepEnergyPerByte < 0.05*phys.PJ || m.InputPrepEnergyPerByte > 1*phys.PJ {
+		t.Errorf("input prep energy %g outside the plausible 14 nm range", m.InputPrepEnergyPerByte)
+	}
+	if m.OutputOpEnergyPerSample < 0.1*phys.PJ || m.OutputOpEnergyPerSample > 2*phys.PJ {
+		t.Errorf("output op energy %g outside the plausible range", m.OutputOpEnergyPerSample)
+	}
+}

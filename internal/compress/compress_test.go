@@ -1,0 +1,203 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"refocus/internal/tensor"
+)
+
+func TestKMeansSeparatesObviousClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var vecs [][]float64
+	for i := 0; i < 40; i++ {
+		base := []float64{0, 0}
+		if i%2 == 1 {
+			base = []float64{10, 10}
+		}
+		vecs = append(vecs, []float64{base[0] + 0.1*rng.NormFloat64(), base[1] + 0.1*rng.NormFloat64()})
+	}
+	centroids, assign := KMeans(vecs, 2, 20, rng)
+	if len(centroids) != 2 {
+		t.Fatalf("centroids = %d", len(centroids))
+	}
+	for i, v := range vecs {
+		want := 0
+		if v[0] > 5 {
+			want = 1
+		}
+		got := 0
+		if centroids[assign[i]][0] > 5 {
+			got = 1
+		}
+		if got != want {
+			t.Fatalf("vector %d assigned across the gap", i)
+		}
+	}
+}
+
+func TestKMeansKLargerThanN(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vecs := [][]float64{{1}, {2}, {3}}
+	centroids, assign := KMeans(vecs, 10, 5, rng)
+	if len(centroids) != 3 || len(assign) != 3 {
+		t.Errorf("k>n should clamp: %d centroids", len(centroids))
+	}
+}
+
+// TestShareWeightsRoundTrip: with as many codewords as kernels, sharing is
+// lossless (every kernel is its own normalized codeword).
+func TestShareWeightsLosslessAtFullCodebook(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := tensor.Random(rng, 2, 3, 3, 3)
+	sw := ShareWeights(w, 6, rng)
+	if err := sw.RelativeError(w); err > 1e-9 {
+		t.Errorf("full codebook should be lossless, error %g", err)
+	}
+}
+
+// TestShareWeightsErrorDecreasesWithCodebook: larger codebooks approximate
+// better.
+func TestShareWeightsErrorDecreasesWithCodebook(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w := tensor.Random(rng, 16, 16, 3, 3)
+	prev := math.Inf(1)
+	for _, k := range []int{4, 32, 128} {
+		sw := ShareWeights(w, k, rand.New(rand.NewSource(5)))
+		err := sw.RelativeError(w)
+		if err >= prev {
+			t.Errorf("codebook %d: error %g not below %g", k, err, prev)
+		}
+		prev = err
+	}
+}
+
+// TestCompressionRatio45: the paper's 4.5× figure — 3×3 kernels (9 bytes)
+// stored as 1 index byte + 1 scale byte — holds once the codebook
+// amortizes over realistic kernel counts.
+func TestCompressionRatio45(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	w := tensor.Random(rng, 128, 128, 3, 3) // 16384 kernels
+	sw := ShareWeights(w, 256, rng)
+	ratio := sw.CompressionRatio()
+	if ratio < 4.2 || ratio > 4.5 {
+		t.Errorf("compression ratio = %.2f, paper says 4.5×", ratio)
+	}
+}
+
+// TestDRAMEnergySaving52: with the ReFOCUS-FB DRAM share (>50%, §7.3) and
+// weight-dominated DRAM traffic, 4.5× weight compression cuts up to ~52%
+// of total energy.
+func TestDRAMEnergySaving52(t *testing.T) {
+	saving := DRAMEnergySaving(0.68, 0.98, 4.5)
+	if saving < 0.48 || saving > 0.55 {
+		t.Errorf("energy saving = %.2f, paper says up to 52%%", saving)
+	}
+	// No DRAM share → no saving; infinite compression bounded by share.
+	if DRAMEnergySaving(0, 1, 4.5) != 0 {
+		t.Error("zero DRAM share should save nothing")
+	}
+	if s := DRAMEnergySaving(0.5, 1, 1e12); math.Abs(s-0.5) > 1e-6 {
+		t.Errorf("saving bounded by DRAM share, got %g", s)
+	}
+}
+
+func TestWeightDACCostExtremes(t *testing.T) {
+	// All channels share one codeword: first loads, rest are scale-only.
+	same := [][]int{{0, 0, 0, 0}}
+	order := []int{0, 1, 2, 3}
+	if c := WeightDACCost(same, order, 9); c != 9+3 {
+		t.Errorf("uniform codewords cost %g, want 12", c)
+	}
+	// All distinct: every channel rewrites.
+	distinct := [][]int{{0, 1, 2, 3}}
+	if c := WeightDACCost(distinct, order, 9); c != 36 {
+		t.Errorf("distinct codewords cost %g, want 36", c)
+	}
+}
+
+// TestWeightDACCostOrderInvariantTotal: permuting a two-codeword layout
+// into grouped order achieves the minimum cost.
+func TestWeightDACCostGroupingWins(t *testing.T) {
+	cw := [][]int{{0, 1, 0, 1, 0, 1}}
+	interleaved := []int{0, 1, 2, 3, 4, 5}
+	grouped := []int{0, 2, 4, 1, 3, 5}
+	ci := WeightDACCost(cw, interleaved, 9)
+	cg := WeightDACCost(cw, grouped, 9)
+	if cg >= ci {
+		t.Errorf("grouped cost %g should beat interleaved %g", cg, ci)
+	}
+	// Grouped: 2 rewrites + 4 scale updates = 22.
+	if cg != 22 {
+		t.Errorf("grouped cost = %g, want 22", cg)
+	}
+}
+
+// TestAnnealChannelOrderTypicalSetup reproduces the §7.3 result: on the
+// typical correlated setup, simulated annealing cuts weight-DAC work by
+// roughly 15%.
+func TestAnnealChannelOrderTypicalSetup(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cw := TypicalSetupCodewords(16, 64, 16, 0.45, rng)
+	res := AnnealChannelOrder(cw, 9, 20000, rng)
+	if res.Reduction < 0.10 || res.Reduction > 0.25 {
+		t.Errorf("annealing reduction = %.1f%%, paper reports ≈15%%", res.Reduction*100)
+	}
+	if res.BestCost > res.BaseCost {
+		t.Error("annealing made things worse")
+	}
+	// The returned order must be a permutation.
+	seen := make([]bool, len(res.Order))
+	for _, v := range res.Order {
+		if v < 0 || v >= len(seen) || seen[v] {
+			t.Fatalf("order is not a permutation: %v", res.Order)
+		}
+		seen[v] = true
+	}
+}
+
+// TestAnnealNeverWorseThanIdentity: property — for random codeword layouts
+// the annealed cost never exceeds the identity ordering's.
+func TestAnnealNeverWorseThanIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cw := TypicalSetupCodewords(4, 16, 4, rng.Float64(), rng)
+		res := AnnealChannelOrder(cw, 9, 2000, rng)
+		return res.BestCost <= res.BaseCost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReorderingBenefitGrowsWithCorrelation: a shared channel order can
+// only exploit agreement between filters (they all see the same physical
+// order), so the achievable reduction grows with cross-filter codeword
+// correlation — the "constrained by input broadcasting and reuse" caveat
+// of §7.3.
+func TestReorderingBenefitGrowsWithCorrelation(t *testing.T) {
+	measure := func(rho float64) float64 {
+		rng := rand.New(rand.NewSource(8))
+		cw := TypicalSetupCodewords(16, 64, 16, rho, rng)
+		return AnnealChannelOrder(cw, 9, 10000, rng).Reduction
+	}
+	low, high := measure(0), measure(0.85)
+	if low >= high {
+		t.Errorf("reduction at rho=0 (%.3f) should trail rho=0.85 (%.3f)", low, high)
+	}
+	if high < 0.3 {
+		t.Errorf("highly correlated filters should allow large reductions, got %.3f", high)
+	}
+}
+
+func BenchmarkAnnealChannelOrder(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	cw := TypicalSetupCodewords(16, 64, 16, 0.85, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AnnealChannelOrder(cw, 9, 2000, rand.New(rand.NewSource(int64(i))))
+	}
+}

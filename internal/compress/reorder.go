@@ -1,0 +1,127 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+)
+
+// WeightDACCost models the weight-DAC work of executing a layer's channels
+// in the given order, for a weight-shared layer: when consecutive channels
+// of a filter use the same codeword, the weight DACs keep their values and
+// only the (single) scale changes, so the full-kernel rewrite is skipped.
+//
+// codewords is indexed [filter][channel]; order is a permutation of the
+// channel indices shared by all filters (channels are physically reordered
+// in memory once, §7.3). kernelSize is KH·KW (cost of a rewrite) and 1 is
+// the cost of a scale-only update.
+func WeightDACCost(codewords [][]int, order []int, kernelSize int) float64 {
+	if len(codewords) == 0 {
+		panic("compress: no filters")
+	}
+	cost := 0.0
+	for _, cw := range codewords {
+		if len(cw) != len(order) {
+			panic("compress: order length mismatch")
+		}
+		// First channel always loads its kernel.
+		cost += float64(kernelSize)
+		for i := 1; i < len(order); i++ {
+			if cw[order[i]] == cw[order[i-1]] {
+				cost++ // scale-only update
+			} else {
+				cost += float64(kernelSize)
+			}
+		}
+	}
+	return cost
+}
+
+// ReorderResult reports the outcome of the annealing search.
+type ReorderResult struct {
+	Order         []int
+	BaseCost      float64 // identity-order cost
+	BestCost      float64
+	Reduction     float64 // 1 - BestCost/BaseCost
+	Iterations    int
+	AcceptedMoves int
+}
+
+// AnnealChannelOrder searches for a channel permutation minimizing
+// WeightDACCost with simulated annealing (the §7.3 algorithm): random
+// pairwise swaps, exponential cooling, Metropolis acceptance. Deterministic
+// for a given rng.
+func AnnealChannelOrder(codewords [][]int, kernelSize, iterations int, rng *rand.Rand) ReorderResult {
+	if iterations < 1 {
+		panic("compress: need at least one iteration")
+	}
+	nChan := len(codewords[0])
+	order := make([]int, nChan)
+	for i := range order {
+		order[i] = i
+	}
+	base := WeightDACCost(codewords, order, kernelSize)
+	best := append([]int(nil), order...)
+	bestCost := base
+	cur := append([]int(nil), order...)
+	curCost := base
+
+	// Initial temperature on the scale of a single kernel rewrite; cool
+	// to ~1% of it.
+	t0 := float64(kernelSize) * float64(len(codewords))
+	accepted := 0
+	for it := 0; it < iterations; it++ {
+		temp := t0 * math.Pow(0.01, float64(it)/float64(iterations))
+		i, j := rng.Intn(nChan), rng.Intn(nChan)
+		if i == j {
+			continue
+		}
+		cur[i], cur[j] = cur[j], cur[i]
+		c := WeightDACCost(codewords, cur, kernelSize)
+		if c <= curCost || rng.Float64() < math.Exp((curCost-c)/temp) {
+			curCost = c
+			accepted++
+			if c < bestCost {
+				bestCost = c
+				copy(best, cur)
+			}
+		} else {
+			cur[i], cur[j] = cur[j], cur[i] // revert
+		}
+	}
+	return ReorderResult{
+		Order:         best,
+		BaseCost:      base,
+		BestCost:      bestCost,
+		Reduction:     1 - bestCost/base,
+		Iterations:    iterations,
+		AcceptedMoves: accepted,
+	}
+}
+
+// TypicalSetupCodewords synthesizes the §7.3 "typical setup": a layer with
+// the given filters and channels whose kernels cluster into the codebook
+// with mild per-filter correlation, so that a good ordering can group
+// same-codeword runs. The correlation knob rho ∈ [0,1] biases all filters
+// toward agreeing on each channel's codeword — reordering only helps when
+// filters agree, since they share the physical channel order.
+func TypicalSetupCodewords(filters, channels, codebook int, rho float64, rng *rand.Rand) [][]int {
+	if rho < 0 || rho > 1 {
+		panic("compress: rho must be in [0,1]")
+	}
+	shared := make([]int, channels)
+	for c := range shared {
+		shared[c] = rng.Intn(codebook)
+	}
+	cw := make([][]int, filters)
+	for f := range cw {
+		cw[f] = make([]int, channels)
+		for c := range cw[f] {
+			if rng.Float64() < rho {
+				cw[f][c] = shared[c]
+			} else {
+				cw[f][c] = rng.Intn(codebook)
+			}
+		}
+	}
+	return cw
+}

@@ -1,0 +1,73 @@
+package dataflow
+
+import (
+	"math/rand"
+	"testing"
+
+	"refocus/internal/jtc"
+	"refocus/internal/nn"
+	"refocus/internal/tensor"
+)
+
+// TestAnalyticalModelMatchesFunctionalEngine cross-validates the two
+// halves of the simulator: the analytical event counts that drive the
+// power model must equal the pass/conversion counts the functional JTC
+// engine actually executes, layer by layer (single RFCU, single
+// wavelength, no reuse — the engine's execution contract).
+//
+// One documented divergence: for 1×1 kernels each scalar weight has only
+// one sign, so one pseudo-negative round is always all-zero and the engine
+// skips it, while the static schedule conservatively charges both rounds
+// (the compiler could recover this 2× for pointwise layers; the paper does
+// not).
+func TestAnalyticalModelMatchesFunctionalEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	layers := []nn.ConvLayer{
+		{Name: "3x3", InC: 4, InH: 14, InW: 14, OutC: 3, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 1},
+		{Name: "5x5", InC: 2, InH: 20, InW: 20, OutC: 2, KH: 5, KW: 5, Stride: 1, Pad: 2, Repeat: 1},
+		{Name: "3x3-nopad", InC: 3, InH: 16, InW: 16, OutC: 4, KH: 3, KW: 3, Stride: 1, Pad: 0, Repeat: 1},
+		{Name: "wide", InC: 2, InH: 12, InW: 60, OutC: 2, KH: 3, KW: 3, Stride: 1, Pad: 0, Repeat: 1},
+	}
+	cfg := Config{NRFCU: 1, T: 256, WeightWaveguides: 25, NLambda: 1, M: 16, Reuses: 0, UseDataBuffers: true}
+	for _, l := range layers {
+		ev := LayerEvents(l, cfg)
+
+		ecfg := jtc.DefaultEngineConfig()
+		ecfg.Quant = jtc.QuantConfig{}
+		e := jtc.NewEngine(ecfg)
+		in := tensor.New(l.InC, l.InH+2*l.Pad, l.InW+2*l.Pad)
+		for i := range in.Data {
+			in.Data[i] = rng.Float64()
+		}
+		w := tensor.Random(rng, l.OutC, l.InC, l.KH, l.KW)
+		e.Conv2D(in, w, 1)
+		s := e.Stats()
+
+		if float64(s.Passes) != ev.Cycles {
+			t.Errorf("%s: engine executed %d passes, analytical model says %.0f", l.Name, s.Passes, ev.Cycles)
+		}
+		if float64(s.InputConversions) != ev.InputDACWrites {
+			t.Errorf("%s: engine made %d input conversions, model says %.0f", l.Name, s.InputConversions, ev.InputDACWrites)
+		}
+		if float64(s.WeightConversions) != ev.WeightDACWrites {
+			t.Errorf("%s: engine made %d weight conversions, model says %.0f", l.Name, s.WeightConversions, ev.WeightDACWrites)
+		}
+	}
+
+	// The pointwise divergence: engine work is exactly half the model's
+	// conservative charge.
+	pw := nn.ConvLayer{Name: "1x1", InC: 2, InH: 10, InW: 10, OutC: 2, KH: 1, KW: 1, Stride: 1, Pad: 0, Repeat: 1}
+	ev := LayerEvents(pw, cfg)
+	ecfg := jtc.DefaultEngineConfig()
+	ecfg.Quant = jtc.QuantConfig{}
+	e := jtc.NewEngine(ecfg)
+	in := tensor.New(2, 10, 10)
+	for i := range in.Data {
+		in.Data[i] = rng.Float64()
+	}
+	w := tensor.Random(rng, 2, 2, 1, 1)
+	e.Conv2D(in, w, 1)
+	if got := float64(e.Stats().Passes) * 2; got != ev.Cycles {
+		t.Errorf("1×1: engine passes ×2 = %.0f should equal the model's conservative %.0f", got, ev.Cycles)
+	}
+}

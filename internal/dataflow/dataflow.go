@@ -1,0 +1,303 @@
+// Package dataflow walks CNN layers through the ReFOCUS execution model and
+// produces event counts — JTC cycles, fresh input DAC conversions (after
+// optical reuse), weight DAC conversions, ADC readouts (after temporal
+// accumulation), and byte-level memory traffic through the data buffers,
+// SRAMs and DRAM. The architecture model (internal/arch) multiplies these
+// by per-event energies; nothing network-specific is hard-coded there.
+//
+// The schedule implemented is the paper's alternating OS-IS dataflow
+// (§5.3.2, Figure 7): spatial tiles outermost, then channel groups of M
+// (the temporal-accumulation window), then filter rounds — with fresh
+// optical input generations amortized over R+1 filter rounds by the optical
+// buffer, and the filter-major ordering (choice (1) of §5.3.3) after reuse
+// completes.
+package dataflow
+
+import (
+	"fmt"
+
+	"refocus/internal/jtc"
+	"refocus/internal/nn"
+)
+
+// Config is the architectural contract the scheduler maps layers onto.
+type Config struct {
+	// NRFCU is the number of compute units (filters processed in
+	// parallel; inputs broadcast to all).
+	NRFCU int
+	// T is the input waveguide count per RFCU (tile size).
+	T int
+	// WeightWaveguides is the active weight waveguide count (25).
+	WeightWaveguides int
+	// NLambda is the WDM wavelength count per RFCU (channels processed in
+	// parallel per RFCU).
+	NLambda int
+	// M is the temporal-accumulation window in cycles, equal to the
+	// optical buffer delay (§4.1.4).
+	M int
+	// Reuses R is how many times a fresh input generation is reused
+	// optically (0 = no optical buffer, 1 = feedforward, 15 = feedback).
+	Reuses int
+	// UseDataBuffers interposes the §5.2 input/output SRAM buffers
+	// between the converters and the big activation SRAM.
+	UseDataBuffers bool
+	// InputsFromDRAM charges the first layer's input activations to DRAM
+	// (the network input arrives off-chip; intermediates stay in SRAM).
+	InputsFromDRAM bool
+	// Batch is the inference batch size (default 1, the paper's setting).
+	// A batch shares each kernel load across its images (weights stay on
+	// the DACs while the batch's tiles stream), amortizing weight DAC,
+	// weight SRAM and weight DRAM traffic by 1/Batch per image. Events
+	// are always reported per image.
+	Batch int
+}
+
+// Validate panics on nonsensical configurations.
+func (c Config) Validate() {
+	if c.NRFCU < 1 || c.T < 8 || c.WeightWaveguides < 1 || c.NLambda < 1 || c.M < 1 || c.Reuses < 0 || c.Batch < 0 {
+		panic(fmt.Sprintf("dataflow: invalid config %+v", c))
+	}
+}
+
+// batch returns the effective batch size (zero value means 1).
+func (c Config) batch() float64 {
+	if c.Batch < 1 {
+		return 1
+	}
+	return float64(c.Batch)
+}
+
+// Events tallies a layer's (or network's) activity. Conversions are in
+// samples (one byte each at 8-bit); memory traffic is in bytes; Cycles is
+// in 10 GHz photonic clock cycles for the whole (serialized) layer.
+type Events struct {
+	Cycles float64
+
+	InputDACWrites  float64 // fresh input sample conversions (all wavelengths)
+	WeightDACWrites float64 // weight sample conversions (nonzero values)
+	ADCReads        float64 // accumulated-output conversions
+
+	InputBufferReads   float64 // input buffer → DAC traffic
+	InputBufferWrites  float64 // activation SRAM → input buffer fills
+	OutputBufferAccess float64 // partial-sum read+write traffic
+	ActSRAMReads       float64 // activation SRAM reads
+	ActSRAMWrites      float64 // activation SRAM writes (final outputs)
+	WeightSRAMReads    float64 // weight SRAM reads
+	DRAMReads          float64 // DRAM reads (weights; first-layer inputs)
+
+	// LaserWaveguideCycles is waveguide·cycles of minimum laser power
+	// demand before the optical-buffer compensation factor.
+	LaserWaveguideCycles float64
+	// MRRActiveCycles counts modulator-cycles (input + weight + switch
+	// rings) for MRR power.
+	MRRActiveCycles float64
+}
+
+// Add accumulates other into e.
+func (e *Events) Add(other Events) {
+	e.Cycles += other.Cycles
+	e.InputDACWrites += other.InputDACWrites
+	e.WeightDACWrites += other.WeightDACWrites
+	e.ADCReads += other.ADCReads
+	e.InputBufferReads += other.InputBufferReads
+	e.InputBufferWrites += other.InputBufferWrites
+	e.OutputBufferAccess += other.OutputBufferAccess
+	e.ActSRAMReads += other.ActSRAMReads
+	e.ActSRAMWrites += other.ActSRAMWrites
+	e.WeightSRAMReads += other.WeightSRAMReads
+	e.DRAMReads += other.DRAMReads
+	e.LaserWaveguideCycles += other.LaserWaveguideCycles
+	e.MRRActiveCycles += other.MRRActiveCycles
+}
+
+// LayerPlan captures the geometric decisions for one layer.
+type LayerPlan struct {
+	Layer    nn.ConvLayer
+	Geometry jtc.Geometry
+	// WeightGroups is the kernel row-group decomposition count when a
+	// pass would load more kernel values than the weight waveguides hold
+	// (7×7 full tiling → 3 groups, 11×11 → 6). Partial tiling and row
+	// partitioning already sweep kernel rows across passes, so they never
+	// need extra groups.
+	WeightGroups int
+	// Regions is the number of distinct detector well-fills (output
+	// regions) per channel sweep of one filter: spatial tiles under full
+	// tiling, output rows under partial tiling, row segments under row
+	// partitioning.
+	Regions int
+	// KernelSweep is how many passes one channel of one filter spends on
+	// one region (weight groups × partial-tiling kernel-row sweeps).
+	KernelSweep int
+	// AccumPassesPerRegion is how many JTC passes accumulate into one
+	// region's wells before readout: KernelSweep times the serialized
+	// channel count ceil(InC/NLambda).
+	AccumPassesPerRegion int
+	// ValidPerRegion is the valid output samples digitized per region
+	// readout.
+	ValidPerRegion int
+	// FilterRounds is ceil(OutC/NRFCU)·2 — filter visits per input tile,
+	// counting the pseudo-negative second pass.
+	FilterRounds int
+	// WindowsPerRegion is the ADC readouts per region per filter round:
+	// the accumulation passes split into ceil(·/M) temporal-accumulation
+	// windows.
+	WindowsPerRegion int
+	// FreshRounds is ceil(FilterRounds/(R+1)) — how many times each input
+	// tile is actually generated by the DACs.
+	FreshRounds int
+}
+
+// PlanLayer computes the mapping of one conv layer onto the configuration.
+func PlanLayer(l nn.ConvLayer, cfg Config) LayerPlan {
+	cfg.Validate()
+	l.Validate()
+	h := l.InH + 2*l.Pad
+	w := l.InW + 2*l.Pad
+	g := jtc.PlanTiling(h, w, l.KH, l.KW, cfg.T)
+
+	rowsPerGroup := cfg.WeightWaveguides / l.KW
+	if rowsPerGroup < 1 {
+		panic(fmt.Sprintf("dataflow: kernel width %d exceeds %d weight waveguides", l.KW, cfg.WeightWaveguides))
+	}
+	weightGroups := 1
+	if g.KernelRowsPerPass*l.KW > cfg.WeightWaveguides {
+		weightGroups = ceilDiv(g.KernelRowsPerPass, rowsPerGroup)
+	}
+
+	var regions, kernelSweep, validPerRegion int
+	switch g.Strategy {
+	case jtc.FullTiling:
+		regions = g.PassesPerImage
+		kernelSweep = weightGroups
+		validPerRegion = g.ValidRowsPerPass * g.OutW
+	case jtc.PartialTiling:
+		regions = g.OutH
+		kernelSweep = ceilDiv(l.KH, g.RowsPerTile) * weightGroups
+		validPerRegion = g.OutW
+	case jtc.RowPartitioning:
+		regions = g.OutH * g.SegmentsPerRow
+		kernelSweep = l.KH * weightGroups
+		validPerRegion = ceilDiv(g.OutW, g.SegmentsPerRow)
+	}
+
+	channelsSerial := ceilDiv(l.InC, cfg.NLambda)
+	filterRounds := ceilDiv(l.OutC, cfg.NRFCU) * 2 // ×2: pseudo-negative
+	return LayerPlan{
+		Layer:                l,
+		Geometry:             g,
+		WeightGroups:         weightGroups,
+		Regions:              regions,
+		KernelSweep:          kernelSweep,
+		AccumPassesPerRegion: kernelSweep * channelsSerial,
+		ValidPerRegion:       validPerRegion,
+		FilterRounds:         filterRounds,
+		WindowsPerRegion:     ceilDiv(kernelSweep*channelsSerial, cfg.M),
+		FreshRounds:          ceilDiv(filterRounds, cfg.Reuses+1),
+	}
+}
+
+// LayerEvents produces the event counts for one instance of a layer.
+func LayerEvents(l nn.ConvLayer, cfg Config) Events {
+	p := PlanLayer(l, cfg)
+	g := p.Geometry
+	var e Events
+
+	// --- Cycles ---------------------------------------------------------
+	// Output regions × accumulation passes per region (channels serialized
+	// over NLambda, kernel sweeps) × filter rounds (NRFCU filters in
+	// parallel). One JTC pass per cycle at 10 GHz.
+	e.Cycles = float64(p.Regions) * float64(p.AccumPassesPerRegion) * float64(p.FilterRounds)
+
+	// --- Input DAC writes (after optical reuse) -------------------------
+	// Each (channel, region, kernel-sweep step) input slice is generated
+	// freshly FreshRounds times; one DAC conversion per active (non-pad)
+	// waveguide. All InC channels count — each wavelength has its own
+	// DAC/MRR bank.
+	activePerPass := float64(g.ActiveInputsPerPass)
+	tileGenerations := float64(l.InC) * float64(p.Regions) * float64(p.KernelSweep)
+	e.InputDACWrites = tileGenerations * activePerPass * float64(p.FreshRounds)
+
+	// --- Weight DAC writes ----------------------------------------------
+	// The kernel changes every cycle (consecutive cycles carry different
+	// channels under temporal accumulation), so both pseudo-negative
+	// rounds of every (filter, channel, region) visit write their kernel
+	// values: a zero weight still drives its DAC to zero — unlike the
+	// structurally known zero padding, whose DACs are gated off. Across a
+	// region's kernel sweep the full KH·KW kernel is written once per
+	// round.
+	e.WeightDACWrites = float64(l.InC) * float64(l.OutC) * 2 *
+		float64(l.KH*l.KW) * float64(p.Regions)
+
+	// --- ADC reads --------------------------------------------------------
+	// Each region's detector wells are digitized once per temporal-
+	// accumulation window per filter round; the positive and negative
+	// pseudo-filters read separately and subtract digitally. Only the
+	// region's valid output samples are converted — invalid (discarded)
+	// rows are never digitized.
+	e.ADCReads = float64(l.OutC) * 2 * float64(p.Regions) *
+		float64(p.ValidPerRegion) * float64(p.WindowsPerRegion)
+
+	// --- Memory traffic ---------------------------------------------------
+	inputBytesPerTileSweep := tileGenerations * activePerPass
+	outputBytes := float64(l.OutC) * float64(p.Regions) * float64(p.ValidPerRegion)
+
+	// The DACs read their operands every fresh generation.
+	e.InputBufferReads = e.InputDACWrites
+	// The buffer fills once per (channel, tile) from the activation SRAM;
+	// all filter rounds and optical reuses hit the buffer, not the SRAM.
+	e.InputBufferWrites = inputBytesPerTileSweep
+	// Partial sums bounce through the output buffer once per ADC read
+	// (read-modify-write except the first window).
+	e.OutputBufferAccess = 2 * e.ADCReads
+	if cfg.UseDataBuffers {
+		e.ActSRAMReads = inputBytesPerTileSweep
+		e.ActSRAMWrites = outputBytes
+	} else {
+		// Without data buffers every converter access goes to the big
+		// SRAM directly (the §5.2 "excessive SRAM power" case).
+		e.ActSRAMReads = e.InputDACWrites
+		e.ActSRAMWrites = e.OutputBufferAccess/2 + outputBytes
+		e.InputBufferReads = 0
+		e.InputBufferWrites = 0
+		e.OutputBufferAccess = 0
+	}
+	// Weight-side traffic amortizes over the batch: a kernel loaded once
+	// serves every image's matching tiles before it changes.
+	b := cfg.batch()
+	e.WeightDACWrites /= b
+	e.WeightSRAMReads = e.WeightDACWrites
+	e.DRAMReads = float64(l.WeightBytes()) / b
+	if cfg.InputsFromDRAM {
+		e.DRAMReads += float64(l.InputBytes())
+	}
+
+	// --- Laser and MRR activity ------------------------------------------
+	// The laser feeds the shared input waveguide bank (T per wavelength)
+	// every cycle plus each RFCU's weight waveguides.
+	e.LaserWaveguideCycles = e.Cycles * float64(cfg.T*cfg.NLambda+cfg.WeightWaveguides*cfg.NLambda*cfg.NRFCU)
+	// Input MRRs toggle on fresh generations; weight MRRs every pass;
+	// the feedback switch MRR once per reuse window per waveguide.
+	e.MRRActiveCycles = e.InputDACWrites + e.WeightDACWrites
+	if cfg.Reuses > 0 {
+		e.MRRActiveCycles += e.InputDACWrites / float64(cfg.Reuses+1)
+	}
+	return e
+}
+
+// NetworkEvents sums event counts across all layers (times repeats) of a
+// network. The first layer is charged DRAM input traffic when the config
+// asks for it.
+func NetworkEvents(net nn.Network, cfg Config) Events {
+	var total Events
+	for i, l := range net.Layers {
+		layerCfg := cfg
+		layerCfg.InputsFromDRAM = cfg.InputsFromDRAM && i == 0
+		e := LayerEvents(l, layerCfg)
+		for r := 0; r < l.Repeat; r++ {
+			total.Add(e)
+		}
+	}
+	return total
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,306 @@
+package dataflow
+
+import (
+	"testing"
+
+	"refocus/internal/nn"
+)
+
+// refocusConfig mirrors ReFOCUS-FB: 16 RFCUs, T=256, 2 wavelengths,
+// M=16 delay/accumulation, 15 optical reuses, data buffers on.
+func refocusConfig() Config {
+	return Config{
+		NRFCU: 16, T: 256, WeightWaveguides: 25, NLambda: 2,
+		M: 16, Reuses: 15, UseDataBuffers: true,
+	}
+}
+
+// baselineConfig mirrors PhotoFourier-NG: no WDM, no optical buffer, no
+// data buffers, same 16 JTCs with 16-cycle temporal accumulation.
+func baselineConfig() Config {
+	return Config{
+		NRFCU: 16, T: 256, WeightWaveguides: 25, NLambda: 1,
+		M: 16, Reuses: 0, UseDataBuffers: false,
+	}
+}
+
+func testLayer() nn.ConvLayer {
+	return nn.ConvLayer{
+		Name: "t", InC: 128, InH: 28, InW: 28, OutC: 128,
+		KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 1,
+	}
+}
+
+// TestOpticalReuseCutsInputDAC: with R=15 and 16 filter rounds (128
+// filters / 16 RFCUs × 2 pseudo-negative), fresh generations drop 16×.
+func TestOpticalReuseCutsInputDAC(t *testing.T) {
+	l := testLayer()
+	cfg := refocusConfig()
+	with := LayerEvents(l, cfg)
+	cfg.Reuses = 0
+	without := LayerEvents(l, cfg)
+	ratio := without.InputDACWrites / with.InputDACWrites
+	if ratio != 16 {
+		t.Errorf("input DAC reduction = %g, want 16 (R+1)", ratio)
+	}
+	// Cycles are unchanged — reuse saves conversions, not time.
+	if with.Cycles != without.Cycles {
+		t.Errorf("optical reuse changed cycle count: %g vs %g", with.Cycles, without.Cycles)
+	}
+}
+
+// TestWDMHalvesCycles: doubling the wavelengths halves the serialized
+// channel loop (2× throughput, paper §4.2.3) without adding conversions.
+func TestWDMHalvesCycles(t *testing.T) {
+	l := testLayer()
+	cfg := refocusConfig()
+	two := LayerEvents(l, cfg)
+	cfg.NLambda = 1
+	one := LayerEvents(l, cfg)
+	if r := one.Cycles / two.Cycles; r != 2 {
+		t.Errorf("WDM cycle reduction = %g, want 2", r)
+	}
+	// Same number of input conversions either way — each channel still
+	// needs its own DAC writes.
+	if one.InputDACWrites != two.InputDACWrites {
+		t.Errorf("WDM changed input conversions: %g vs %g", one.InputDACWrites, two.InputDACWrites)
+	}
+	// But ADC reads halve: two channels share one detector readout.
+	if r := one.ADCReads / two.ADCReads; r != 2 {
+		t.Errorf("WDM ADC reduction = %g, want 2", r)
+	}
+}
+
+// TestTemporalAccumulationCutsADC: quadrupling M cuts ADC readouts ≈4×
+// (channel groups per output shrink).
+func TestTemporalAccumulationCutsADC(t *testing.T) {
+	l := testLayer()
+	cfg := refocusConfig()
+	cfg.M = 4
+	m4 := LayerEvents(l, cfg)
+	cfg.M = 16
+	m16 := LayerEvents(l, cfg)
+	if r := m4.ADCReads / m16.ADCReads; r != 4 {
+		t.Errorf("ADC reduction from M=4→16 is %g, want 4", r)
+	}
+}
+
+// TestDataBuffersRedirectTraffic: with buffers on, the big activation SRAM
+// sees only one read per input byte per tile sweep instead of one per
+// conversion, and partial sums stay in the output buffers.
+func TestDataBuffersRedirectTraffic(t *testing.T) {
+	l := testLayer()
+	cfg := refocusConfig()
+	cfg.Reuses = 0 // isolate the buffer effect
+	with := LayerEvents(l, cfg)
+	cfg.UseDataBuffers = false
+	without := LayerEvents(l, cfg)
+
+	if with.ActSRAMReads >= without.ActSRAMReads {
+		t.Errorf("buffers did not cut SRAM reads: %g vs %g", with.ActSRAMReads, without.ActSRAMReads)
+	}
+	if with.ActSRAMWrites >= without.ActSRAMWrites {
+		t.Errorf("buffers did not cut SRAM writes: %g vs %g", with.ActSRAMWrites, without.ActSRAMWrites)
+	}
+	if without.InputBufferReads != 0 || without.OutputBufferAccess != 0 {
+		t.Error("bufferless config should not report buffer traffic")
+	}
+	if with.InputBufferReads == 0 || with.OutputBufferAccess == 0 {
+		t.Error("buffered config should report buffer traffic")
+	}
+}
+
+// TestPseudoNegativeDoubling: filter rounds count the pos/neg split, so a
+// layer takes 2× the cycles of a hypothetical signed datapath, and both
+// rounds rewrite the kernel (a zero weight still drives its DAC, unlike
+// structurally known zero padding).
+func TestPseudoNegativeDoubling(t *testing.T) {
+	l := testLayer()
+	p := PlanLayer(l, refocusConfig())
+	if p.FilterRounds != 2*ceilDiv(l.OutC, 16) {
+		t.Errorf("filter rounds = %d, want %d", p.FilterRounds, 2*ceilDiv(l.OutC, 16))
+	}
+	e := LayerEvents(l, refocusConfig())
+	perVisit := e.WeightDACWrites / (float64(l.InC) * float64(p.Regions) * float64(l.OutC))
+	if perVisit != 18 {
+		t.Errorf("weight writes per (filter,channel,region) = %g, want 18 (2 rounds × 3×3)", perVisit)
+	}
+}
+
+// TestLargeKernelDecomposition: kernels whose per-pass footprint exceeds
+// the 25 weight waveguides decompose. On a small plane (full tiling) the
+// split shows up as weight row-groups; on a big first-layer plane the
+// partial-tiling kernel sweep already loads ≤25 values per pass, so the
+// sweep factor carries the cost instead.
+func TestLargeKernelDecomposition(t *testing.T) {
+	cfg := refocusConfig()
+	// 13×13 plane, 11×11 kernel: row stride 23, 11 rows fit → full tiling
+	// with 121 weight values per pass → 6 groups of ≤2 rows.
+	lFull := nn.ConvLayer{Name: "full11", InC: 4, InH: 13, InW: 13, OutC: 16, KH: 11, KW: 11, Stride: 1, Pad: 0, Repeat: 1}
+	pFull := PlanLayer(lFull, cfg)
+	if pFull.WeightGroups != 6 {
+		t.Errorf("full-tiling 11×11 weight groups = %d, want 6", pFull.WeightGroups)
+	}
+	// ResNet stem: 224×224, 7×7 — one row per tile (partial tiling), so
+	// each pass loads only 7 weight values; the 7-row kernel sweep covers
+	// the rest.
+	stem := nn.ConvLayer{Name: "stem", InC: 3, InH: 224, InW: 224, OutC: 64, KH: 7, KW: 7, Stride: 2, Pad: 3, Repeat: 1}
+	pStem := PlanLayer(stem, cfg)
+	if pStem.WeightGroups != 1 {
+		t.Errorf("stem weight groups = %d, want 1 (partial tiling sweeps rows)", pStem.WeightGroups)
+	}
+	if pStem.KernelSweep != 7 {
+		t.Errorf("stem kernel sweep = %d, want 7", pStem.KernelSweep)
+	}
+	small := PlanLayer(testLayer(), cfg)
+	if small.WeightGroups != 1 || small.KernelSweep != 1 {
+		t.Errorf("3×3 layer: groups %d sweep %d, want 1/1", small.WeightGroups, small.KernelSweep)
+	}
+}
+
+// TestFreshRoundsCeiling: a layer with fewer filter rounds than R+1 cannot
+// amortize fully — fresh generations never drop below one.
+func TestFreshRoundsCeiling(t *testing.T) {
+	l := testLayer()
+	l.OutC = 16 // one filter round ×2 for pseudo-negative = 2 rounds
+	p := PlanLayer(l, refocusConfig())
+	if p.FreshRounds != 1 {
+		t.Errorf("fresh rounds = %d, want 1", p.FreshRounds)
+	}
+}
+
+// TestEventsScalePerFilter: doubling OutC doubles cycles, ADC reads and
+// weight writes but leaves per-tile input generation unchanged when reuse
+// absorbs the extra rounds.
+func TestEventsScalePerFilter(t *testing.T) {
+	cfg := refocusConfig()
+	l := testLayer()
+	e1 := LayerEvents(l, cfg)
+	l.OutC *= 2
+	e2 := LayerEvents(l, cfg)
+	if r := e2.Cycles / e1.Cycles; r != 2 {
+		t.Errorf("cycles scale = %g, want 2", r)
+	}
+	if r := e2.ADCReads / e1.ADCReads; r != 2 {
+		t.Errorf("ADC scale = %g, want 2", r)
+	}
+	if r := e2.InputDACWrites / e1.InputDACWrites; r != 2 {
+		// 128 filters = 16 rounds = exactly R+1: doubling OutC doubles
+		// fresh rounds too (32 rounds / 16 reuse slots = 2).
+		t.Errorf("input DAC scale = %g, want 2", r)
+	}
+}
+
+// TestNetworkEventsAccumulate: network totals equal the sum over layer
+// instances, and repeats multiply.
+func TestNetworkEventsAccumulate(t *testing.T) {
+	cfg := refocusConfig()
+	net := nn.Network{Name: "two", Layers: []nn.ConvLayer{
+		testLayer(),
+		{Name: "r", InC: 64, InH: 14, InW: 14, OutC: 64, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 3},
+	}}
+	total := NetworkEvents(net, cfg)
+	var manual Events
+	manual.Add(LayerEvents(net.Layers[0], cfg))
+	single := LayerEvents(net.Layers[1], cfg)
+	for i := 0; i < 3; i++ {
+		manual.Add(single)
+	}
+	if total.Cycles != manual.Cycles || total.InputDACWrites != manual.InputDACWrites ||
+		total.ADCReads != manual.ADCReads || total.DRAMReads != manual.DRAMReads {
+		t.Errorf("network events %+v != manual sum %+v", total, manual)
+	}
+}
+
+// TestFirstLayerDRAMCharge: only the first layer pays DRAM input traffic.
+func TestFirstLayerDRAMCharge(t *testing.T) {
+	cfg := refocusConfig()
+	cfg.InputsFromDRAM = true
+	net := nn.Network{Name: "two", Layers: []nn.ConvLayer{testLayer(), testLayer()}}
+	with := NetworkEvents(net, cfg)
+	cfg.InputsFromDRAM = false
+	without := NetworkEvents(net, cfg)
+	diff := with.DRAMReads - without.DRAMReads
+	if diff != float64(testLayer().InputBytes()) {
+		t.Errorf("DRAM input charge = %g, want %d (one layer's input)", diff, testLayer().InputBytes())
+	}
+}
+
+// TestRefocusBeatsBaselineOnConversions: across the whole of ResNet-34 the
+// ReFOCUS config needs strictly fewer input DAC conversions and ADC reads
+// than the baseline while spending no more cycles per wavelength.
+func TestRefocusBeatsBaselineOnConversions(t *testing.T) {
+	net, _ := nn.ByName("ResNet-34")
+	rf := NetworkEvents(net, refocusConfig())
+	bl := NetworkEvents(net, baselineConfig())
+	if rf.InputDACWrites >= bl.InputDACWrites {
+		t.Errorf("ReFOCUS input DAC %g not below baseline %g", rf.InputDACWrites, bl.InputDACWrites)
+	}
+	if rf.ADCReads >= bl.ADCReads {
+		t.Errorf("ReFOCUS ADC reads %g not below baseline %g", rf.ADCReads, bl.ADCReads)
+	}
+	if rf.Cycles >= bl.Cycles {
+		t.Errorf("ReFOCUS cycles %g not below baseline %g (WDM should halve)", rf.Cycles, bl.Cycles)
+	}
+}
+
+// TestConfigValidation rejects nonsense.
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{NRFCU: 0, T: 256, WeightWaveguides: 25, NLambda: 1, M: 1},
+		{NRFCU: 1, T: 4, WeightWaveguides: 25, NLambda: 1, M: 1},
+		{NRFCU: 1, T: 256, WeightWaveguides: 25, NLambda: 0, M: 1},
+		{NRFCU: 1, T: 256, WeightWaveguides: 25, NLambda: 1, M: 0},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() { recover() }()
+			cfg.Validate()
+			t.Errorf("case %d: expected panic", i)
+		}()
+	}
+}
+
+// TestAllBenchmarksPlannable: every layer of every benchmark network maps
+// onto the ReFOCUS and baseline configs without panicking, with positive
+// event counts.
+func TestAllBenchmarksPlannable(t *testing.T) {
+	for _, net := range nn.Benchmarks() {
+		for _, cfg := range []Config{refocusConfig(), baselineConfig()} {
+			e := NetworkEvents(net, cfg)
+			if e.Cycles <= 0 || e.InputDACWrites <= 0 || e.WeightDACWrites <= 0 || e.ADCReads <= 0 {
+				t.Errorf("%s: non-positive events %+v", net.Name, e)
+			}
+		}
+	}
+}
+
+func BenchmarkNetworkEventsResNet50(b *testing.B) {
+	net, _ := nn.ByName("ResNet-50")
+	cfg := refocusConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NetworkEvents(net, cfg)
+	}
+}
+
+// TestBatchAmortizesWeights: batching divides per-image weight-side
+// traffic while leaving cycles, input conversions and ADC reads per image
+// untouched.
+func TestBatchAmortizesWeights(t *testing.T) {
+	l := testLayer()
+	cfg := refocusConfig()
+	b1 := LayerEvents(l, cfg)
+	cfg.Batch = 8
+	b8 := LayerEvents(l, cfg)
+	if r := b1.WeightDACWrites / b8.WeightDACWrites; r != 8 {
+		t.Errorf("weight DAC amortization = %g, want 8", r)
+	}
+	if b8.Cycles != b1.Cycles || b8.InputDACWrites != b1.InputDACWrites || b8.ADCReads != b1.ADCReads {
+		t.Error("batching must not change per-image cycles or input-side conversions")
+	}
+	if r := b1.DRAMReads / b8.DRAMReads; r < 7 {
+		t.Errorf("weight DRAM amortization = %g, want ≈8 (weights dominate this layer's DRAM)", r)
+	}
+}

@@ -1,0 +1,221 @@
+// Package dsp provides the numerical substrate for the ReFOCUS simulator:
+// fast Fourier transforms of arbitrary length, convolution and correlation.
+//
+// The photonic joint transform correlator (JTC) at the heart of ReFOCUS
+// computes Fourier transforms with on-chip lenses. Simulating it faithfully
+// requires complex-field FFTs; Go's standard library has none, so this
+// package implements an iterative radix-2 Cooley-Tukey transform for
+// power-of-two lengths and Bluestein's chirp-z algorithm for everything
+// else. All transforms use the unitary-unscaled convention
+//
+//	X[k] = Σ_n x[n]·exp(-2πi·kn/N)
+//
+// with Inverse applying the conjugate kernel and a 1/N scale, matching the
+// convention used in Goodman, "Introduction to Fourier Optics" for a lens of
+// focal length f (up to the physical coordinate scaling, which the optics
+// package handles).
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// NextPowerOfTwo returns the smallest power of two >= n. It panics if n is
+// not positive or the result would overflow an int.
+func NextPowerOfTwo(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("dsp: NextPowerOfTwo of non-positive %d", n))
+	}
+	if IsPowerOfTwo(n) {
+		return n
+	}
+	p := 1 << bits.Len(uint(n))
+	if p <= 0 {
+		panic(fmt.Sprintf("dsp: NextPowerOfTwo overflow for %d", n))
+	}
+	return p
+}
+
+// FFT returns the discrete Fourier transform of x. The input is not
+// modified. Any positive length is supported; power-of-two lengths use
+// radix-2 Cooley-Tukey directly, others go through Bluestein's algorithm.
+func FFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	FFTInPlace(out)
+	return out
+}
+
+// IFFT returns the inverse discrete Fourier transform of x (with the 1/N
+// scale). The input is not modified.
+func IFFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	IFFTInPlace(out)
+	return out
+}
+
+// FFTInPlace computes the DFT of x in place.
+func FFTInPlace(x []complex128) {
+	n := len(x)
+	switch {
+	case n <= 1:
+		return
+	case IsPowerOfTwo(n):
+		radix2(x, false)
+	default:
+		bluestein(x, false)
+	}
+}
+
+// IFFTInPlace computes the inverse DFT of x in place, including the 1/N
+// normalization.
+func IFFTInPlace(x []complex128) {
+	n := len(x)
+	switch {
+	case n <= 1:
+		return
+	case IsPowerOfTwo(n):
+		radix2(x, true)
+	default:
+		bluestein(x, true)
+	}
+	scale := complex(1/float64(n), 0)
+	for i := range x {
+		x[i] *= scale
+	}
+}
+
+// radix2 performs an unnormalized in-place radix-2 DIT FFT. inverse selects
+// the conjugate twiddle kernel (no 1/N scaling applied here).
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		// Twiddle factors are computed by recurrence seeded from sin/cos
+		// to stay O(1) memory; the recurrence is re-seeded every block so
+		// rounding error stays negligible for the transform sizes used in
+		// the simulator (<= 2^20).
+		wStep := cmplx.Rect(1, step)
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT via the chirp-z transform,
+// expressing the length-n DFT as a length-m circular convolution with
+// m = NextPowerOfTwo(2n-1).
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	m := NextPowerOfTwo(2*n - 1)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// chirp[k] = exp(sign * i*π*k²/n). k² mod 2n keeps the argument small
+	// and exact for large k.
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		chirp[k] = cmplx.Rect(1, sign*math.Pi*float64(kk)/float64(n))
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+	}
+	b[0] = cmplx.Conj(chirp[0])
+	for k := 1; k < n; k++ {
+		c := cmplx.Conj(chirp[k])
+		b[k] = c
+		b[m-k] = c
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	invM := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * invM * chirp[k]
+	}
+}
+
+// DFTNaive computes the DFT by the O(N²) definition. It exists as the ground
+// truth for FFT tests and for tiny transforms where clarity beats speed.
+func DFTNaive(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for i := 0; i < n; i++ {
+			ang := -2 * math.Pi * float64(k) * float64(i) / float64(n)
+			sum += x[i] * cmplx.Rect(1, ang)
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// FFTReal transforms a real sequence, returning the full complex spectrum.
+func FFTReal(x []float64) []complex128 {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	FFTInPlace(c)
+	return c
+}
+
+// FFTShift rotates x so the zero-frequency bin moves to the centre, the way
+// an optical Fourier plane presents it (DC at the optical axis). For even N
+// the split is symmetric; for odd N the extra sample lands on the left half,
+// matching numpy's fftshift.
+func FFTShift(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	half := (n + 1) / 2
+	copy(out, x[half:])
+	copy(out[n-half:], x[:half])
+	return out
+}
+
+// IFFTShift undoes FFTShift for any length.
+func IFFTShift(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	half := (n + 1) / 2
+	copy(out[half:], x[:n-half])
+	copy(out, x[n-half:])
+	return out
+}

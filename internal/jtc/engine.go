@@ -1,0 +1,315 @@
+package jtc
+
+import (
+	"fmt"
+	"math"
+
+	"refocus/internal/tensor"
+)
+
+// QuantConfig controls the fixed-point behaviour of the analog datapath.
+// Zero value = disabled (exact arithmetic).
+type QuantConfig struct {
+	Enabled bool
+	// InputBits/WeightBits quantize the DAC-generated operands (8 in
+	// ReFOCUS).
+	InputBits, WeightBits int
+	// ADCBits quantizes the accumulated detector readout (8 in ReFOCUS).
+	ADCBits int
+}
+
+// DefaultQuant returns the paper's 8-bit configuration.
+func DefaultQuant() QuantConfig {
+	return QuantConfig{Enabled: true, InputBits: 8, WeightBits: 8, ADCBits: 8}
+}
+
+// EngineConfig configures the functional JTC compute engine.
+type EngineConfig struct {
+	// InputWaveguides is the JTC tile size T (256 in ReFOCUS).
+	InputWaveguides int
+	// WeightWaveguides bounds the kernel footprint: KH·KW must fit the
+	// active weight waveguides (25 in ReFOCUS, enough for 5×5).
+	WeightWaveguides int
+	// AccumulationWindow is how many channel results accumulate at the
+	// photodetector before one ADC readout (temporal accumulation M;
+	// 16 in ReFOCUS). 1 disables accumulation.
+	AccumulationWindow int
+	// Quant is the fixed-point model.
+	Quant QuantConfig
+	// Correlator overrides the 1-D correlator; nil uses the exact digital
+	// one. Supplying PhysicalJTC.Correlate runs real field propagation.
+	Correlator Correlator
+}
+
+// DefaultEngineConfig matches the ReFOCUS RFCU (paper §4, §5.1).
+func DefaultEngineConfig() EngineConfig {
+	return EngineConfig{
+		InputWaveguides:    256,
+		WeightWaveguides:   25,
+		AccumulationWindow: 16,
+		Quant:              DefaultQuant(),
+	}
+}
+
+// Engine executes CNN convolution layers the way ReFOCUS hardware would:
+// pseudo-negative filter splitting, 8-bit operand quantization, row-tiled
+// 1-D JTC passes per (filter, channel) pair, temporal accumulation of
+// channel groups at the detector, ADC quantization of the accumulated
+// readout, and digital accumulation across groups.
+type Engine struct {
+	cfg   EngineConfig
+	stats PassStats
+}
+
+// NewEngine validates the configuration and returns an engine.
+func NewEngine(cfg EngineConfig) *Engine {
+	if cfg.InputWaveguides < 4 {
+		panic(fmt.Sprintf("jtc: %d input waveguides is too few", cfg.InputWaveguides))
+	}
+	if cfg.WeightWaveguides < 1 {
+		panic("jtc: need at least one weight waveguide")
+	}
+	if cfg.AccumulationWindow < 1 {
+		cfg.AccumulationWindow = 1
+	}
+	if cfg.Correlator == nil {
+		cfg.Correlator = DigitalCorrelator
+	}
+	return &Engine{cfg: cfg}
+}
+
+// Stats returns the accumulated pass statistics since the last ResetStats.
+func (e *Engine) Stats() PassStats { return e.stats }
+
+// ResetStats clears the counters.
+func (e *Engine) ResetStats() { e.stats = PassStats{} }
+
+// Conv2D runs a conv layer: input [C,H,W], weights [F,C,KH,KW], returning
+// [F,OutH,OutW] (valid convolution; apply tensor.Pad2D beforehand for
+// "same" layers, mirroring how the scheduler pads in SRAM). Stride is
+// applied by dense computation and subsampling, as the optical system
+// always produces dense output rows.
+//
+// Inputs must be non-negative (post-ReLU activations; the optical system
+// transports amplitudes). Weights may be signed: the engine splits each
+// filter into positive and negative parts and subtracts digitally — the
+// paper's pseudo-negative processing, which doubles the pass count.
+func (e *Engine) Conv2D(input, weights *tensor.Tensor, stride int) *tensor.Tensor {
+	if input.Rank() != 3 || weights.Rank() != 4 {
+		panic(fmt.Sprintf("jtc: Conv2D wants [C,H,W] and [F,C,KH,KW], got %v and %v", input.Shape, weights.Shape))
+	}
+	if stride < 1 {
+		panic("jtc: stride must be >= 1")
+	}
+	c, h, w := input.Shape[0], input.Shape[1], input.Shape[2]
+	f, wc, kh, kw := weights.Shape[0], weights.Shape[1], weights.Shape[2], weights.Shape[3]
+	if c != wc {
+		panic(fmt.Sprintf("jtc: channel mismatch %d vs %d", c, wc))
+	}
+	if kw > e.cfg.WeightWaveguides {
+		panic(fmt.Sprintf("jtc: kernel width %d exceeds the %d weight waveguides; column splitting is not supported", kw, e.cfg.WeightWaveguides))
+	}
+	for _, v := range input.Data {
+		if v < 0 {
+			panic("jtc: negative activation; the optical input must be non-negative")
+		}
+	}
+
+	// Operand quantization (the DACs): per-tensor symmetric scales.
+	qInput, inputScale := e.quantizeNonNeg(input.Data, e.cfg.Quant.InputBits)
+	posW, negW, weightScale := e.splitQuantizeWeights(weights)
+
+	oh, ow := h-kh+1, w-kw+1
+	out := tensor.New(f, oh, ow)
+
+	inPlanes := make([][][]float64, c)
+	for ci := 0; ci < c; ci++ {
+		inPlanes[ci] = asPlane(qInput[ci*h*w:(ci+1)*h*w], h, w)
+	}
+
+	M := e.cfg.AccumulationWindow
+	for fi := 0; fi < f; fi++ {
+		acc := make([]float64, oh*ow)
+		// Channel groups of M accumulate optically; groups accumulate
+		// digitally after ADC readout.
+		for c0 := 0; c0 < c; c0 += M {
+			cn := c0 + M
+			if cn > c {
+				cn = c
+			}
+			e.accumulateGroup(acc, inPlanes, posW, fi, c0, cn, kh, kw, +1)
+			e.accumulateGroup(acc, inPlanes, negW, fi, c0, cn, kh, kw, -1)
+		}
+		// Undo the operand scales in the digital domain.
+		s := inputScale * weightScale
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				out.Data[(fi*oh+y)*ow+x] = acc[y*ow+x] * s
+			}
+		}
+	}
+
+	if stride == 1 {
+		return out
+	}
+	sh, sw := (oh+stride-1)/stride, (ow+stride-1)/stride
+	sub := tensor.New(f, sh, sw)
+	for fi := 0; fi < f; fi++ {
+		for y := 0; y < sh; y++ {
+			for x := 0; x < sw; x++ {
+				sub.Data[(fi*sh+y)*sw+x] = out.Data[(fi*oh+y*stride)*ow+x*stride]
+			}
+		}
+	}
+	return sub
+}
+
+// accumulateGroup runs one temporal-accumulation window: channels
+// [c0,cn) of filter fi through the JTC, detector-accumulated, one ADC
+// readout, then added into acc with the given sign (the pseudo-negative
+// subtraction happens here).
+func (e *Engine) accumulateGroup(acc []float64, inPlanes [][][]float64, w []float64, fi, c0, cn, kh, kw int, sign float64) {
+	c := len(inPlanes)
+	h := len(inPlanes[0])
+	width := len(inPlanes[0][0])
+	oh, ow := h-kh+1, width-kw+1
+
+	// Kernels larger than the weight waveguides (the 7×7 and 11×11 first
+	// layers) split into row groups of at most floor(Wwg/KW) rows; each
+	// group runs as its own pass over the correspondingly shifted input
+	// rows and the partial sums accumulate at the detector.
+	rowGroup := e.cfg.WeightWaveguides / kw
+	if rowGroup > kh {
+		rowGroup = kh
+	}
+
+	well := make([]float64, oh*ow) // the photodetector charge wells
+	var maxSingle float64
+	any := false
+	for ci := c0; ci < cn; ci++ {
+		kernel := asPlane(w[((fi*c+ci)*kh)*kw:((fi*c+ci)*kh+kh)*kw], kh, kw)
+		if planeIsZero(kernel) {
+			// An all-zero split part: its weight DACs stay dark and no
+			// pass is issued.
+			continue
+		}
+		any = true
+		for j0 := 0; j0 < kh; j0 += rowGroup {
+			g := rowGroup
+			if j0+g > kh {
+				g = kh - j0
+			}
+			sub := kernel[j0 : j0+g]
+			if planeIsZero(sub) {
+				continue
+			}
+			// Input rows j0 .. j0+(oh-1)+g-1 pair with kernel rows
+			// j0 .. j0+g-1 for output rows 0..oh-1.
+			view := inPlanes[ci][j0 : j0+oh-1+g]
+			plane, stats := ConvPlane(view, sub, e.cfg.InputWaveguides, e.cfg.Correlator)
+			e.stats.Add(stats)
+			for y := 0; y < oh; y++ {
+				for x := 0; x < ow; x++ {
+					v := plane[y][x]
+					well[y*ow+x] += v
+					if a := math.Abs(v); a > maxSingle {
+						maxSingle = a
+					}
+				}
+			}
+		}
+	}
+	if !any {
+		return
+	}
+	// One ADC conversion per accumulation window. The ADC full scale is
+	// sized for the window's worst case: M channels each up to the
+	// largest single-channel output.
+	if e.cfg.Quant.Enabled && e.cfg.Quant.ADCBits > 0 && maxSingle > 0 {
+		fullScale := maxSingle * float64(cn-c0)
+		levels := math.Exp2(float64(e.cfg.Quant.ADCBits)) - 1
+		for i, v := range well {
+			q := math.Round(v/fullScale*levels) / levels * fullScale
+			well[i] = q
+		}
+	}
+	for i, v := range well {
+		acc[i] += sign * v
+	}
+}
+
+// quantizeNonNeg quantizes a non-negative slice to bits of precision over
+// [0, max], returning the levels as floats plus the scale such that
+// value ≈ level·scale. Disabled quantization returns the input and scale 1.
+func (e *Engine) quantizeNonNeg(data []float64, bits int) ([]float64, float64) {
+	if !e.cfg.Quant.Enabled || bits <= 0 {
+		return data, 1
+	}
+	var max float64
+	for _, v := range data {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return data, 1
+	}
+	levels := math.Exp2(float64(bits)) - 1
+	scale := max / levels
+	out := make([]float64, len(data))
+	for i, v := range data {
+		out[i] = math.Round(v / scale)
+	}
+	return out, scale
+}
+
+// splitQuantizeWeights performs the pseudo-negative split w = w⁺ - w⁻ with
+// both parts non-negative, quantizing each to WeightBits. Returns the two
+// parts (flat, same layout as weights) and the shared scale.
+func (e *Engine) splitQuantizeWeights(weights *tensor.Tensor) (pos, neg []float64, scale float64) {
+	pos = make([]float64, len(weights.Data))
+	neg = make([]float64, len(weights.Data))
+	scale = 1
+	var max float64
+	for _, v := range weights.Data {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	quant := e.cfg.Quant.Enabled && e.cfg.Quant.WeightBits > 0 && max > 0
+	if quant {
+		levels := math.Exp2(float64(e.cfg.Quant.WeightBits)) - 1
+		scale = max / levels
+	}
+	for i, v := range weights.Data {
+		x := v
+		if quant {
+			x = math.Round(v / scale)
+		}
+		if x >= 0 {
+			pos[i] = x
+		} else {
+			neg[i] = -x
+		}
+	}
+	return pos, neg, scale
+}
+
+func asPlane(flat []float64, h, w int) [][]float64 {
+	p := make([][]float64, h)
+	for y := 0; y < h; y++ {
+		p[y] = flat[y*w : (y+1)*w]
+	}
+	return p
+}
+
+func planeIsZero(p [][]float64) bool {
+	for _, row := range p {
+		for _, v := range row {
+			if v != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,298 @@
+package jtc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"refocus/internal/tensor"
+)
+
+// nonNegInput returns a random non-negative activation tensor (post-ReLU).
+func nonNegInput(rng *rand.Rand, shape ...int) *tensor.Tensor {
+	t := tensor.New(shape...)
+	for i := range t.Data {
+		t.Data[i] = rng.Float64()
+	}
+	return t
+}
+
+func exactEngine() *Engine {
+	cfg := DefaultEngineConfig()
+	cfg.Quant = QuantConfig{} // exact arithmetic
+	return NewEngine(cfg)
+}
+
+// TestEngineExactMatchesReference: with quantization disabled the engine
+// must reproduce the digital convolution bit-for-bit (to float precision),
+// including pseudo-negative splitting and channel-group accumulation.
+func TestEngineExactMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct {
+		c, h, w, f, k, stride int
+	}{
+		{3, 16, 16, 4, 3, 1},
+		{8, 14, 14, 6, 3, 1},
+		{4, 12, 12, 2, 5, 1},
+		{2, 16, 16, 3, 3, 2},
+		{20, 8, 8, 5, 1, 1}, // pointwise, more channels than M=16
+	} {
+		in := nonNegInput(rng, tc.c, tc.h, tc.w)
+		w := tensor.Random(rng, tc.f, tc.c, tc.k, tc.k) // signed weights
+		e := exactEngine()
+		got := e.Conv2D(in, w, tc.stride)
+		want := tensor.Conv2DStride(in, w, tc.stride, 0)
+		if d := tensor.MaxAbsDiff(got, want); d > 1e-8 {
+			t.Errorf("%+v: engine differs from reference by %g", tc, d)
+		}
+		if e.Stats().Passes == 0 {
+			t.Errorf("%+v: no JTC passes recorded", tc)
+		}
+	}
+}
+
+// TestEnginePseudoNegativeDoublesPasses: signed filters require the
+// positive and negative parts to run as separate passes (paper §6:
+// "doubles inference latency"), while all-positive filters take one.
+func TestEnginePseudoNegativeDoublesPasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	in := nonNegInput(rng, 1, 16, 16)
+
+	posW := nonNegInput(rng, 1, 1, 3, 3)
+	e1 := exactEngine()
+	e1.Conv2D(in, posW, 1)
+	posPasses := e1.Stats().Passes
+
+	signedW := posW.Clone()
+	signedW.Data[0] = -signedW.Data[0] // one negative weight
+	e2 := exactEngine()
+	e2.Conv2D(in, signedW, 1)
+	signedPasses := e2.Stats().Passes
+
+	if signedPasses != 2*posPasses {
+		t.Errorf("signed filter took %d passes, positive-only took %d; want exactly 2×", signedPasses, posPasses)
+	}
+}
+
+// TestEngine8BitQuantizationAccuracy: the 8-bit datapath tracks the exact
+// result within a small relative error on realistic magnitudes.
+func TestEngine8BitQuantizationAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := nonNegInput(rng, 8, 16, 16)
+	w := tensor.Random(rng, 4, 8, 3, 3)
+	e := NewEngine(DefaultEngineConfig())
+	got := e.Conv2D(in, w, 1)
+	want := tensor.Conv2DValid(in, w)
+	ref := want.MaxAbs()
+	if d := tensor.MaxAbsDiff(got, want); d > 0.05*ref {
+		t.Errorf("8-bit datapath error %g exceeds 5%% of output range %g", d, ref)
+	}
+	if d := tensor.MaxAbsDiff(got, want); d == 0 {
+		t.Error("quantized datapath is suspiciously exact — quantization not applied?")
+	}
+}
+
+// TestEngineAccumulationWindowInvariance: with exact arithmetic, the result
+// must not depend on the temporal-accumulation window size — accumulating
+// optically at the detector or digitally after the ADC is algebraically the
+// same. (With quantization they differ slightly, which is the point of
+// temporal accumulation: fewer, coarser conversions.)
+func TestEngineAccumulationWindowInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	in := nonNegInput(rng, 24, 10, 10)
+	w := tensor.Random(rng, 2, 24, 3, 3)
+	var ref *tensor.Tensor
+	for _, m := range []int{1, 4, 16, 64} {
+		cfg := DefaultEngineConfig()
+		cfg.Quant = QuantConfig{}
+		cfg.AccumulationWindow = m
+		got := NewEngine(cfg).Conv2D(in, w, 1)
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if d := tensor.MaxAbsDiff(got, ref); d > 1e-9 {
+			t.Errorf("M=%d changes the exact result by %g", m, d)
+		}
+	}
+}
+
+// TestEngineADCSharedPerWindow: one readout per accumulation window means
+// OutputReads scales with ceil(C/M), not with C.
+func TestEngineADCQuantizesPerWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in := nonNegInput(rng, 32, 10, 10)
+	w := nonNegInput(rng, 1, 32, 3, 3) // positive weights: one pass per channel
+
+	cfg := DefaultEngineConfig()
+	cfg.AccumulationWindow = 16
+	e := NewEngine(cfg)
+	out16 := e.Conv2D(in, w, 1)
+
+	cfg.AccumulationWindow = 1
+	e1 := NewEngine(cfg)
+	out1 := e1.Conv2D(in, w, 1)
+
+	// Both remain close to the exact result...
+	want := tensor.Conv2DValid(in, w)
+	if d := tensor.MaxAbsDiff(out16, want); d > 0.05*want.MaxAbs() {
+		t.Errorf("M=16 error %g too large", d)
+	}
+	// ...but per-channel conversion (M=1) quantizes 32 times with a
+	// smaller full scale, so the two datapaths round differently.
+	if tensor.MaxAbsDiff(out16, out1) == 0 {
+		t.Error("accumulation window has no effect on the quantized datapath")
+	}
+}
+
+// TestEngineZeroChannelSkipped: channels whose (split) kernel is all zero
+// issue no passes — the DAC-gating optimization for zero padding extends to
+// all-zero kernels.
+func TestEngineZeroChannelSkipped(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	in := nonNegInput(rng, 2, 8, 8)
+	w := tensor.New(1, 2, 3, 3) // all-positive except channel 1 all zero
+	for i := 0; i < 9; i++ {
+		w.Data[i] = rng.Float64()
+	}
+	e := exactEngine()
+	e.Conv2D(in, w, 1)
+	g := PlanTiling(8, 8, 3, 3, 256)
+	if got := e.Stats().Passes; got != g.PassesPerImage {
+		t.Errorf("passes = %d, want %d (zero channel and zero negative part must be skipped)", got, g.PassesPerImage)
+	}
+}
+
+func TestEngineRejectsNegativeActivations(t *testing.T) {
+	in := tensor.FromSlice([]float64{-0.1, 0, 0, 0}, 1, 2, 2)
+	w := tensor.FromSlice([]float64{1}, 1, 1, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative activations")
+		}
+	}()
+	exactEngine().Conv2D(in, w, 1)
+}
+
+// TestEngineLargeKernelDecomposition: 7×7 and 11×11 first-layer kernels
+// exceed the 25 weight waveguides and split into row groups, each run as a
+// separate pass — the result must still be exact.
+func TestEngineLargeKernelDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range []int{7, 11} {
+		in := nonNegInput(rng, 2, 24, 24)
+		w := tensor.Random(rng, 2, 2, k, k)
+		e := exactEngine()
+		got := e.Conv2D(in, w, 1)
+		want := tensor.Conv2DValid(in, w)
+		if d := tensor.MaxAbsDiff(got, want); d > 1e-8 {
+			t.Errorf("k=%d: decomposed conv differs from reference by %g", k, d)
+		}
+		// A k×k kernel at 25 weight waveguides needs ceil(k/floor(25/k))
+		// row groups; passes must exceed the single-group count.
+		groups := (k + (25 / k) - 1) / (25 / k)
+		if groups < 2 {
+			t.Fatalf("k=%d should require decomposition", k)
+		}
+	}
+}
+
+func TestEngineRejectsOverwideKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	in := nonNegInput(rng, 1, 40, 40)
+	w := tensor.Random(rng, 1, 1, 1, 26) // wider than 25 weight waveguides
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for kernel wider than the weight waveguides")
+		}
+	}()
+	NewEngine(DefaultEngineConfig()).Conv2D(in, w, 1)
+}
+
+// TestEngineOnPhysicalJTC: the full engine (quantization off) running every
+// 1-D correlation through simulated light matches the reference.
+func TestEngineOnPhysicalJTC(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	in := nonNegInput(rng, 2, 8, 8)
+	w := tensor.Random(rng, 2, 2, 3, 3)
+	cfg := DefaultEngineConfig()
+	cfg.InputWaveguides = 64
+	cfg.Quant = QuantConfig{}
+	phys := NewPhysicalJTC(1024)
+	cfg.Correlator = phys.Correlate
+	// The physical correlator requires non-negative operands; the engine
+	// guarantees that via amplitude encoding + pseudo-negative splitting.
+	got := NewEngine(cfg).Conv2D(in, w, 1)
+	want := tensor.Conv2DValid(in, w)
+	if d := tensor.MaxAbsDiff(got, want); d > 1e-7 {
+		t.Errorf("engine-on-light differs from reference by %g", d)
+	}
+}
+
+// TestEngineQuantizationErrorShrinksWithBits: more DAC/ADC bits
+// monotonically (on average) reduce datapath error.
+func TestEngineQuantizationErrorShrinksWithBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	in := nonNegInput(rng, 4, 12, 12)
+	w := tensor.Random(rng, 2, 4, 3, 3)
+	want := tensor.Conv2DValid(in, w)
+	var prev float64 = math.Inf(1)
+	for _, bits := range []int{4, 8, 12} {
+		cfg := DefaultEngineConfig()
+		cfg.Quant = QuantConfig{Enabled: true, InputBits: bits, WeightBits: bits, ADCBits: bits}
+		got := NewEngine(cfg).Conv2D(in, w, 1)
+		err := tensor.MaxAbsDiff(got, want)
+		if err >= prev {
+			t.Errorf("%d-bit error %g not smaller than previous %g", bits, err, prev)
+		}
+		prev = err
+	}
+}
+
+func BenchmarkEngineConv2D(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	in := nonNegInput(rng, 16, 16, 16)
+	w := tensor.Random(rng, 16, 16, 3, 3)
+	e := NewEngine(DefaultEngineConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Conv2D(in, w, 1)
+	}
+}
+
+// TestEngineFeedbackRescaleRoundTrip exercises the §4.1.1 hardware-aware
+// scheduler functionally: inputs attenuated by the feedback buffer's decay
+// with weights pre-scaled by its inverse produce (to quantization noise)
+// the same outputs as the fresh pass. With exact arithmetic the identity
+// is perfect; through the 8-bit datapath the rescaling costs a bounded
+// amount of precision — the "effective output precision" trade §5.4.2
+// balances against reuse count.
+func TestEngineFeedbackRescaleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	in := nonNegInput(rng, 4, 12, 12)
+	w := tensor.Random(rng, 2, 4, 3, 3)
+	// Decay after the last of 15 reuses at optimal α (Table 5): 1/3.87.
+	const decay = 1 / 3.87
+
+	attenuated := tensor.Scale(in, decay)
+	rescaled := tensor.Scale(w, 1/decay)
+
+	exact := exactEngine()
+	ref := exact.Conv2D(in, w, 1)
+	got := exactEngine().Conv2D(attenuated, rescaled, 1)
+	if d := tensor.MaxAbsDiff(got, ref); d > 1e-9 {
+		t.Errorf("exact rescale round trip differs by %g", d)
+	}
+
+	quant := NewEngine(DefaultEngineConfig())
+	qRef := quant.Conv2D(in, w, 1)
+	qGot := NewEngine(DefaultEngineConfig()).Conv2D(attenuated, rescaled, 1)
+	errRescaled := tensor.MaxAbsDiff(qGot, ref)
+	errDirect := tensor.MaxAbsDiff(qRef, ref)
+	// The reused pass loses some precision but stays within a few LSBs of
+	// the direct pass's error.
+	if errRescaled > 5*errDirect+1e-9 {
+		t.Errorf("rescaled 8-bit error %g far exceeds direct %g", errRescaled, errDirect)
+	}
+}

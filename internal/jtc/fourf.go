@@ -1,0 +1,93 @@
+package jtc
+
+import (
+	"fmt"
+
+	"refocus/internal/dsp"
+)
+
+// FourF is the conventional 4F correlator the paper positions JTC against
+// (§1, §2.1): the input alone occupies the front focal plane, and the
+// *filter lives at the Fourier plane* as a complex-valued mask H(u) that
+// multiplies the input spectrum before the second lens transforms back.
+//
+// Its two JTC-motivating drawbacks fall straight out of the construction:
+//
+//  1. The Fourier-plane filter is complex-valued — every mask sample needs
+//     amplitude AND phase modulation (twice the modulator hardware, plus
+//     calibration), where the JTC's kernel enters as plain non-negative
+//     amplitudes at the input plane.
+//  2. The mask must span the whole Fourier plane: FilterSamples() == the
+//     aperture, regardless of how small the spatial kernel is. A 3×3 CNN
+//     kernel still costs an aperture-sized complex mask; the JTC loads 9
+//     real values.
+type FourF struct {
+	// Aperture is the plane size in samples.
+	Aperture int
+}
+
+// NewFourF builds an ideal 1-D 4F correlator.
+func NewFourF(aperture int) *FourF {
+	if aperture < 8 {
+		panic(fmt.Sprintf("jtc: 4F aperture %d too small", aperture))
+	}
+	return &FourF{Aperture: aperture}
+}
+
+// MatchedFilter computes the Fourier-plane mask for a spatial kernel:
+// H(u) = conj(FFT(kernel zero-padded to the aperture)). Every one of the
+// Aperture samples is complex — the filter-size limitation of §1.
+func (f *FourF) MatchedFilter(kernel []float64) []complex128 {
+	if len(kernel) > f.Aperture {
+		panic("jtc: kernel exceeds the 4F aperture")
+	}
+	padded := make([]complex128, f.Aperture)
+	for i, v := range kernel {
+		padded[i] = complex(v, 0)
+	}
+	dsp.FFTInPlace(padded)
+	for i, v := range padded {
+		padded[i] = complex(real(v), -imag(v))
+	}
+	return padded
+}
+
+// FilterSamples returns how many complex modulator settings one filter
+// occupies — always the full aperture.
+func (f *FourF) FilterSamples() int { return f.Aperture }
+
+// Correlate computes the valid cross-correlation of signal with kernel by
+// the 4F path: lens (FFT), Fourier-plane multiply by the matched filter,
+// lens (FFT). The signal must fit half the aperture so the circular wrap
+// stays clear of the valid band.
+func (f *FourF) Correlate(signal, kernel []float64) []float64 {
+	ls, lk := len(signal), len(kernel)
+	if lk > ls {
+		panic("jtc: kernel longer than signal")
+	}
+	if ls+lk > f.Aperture/2 {
+		panic("jtc: operands exceed 4F capacity")
+	}
+	n := f.Aperture
+	in := make([]complex128, n)
+	for i, v := range signal {
+		if v < 0 {
+			panic("jtc: negative amplitude")
+		}
+		in[i] = complex(v, 0)
+	}
+	dsp.FFTInPlace(in)
+	h := f.MatchedFilter(kernel)
+	for i := range in {
+		in[i] *= h[i]
+	}
+	// Second forward transform: output appears coordinate-reversed
+	// (FT∘FT = parity), so the correlation at lag l reads at index
+	// (n - l) mod n, scaled by n.
+	dsp.FFTInPlace(in)
+	out := make([]float64, ls-lk+1)
+	for l := range out {
+		out[l] = real(in[(n-l)%n]) / float64(n)
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package jtc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"refocus/internal/tensor"
+)
+
+// FuzzConvPlane: for arbitrary plane/kernel/waveguide combinations, the
+// row-tiled 1-D JTC convolution equals the 2-D reference under every
+// tiling strategy the planner selects.
+func FuzzConvPlane(f *testing.F) {
+	f.Add(int64(1), uint8(16), uint8(16), uint8(3), uint16(256)) // full tiling
+	f.Add(int64(2), uint8(12), uint8(60), uint8(3), uint16(128)) // partial
+	f.Add(int64(3), uint8(6), uint8(200), uint8(3), uint16(64))  // row partitioning
+	f.Add(int64(4), uint8(9), uint8(9), uint8(7), uint16(256))
+	f.Fuzz(func(t *testing.T, seed int64, rawH, rawW, rawK uint8, rawT uint16) {
+		h := int(rawH)%40 + 3
+		w := int(rawW)%60 + 3
+		k := int(rawK)%5 + 1
+		if k > h {
+			k = h
+		}
+		if k > w {
+			k = w
+		}
+		waveguides := int(rawT)%400 + 2*k + 8
+		rng := rand.New(rand.NewSource(seed))
+		in := randPlane(rng, h, w)
+		kern := randPlane(rng, k, k)
+		out, stats := ConvPlane(in, kern, waveguides, DigitalCorrelator)
+		want := refConv(in, kern)
+		for y := range out {
+			for x := range out[y] {
+				if math.Abs(out[y][x]-want.At(0, y, x)) > 1e-7 {
+					t.Fatalf("h=%d w=%d k=%d T=%d: mismatch at (%d,%d)", h, w, k, waveguides, y, x)
+				}
+			}
+		}
+		if stats.Passes <= 0 || stats.InputConversions <= 0 {
+			t.Fatalf("degenerate stats %+v", stats)
+		}
+	})
+}
+
+// FuzzEngineConv2D: the full RFCU datapath (exact mode) against the tensor
+// reference for arbitrary channel/filter/stride combinations.
+func FuzzEngineConv2D(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(12), uint8(4), uint8(1))
+	f.Add(int64(2), uint8(1), uint8(8), uint8(1), uint8(2))
+	f.Add(int64(3), uint8(20), uint8(9), uint8(2), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, rawC, rawS, rawF, rawStride uint8) {
+		c := int(rawC)%8 + 1
+		size := int(rawS)%10 + 6
+		fCount := int(rawF)%4 + 1
+		stride := int(rawStride)%2 + 1
+		rng := rand.New(rand.NewSource(seed))
+		in := tensor.New(c, size, size)
+		for i := range in.Data {
+			in.Data[i] = rng.Float64()
+		}
+		w := tensor.Random(rng, fCount, c, 3, 3)
+		cfg := DefaultEngineConfig()
+		cfg.Quant = QuantConfig{}
+		got := NewEngine(cfg).Conv2D(in, w, stride)
+		want := tensor.Conv2DStride(in, w, stride, 0)
+		if d := tensor.MaxAbsDiff(got, want); d > 1e-7 {
+			t.Fatalf("c=%d size=%d f=%d stride=%d: engine differs by %g", c, size, fCount, stride, d)
+		}
+	})
+}

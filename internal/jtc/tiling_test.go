@@ -1,0 +1,254 @@
+package jtc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"refocus/internal/tensor"
+)
+
+func randPlane(rng *rand.Rand, h, w int) [][]float64 {
+	p := make([][]float64, h)
+	for y := range p {
+		p[y] = make([]float64, w)
+		for x := range p[y] {
+			p[y][x] = rng.Float64()
+		}
+	}
+	return p
+}
+
+func planeToTensor(p [][]float64) *tensor.Tensor {
+	h, w := len(p), len(p[0])
+	t := tensor.New(1, h, w)
+	for y := 0; y < h; y++ {
+		copy(t.Data[y*w:(y+1)*w], p[y])
+	}
+	return t
+}
+
+func kernelToTensor(k [][]float64) *tensor.Tensor {
+	kh, kw := len(k), len(k[0])
+	t := tensor.New(1, 1, kh, kw)
+	for y := 0; y < kh; y++ {
+		copy(t.Data[y*kw:(y+1)*kw], k[y])
+	}
+	return t
+}
+
+func refConv(p, k [][]float64) *tensor.Tensor {
+	return tensor.Conv2DValid(planeToTensor(p), kernelToTensor(k))
+}
+
+func checkConvPlane(t *testing.T, rng *rand.Rand, h, w, kh, kw, waveguides int, wantStrategy TilingStrategy) PassStats {
+	t.Helper()
+	in := randPlane(rng, h, w)
+	k := randPlane(rng, kh, kw)
+	g := PlanTiling(h, w, kh, kw, waveguides)
+	if g.Strategy != wantStrategy {
+		t.Fatalf("%dx%d k=%dx%d T=%d: strategy %v, want %v", h, w, kh, kw, waveguides, g.Strategy, wantStrategy)
+	}
+	out, stats := ConvPlane(in, k, waveguides, DigitalCorrelator)
+	want := refConv(in, k)
+	got := tensor.New(1, len(out), len(out[0]))
+	for y := range out {
+		copy(got.Data[y*len(out[0]):(y+1)*len(out[0])], out[y])
+	}
+	if d := tensor.MaxAbsDiff(got, want); d > 1e-9 {
+		t.Errorf("%dx%d k=%dx%d T=%d (%v): JTC conv differs from reference by %g", h, w, kh, kw, waveguides, g.Strategy, d)
+	}
+	if stats.Passes != g.PassesPerImage {
+		t.Errorf("%v: executed %d passes, plan said %d", g.Strategy, stats.Passes, g.PassesPerImage)
+	}
+	return stats
+}
+
+// TestConvPlaneFullTiling: the headline case — row tiling with zero padding
+// reproduces the exact 2-D convolution (paper §2.2: "identical results to
+// conventional 2D convolutions when input rows are zero-padded").
+func TestConvPlaneFullTiling(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct{ h, w, kh, kw, t int }{
+		{8, 8, 3, 3, 256},
+		{32, 32, 3, 3, 256},
+		{16, 16, 5, 5, 256},
+		{7, 7, 1, 1, 256}, // pointwise convs of ResNet-50
+		{14, 14, 3, 3, 256},
+		{10, 12, 3, 5, 256}, // non-square input and kernel
+		{9, 9, 7, 7, 256},
+		{5, 5, 5, 5, 64},
+	} {
+		checkConvPlane(t, rng, tc.h, tc.w, tc.kh, tc.kw, tc.t, FullTiling)
+	}
+}
+
+// TestConvPlanePartialTiling: fewer than KH rows fit — partial sums over
+// kernel-row groups still give the exact result at more passes (§2.2).
+func TestConvPlanePartialTiling(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, tc := range []struct{ h, w, kh, kw, t int }{
+		{16, 60, 3, 3, 128},  // stride 62, 2 rows fit
+		{12, 100, 5, 5, 224}, // stride 104, 2 rows fit
+		{8, 50, 7, 7, 120},   // stride 56, 2 rows fit
+	} {
+		checkConvPlane(t, rng, tc.h, tc.w, tc.kh, tc.kw, tc.t, PartialTiling)
+	}
+}
+
+// TestConvPlaneRowPartitioning: a single row exceeds the waveguides (the
+// first-layer case) — rows are split into overlapping segments.
+func TestConvPlaneRowPartitioning(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, tc := range []struct{ h, w, kh, kw, t int }{
+		{8, 224, 3, 3, 128},
+		{8, 300, 7, 7, 256},
+		{5, 70, 3, 3, 64},
+	} {
+		checkConvPlane(t, rng, tc.h, tc.w, tc.kh, tc.kw, tc.t, RowPartitioning)
+	}
+}
+
+// TestSection22ConversionExample reproduces the paper's §2.2 accounting:
+// a 256-waveguide JTC convolving a 32×32 input with a 3×3 kernel takes
+// 6 passes and 1590 conversions versus 9216 GPU MACs — "more than 5 times
+// fewer computations".
+func TestSection22ConversionExample(t *testing.T) {
+	g := PlanTiling(32, 32, 3, 3, 256)
+	if g.RowStride != 34 {
+		t.Errorf("row stride = %d, want 34 (32 + 3 - 1)", g.RowStride)
+	}
+	if g.RowsPerTile != 7 {
+		t.Errorf("rows per tile = %d, want 7", g.RowsPerTile)
+	}
+	if g.ValidRowsPerPass != 5 {
+		t.Errorf("valid rows per pass = %d, want 5", g.ValidRowsPerPass)
+	}
+	if g.PassesPerImage != 6 {
+		t.Errorf("passes = %d, want 6", g.PassesPerImage)
+	}
+	conv, macs := ConversionsExample(32, 3, 256)
+	if conv != 1590 {
+		t.Errorf("JTC conversions = %d, want 1590 (6×(256+9))", conv)
+	}
+	if macs != 9216 {
+		t.Errorf("GPU MACs = %d, want 9216 (32²×3²)", macs)
+	}
+	if ratio := float64(macs) / float64(conv); ratio < 5 {
+		t.Errorf("advantage ratio %.2f, paper claims more than 5×", ratio)
+	}
+}
+
+// TestFigure2Example reproduces the Figure-2 narration: when 8 rows are
+// tiled with a 3×3 kernel, 6 output rows are valid (8-2).
+func TestFigure2Example(t *testing.T) {
+	// 8 rows of a 24-wide input tile at stride 26 need 208 waveguides.
+	g := PlanTiling(24, 24, 3, 3, 208)
+	if g.RowsPerTile != 8 {
+		t.Fatalf("rows per tile = %d, want 8", g.RowsPerTile)
+	}
+	if g.ValidRowsPerPass != 6 {
+		t.Errorf("valid rows = %d, want 6 (the paper's 8-2)", g.ValidRowsPerPass)
+	}
+}
+
+// TestUtilizationTrends: effective utilization is higher for larger JTCs
+// and smaller input activations (paper §2.2 closing claim).
+func TestUtilizationTrends(t *testing.T) {
+	smallJTC := UtilizationForLayer(32, 32, 3, 3, 128)
+	largeJTC := UtilizationForLayer(32, 32, 3, 3, 512)
+	if largeJTC <= smallJTC {
+		t.Errorf("larger JTC should utilize better: %g vs %g", largeJTC, smallJTC)
+	}
+	bigActivation := UtilizationForLayer(56, 56, 3, 3, 256)
+	smallActivation := UtilizationForLayer(14, 14, 3, 3, 256)
+	if smallActivation <= bigActivation {
+		t.Errorf("smaller activation should utilize better: %g vs %g", smallActivation, bigActivation)
+	}
+}
+
+func TestPlanTilingValidation(t *testing.T) {
+	for i, fn := range []func(){
+		func() { PlanTiling(2, 2, 3, 3, 256) }, // kernel exceeds input
+		func() { PlanTiling(8, 8, 0, 1, 256) }, // zero kernel
+		func() { PlanTiling(8, 8, 3, 3, 4) },   // too few waveguides
+	} {
+		func() {
+			defer func() { recover() }()
+			fn()
+			t.Errorf("case %d: expected panic", i)
+		}()
+	}
+}
+
+// TestConvPlaneOnPhysicalJTC closes the loop: the row-tiling algorithm
+// running on the *physically simulated* JTC (field propagation through
+// lenses and the square-law material) reproduces the digital 2-D
+// convolution end to end.
+func TestConvPlaneOnPhysicalJTC(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	in := randPlane(rng, 8, 8)
+	k := randPlane(rng, 3, 3)
+	waveguides := 64 // stride 10, 6 rows per tile
+	// The aperture must host the tiled signal plus the tiled 1-D kernel
+	// plus the guard bands (8× their combined length).
+	phys := NewPhysicalJTC(dspNextPow2(8 * 2 * waveguides))
+	out, _ := ConvPlane(in, k, waveguides, phys.Correlate)
+	want := refConv(in, k)
+	got := tensor.New(1, len(out), len(out[0]))
+	for y := range out {
+		copy(got.Data[y*len(out[0]):(y+1)*len(out[0])], out[y])
+	}
+	if d := tensor.MaxAbsDiff(got, want); d > 1e-8 {
+		t.Errorf("physical JTC 2-D conv differs from reference by %g", d)
+	}
+}
+
+func dspNextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// TestConvPlaneProperty cross-checks all three strategies against the
+// digital reference over random shapes.
+func TestConvPlaneProperty(t *testing.T) {
+	f := func(seed int64, rh, rw, rk, rt uint8) bool {
+		h := int(rh)%20 + 3
+		w := int(rw)%40 + 3
+		k := int(rk)%3*2 + 1 // 1, 3, 5
+		if k > h || k > w {
+			k = 1
+		}
+		waveguides := int(rt)%100 + 2*k + 8
+		rng := rand.New(rand.NewSource(seed))
+		in := randPlane(rng, h, w)
+		kern := randPlane(rng, k, k)
+		out, _ := ConvPlane(in, kern, waveguides, DigitalCorrelator)
+		want := refConv(in, kern)
+		for y := range out {
+			for x := range out[y] {
+				if d := out[y][x] - want.At(0, y, x); d > 1e-8 || d < -1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkConvPlaneFullTiling(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	in := randPlane(rng, 32, 32)
+	k := randPlane(rng, 3, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ConvPlane(in, k, 256, DigitalCorrelator)
+	}
+}

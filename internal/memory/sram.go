@@ -1,0 +1,160 @@
+// Package memory provides the CACTI-style analytical SRAM model, the
+// §5.3.3 data-buffer sizing rules, and the HBM2 DRAM energy model that the
+// ReFOCUS evaluation consumes. The paper used CACTI 6.0 [43]; this package
+// substitutes a capacity-scaling law calibrated so the paper's observable
+// consequences hold — in particular that the 4 MB shared activation SRAM
+// costs >4× the access energy of a 512 KB weight SRAM (paper §5.2) and
+// that SRAM plus buffers occupy ≈12.4 mm² (paper Figure 9).
+package memory
+
+import (
+	"fmt"
+	"math"
+
+	"refocus/internal/phys"
+)
+
+// Calibration constants for the 14 nm-class SRAM scaling law. Access
+// energy per byte grows as capacity^energyExponent, anchored at a 32 KB
+// array; the exponent is fitted so the paper's 4 MB-vs-512 KB ">4×" ratio
+// holds (8^0.7 ≈ 4.3). Area and leakage scale linearly with capacity at
+// densities typical of 14 nm compiled SRAM.
+const (
+	anchorCapacity      = 32 * phys.KB
+	anchorEnergyPerByte = 0.025 * phys.PJ // pJ/byte at 32 KB
+	energyExponent      = 0.7
+	areaPerByte         = 1.0 * phys.MM2 / (1024 * 1024) // 1 mm² per MB
+	leakagePerByte      = 2e-3 / (1024 * 1024)           // 2 mW per MB
+)
+
+// SRAM is an on-chip SRAM array or data buffer.
+type SRAM struct {
+	// Name labels the array in reports ("activation SRAM", "input buffer").
+	Name string
+	// CapacityBytes is the array capacity.
+	CapacityBytes int
+	// WordBytes is the access width in bytes (energy is charged per byte,
+	// so this only matters for bandwidth checks).
+	WordBytes int
+}
+
+// NewSRAM validates and returns an SRAM model.
+func NewSRAM(name string, capacityBytes, wordBytes int) SRAM {
+	if capacityBytes <= 0 {
+		panic(fmt.Sprintf("memory: non-positive capacity %d", capacityBytes))
+	}
+	if wordBytes <= 0 {
+		panic(fmt.Sprintf("memory: non-positive word width %d", wordBytes))
+	}
+	return SRAM{Name: name, CapacityBytes: capacityBytes, WordBytes: wordBytes}
+}
+
+// AccessEnergyPerByte returns the read/write energy per byte in joules.
+func (s SRAM) AccessEnergyPerByte() float64 {
+	ratio := float64(s.CapacityBytes) / float64(anchorCapacity)
+	return anchorEnergyPerByte * math.Pow(ratio, energyExponent)
+}
+
+// AccessEnergy returns the energy to move n bytes through the array.
+func (s SRAM) AccessEnergy(bytes float64) float64 {
+	return bytes * s.AccessEnergyPerByte()
+}
+
+// Area returns the array area in m².
+func (s SRAM) Area() float64 { return float64(s.CapacityBytes) * areaPerByte }
+
+// LeakagePower returns static power in watts.
+func (s SRAM) LeakagePower() float64 { return float64(s.CapacityBytes) * leakagePerByte }
+
+// DRAM models the off-chip memory. The paper profiles HBM2 at the
+// fine-grained-DRAM figure of O'Connor et al. MICRO'17 [44], ≈3.97 pJ/bit.
+type DRAM struct {
+	EnergyPerByte float64
+}
+
+// DefaultHBM2 returns the HBM2 model used in §7.3.
+func DefaultHBM2() DRAM { return DRAM{EnergyPerByte: 3.97 * 8 * phys.PJ} }
+
+// AccessEnergy returns the energy to transfer n bytes.
+func (d DRAM) AccessEnergy(bytes float64) float64 { return bytes * d.EnergyPerByte }
+
+// DataflowChoice selects between the two §5.3.3 orderings after a reuse
+// window completes.
+type DataflowChoice int
+
+const (
+	// FilterMajor (the paper's choice (1), adopted by ReFOCUS): keep the
+	// input channel group and walk filters — small input buffer, large
+	// output buffer.
+	FilterMajor DataflowChoice = iota
+	// ChannelMajor (choice (2)): keep the filters and walk channel groups
+	// — large input buffer, small output buffer.
+	ChannelMajor
+)
+
+func (c DataflowChoice) String() string {
+	switch c {
+	case FilterMajor:
+		return "filter-major"
+	case ChannelMajor:
+		return "channel-major"
+	default:
+		return fmt.Sprintf("DataflowChoice(%d)", int(c))
+	}
+}
+
+// BufferPlan captures the input/output data-buffer sizing of §5.3.3.
+type BufferPlan struct {
+	Choice DataflowChoice
+	// InputBufferBytes is shared by all RFCUs (inputs broadcast).
+	InputBufferBytes int
+	// OutputBufferBytesPerRFCU is private to each RFCU.
+	OutputBufferBytesPerRFCU int
+}
+
+// PlanBuffers applies the paper's sizing formulas:
+//
+//	choice (1): B_in = T·M·N_λ        B_out = T·N_F/N_RFCU
+//	choice (2): B_in = T·N_C·N_λ      B_out = T·(R+1)
+//
+// where T is the tile size, M the delay length in cycles, N_λ the
+// wavelength count, N_F/N_C the maximum filters/channels per layer of the
+// target networks, and R the optical reuse count. All quantities are in
+// bytes at 8-bit precision.
+func PlanBuffers(choice DataflowChoice, t, m, nLambda, nFilters, nChannels, nRFCU, reuses int) BufferPlan {
+	if t <= 0 || m <= 0 || nLambda <= 0 || nFilters <= 0 || nChannels <= 0 || nRFCU <= 0 || reuses < 0 {
+		panic("memory: buffer plan parameters must be positive")
+	}
+	p := BufferPlan{Choice: choice}
+	switch choice {
+	case FilterMajor:
+		p.InputBufferBytes = t * m * nLambda
+		p.OutputBufferBytesPerRFCU = t * nFilters / nRFCU
+	case ChannelMajor:
+		p.InputBufferBytes = t * nChannels * nLambda
+		p.OutputBufferBytesPerRFCU = t * (reuses + 1)
+	default:
+		panic(fmt.Sprintf("memory: unknown dataflow choice %d", choice))
+	}
+	return p
+}
+
+// InputBuffer returns the SRAM model for the plan's shared input buffer.
+// Ping-pong double buffering (so fills overlap drains) doubles the raw
+// capacity, as the paper notes it ignores only for exposition.
+func (p BufferPlan) InputBuffer(pingPong bool) SRAM {
+	c := p.InputBufferBytes
+	if pingPong {
+		c *= 2
+	}
+	return NewSRAM("input buffer", c, 1)
+}
+
+// OutputBuffer returns the SRAM model for one RFCU's output buffer.
+func (p BufferPlan) OutputBuffer(pingPong bool) SRAM {
+	c := p.OutputBufferBytesPerRFCU
+	if pingPong {
+		c *= 2
+	}
+	return NewSRAM("output buffer", c, 1)
+}

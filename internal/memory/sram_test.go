@@ -1,0 +1,161 @@
+package memory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"refocus/internal/phys"
+)
+
+func TestActivationVsWeightSRAMEnergyRatio(t *testing.T) {
+	activation := NewSRAM("activation", 4*phys.MB, 32)
+	weight := NewSRAM("weight", 512*phys.KB, 32)
+	ratio := activation.AccessEnergyPerByte() / weight.AccessEnergyPerByte()
+	// Paper §5.2: the 4 MB activation SRAM has >4× the access energy of a
+	// 512 KB weight SRAM.
+	if ratio <= 4 {
+		t.Errorf("activation/weight access energy ratio = %.2f, paper says >4", ratio)
+	}
+	if ratio > 6 {
+		t.Errorf("ratio %.2f implausibly high for an 8× capacity step", ratio)
+	}
+}
+
+func TestBuffersCheaperThanSRAM(t *testing.T) {
+	activation := NewSRAM("activation", 4*phys.MB, 32)
+	buffer := NewSRAM("input buffer", 8*phys.KB, 32)
+	if buffer.AccessEnergyPerByte() >= activation.AccessEnergyPerByte()/10 {
+		t.Errorf("an 8 KB buffer should cost <10%% of the 4 MB SRAM per byte: %g vs %g",
+			buffer.AccessEnergyPerByte(), activation.AccessEnergyPerByte())
+	}
+}
+
+// TestSRAMAreaMatchesFigure9: the ReFOCUS memory complement (4 MB shared
+// activation SRAM + 16×512 KB weight SRAM + data buffers) occupies about
+// 12.4 mm² (paper Figure 9).
+func TestSRAMAreaMatchesFigure9(t *testing.T) {
+	total := NewSRAM("activation", 4*phys.MB, 32).Area()
+	for i := 0; i < 16; i++ {
+		total += NewSRAM("weight", 512*phys.KB, 32).Area()
+	}
+	plan := PlanBuffers(FilterMajor, 256, 16, 2, 512, 512, 16, 1)
+	total += plan.InputBuffer(true).Area()
+	for i := 0; i < 16; i++ {
+		total += plan.OutputBuffer(true).Area()
+	}
+	got := phys.M2ToMM2(total)
+	if math.Abs(got-12.4) > 1.5 {
+		t.Errorf("memory area = %.2f mm², paper Figure 9 says ≈12.4", got)
+	}
+}
+
+func TestSRAMEnergyMonotonicInCapacity(t *testing.T) {
+	f := func(a, b uint32) bool {
+		ca := int(a%(8*1024*1024)) + 1024
+		cb := int(b%(8*1024*1024)) + 1024
+		if ca > cb {
+			ca, cb = cb, ca
+		}
+		sa := NewSRAM("a", ca, 32)
+		sb := NewSRAM("b", cb, 32)
+		return sa.AccessEnergyPerByte() <= sb.AccessEnergyPerByte()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSRAMAccessEnergyLinear(t *testing.T) {
+	s := NewSRAM("s", 64*phys.KB, 32)
+	if d := s.AccessEnergy(1000) - 1000*s.AccessEnergyPerByte(); math.Abs(d) > 1e-24 {
+		t.Error("AccessEnergy not linear in bytes")
+	}
+}
+
+func TestSRAMLeakageScales(t *testing.T) {
+	small := NewSRAM("s", 1*phys.MB, 32)
+	big := NewSRAM("b", 4*phys.MB, 32)
+	if r := big.LeakagePower() / small.LeakagePower(); math.Abs(r-4) > 1e-9 {
+		t.Errorf("leakage ratio %g, want 4", r)
+	}
+	// Leakage of the whole 12 MB complement stays well under 100 mW —
+	// negligible against the 10-16 W system (so the paper can omit it).
+	if p := NewSRAM("all", 12*phys.MB, 32).LeakagePower(); p > 0.1 {
+		t.Errorf("12 MB leakage %g W too high", p)
+	}
+}
+
+func TestPlanBuffersFormulas(t *testing.T) {
+	// ReFOCUS parameters: T=256, M=16, Nλ=2, NF=512, NC=512, 16 RFCUs.
+	p1 := PlanBuffers(FilterMajor, 256, 16, 2, 512, 512, 16, 15)
+	if p1.InputBufferBytes != 256*16*2 {
+		t.Errorf("choice (1) B_in = %d, want %d", p1.InputBufferBytes, 256*16*2)
+	}
+	if p1.OutputBufferBytesPerRFCU != 256*512/16 {
+		t.Errorf("choice (1) B_out = %d, want %d", p1.OutputBufferBytesPerRFCU, 256*512/16)
+	}
+	p2 := PlanBuffers(ChannelMajor, 256, 16, 2, 512, 512, 16, 15)
+	if p2.InputBufferBytes != 256*512*2 {
+		t.Errorf("choice (2) B_in = %d, want %d", p2.InputBufferBytes, 256*512*2)
+	}
+	if p2.OutputBufferBytesPerRFCU != 256*16 {
+		t.Errorf("choice (2) B_out = %d, want %d", p2.OutputBufferBytesPerRFCU, 256*16)
+	}
+}
+
+// TestFilterMajorHasSmallerInputBuffer: the paper adopts choice (1) because
+// the input buffer — accessed every cycle — must stay small and fast;
+// choice (2)'s input buffer is far larger for realistic channel counts.
+func TestFilterMajorHasSmallerInputBuffer(t *testing.T) {
+	p1 := PlanBuffers(FilterMajor, 256, 16, 2, 512, 512, 16, 15)
+	p2 := PlanBuffers(ChannelMajor, 256, 16, 2, 512, 512, 16, 15)
+	if p1.InputBufferBytes >= p2.InputBufferBytes {
+		t.Errorf("choice (1) input buffer %d should be smaller than choice (2) %d",
+			p1.InputBufferBytes, p2.InputBufferBytes)
+	}
+	// And its access energy per byte is correspondingly lower.
+	e1 := p1.InputBuffer(false).AccessEnergyPerByte()
+	e2 := p2.InputBuffer(false).AccessEnergyPerByte()
+	if e1 >= e2 {
+		t.Errorf("choice (1) input buffer energy %g should undercut choice (2) %g", e1, e2)
+	}
+}
+
+func TestPingPongDoubles(t *testing.T) {
+	p := PlanBuffers(FilterMajor, 256, 16, 2, 512, 512, 16, 1)
+	if p.InputBuffer(true).CapacityBytes != 2*p.InputBuffer(false).CapacityBytes {
+		t.Error("ping-pong should double the buffer capacity")
+	}
+}
+
+func TestDefaultHBM2(t *testing.T) {
+	d := DefaultHBM2()
+	// O'Connor et al. report ≈3.97 pJ/bit for HBM2.
+	wantPerByte := 3.97 * 8 * 1e-12
+	if math.Abs(d.EnergyPerByte-wantPerByte) > 1e-15 {
+		t.Errorf("HBM2 energy per byte = %g, want %g", d.EnergyPerByte, wantPerByte)
+	}
+	// DRAM must dwarf even the big activation SRAM per byte — the §7.3
+	// observation that DRAM dominates once on-chip access is optimized.
+	sram := NewSRAM("activation", 4*phys.MB, 32)
+	if d.EnergyPerByte < 10*sram.AccessEnergyPerByte() {
+		t.Errorf("HBM2 per-byte energy %g should be >10× activation SRAM %g",
+			d.EnergyPerByte, sram.AccessEnergyPerByte())
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewSRAM("bad", 0, 32) },
+		func() { NewSRAM("bad", 1024, 0) },
+		func() { PlanBuffers(FilterMajor, 0, 16, 2, 512, 512, 16, 1) },
+		func() { PlanBuffers(DataflowChoice(9), 256, 16, 2, 512, 512, 16, 1) },
+	} {
+		func() {
+			defer func() { recover() }()
+			fn()
+			t.Errorf("case %d: expected panic", i)
+		}()
+	}
+}

@@ -1,0 +1,148 @@
+// Package nn describes the CNN workloads ReFOCUS is evaluated on. It
+// provides the conv-layer shape tables of the five benchmark networks
+// (AlexNet, VGG-16, ResNet-18/34/50 — paper §6), aggregate statistics the
+// performance model consumes, and a small runnable CNN for functional
+// end-to-end validation on the JTC engine.
+//
+// The paper benchmarks only the convolution layers, which it measures as
+// >99% of total computation; fully-connected layers are listed for
+// completeness but flagged so the simulator can skip them the same way.
+package nn
+
+import "fmt"
+
+// ConvLayer is one convolution layer's shape. All five networks are
+// ImageNet models with 224×224 inputs (227 for the original AlexNet is
+// normalized to the torchvision 224 variant).
+type ConvLayer struct {
+	Name   string
+	InC    int // input channels
+	InH    int // input height (before padding)
+	InW    int // input width
+	OutC   int // filters
+	KH, KW int
+	Stride int
+	Pad    int
+	// Repeat counts identical layers (ResNet block bodies) so shape
+	// tables stay compact; all statistics multiply by it.
+	Repeat int
+}
+
+// OutH returns the output height.
+func (l ConvLayer) OutH() int { return (l.InH+2*l.Pad-l.KH)/l.Stride + 1 }
+
+// OutW returns the output width.
+func (l ConvLayer) OutW() int { return (l.InW+2*l.Pad-l.KW)/l.Stride + 1 }
+
+// MACs returns multiply-accumulates for one instance of the layer.
+func (l ConvLayer) MACs() float64 {
+	return float64(l.OutC) * float64(l.OutH()) * float64(l.OutW()) *
+		float64(l.InC) * float64(l.KH) * float64(l.KW)
+}
+
+// WeightBytes returns the 8-bit weight footprint of one instance.
+func (l ConvLayer) WeightBytes() int { return l.OutC * l.InC * l.KH * l.KW }
+
+// InputBytes returns the 8-bit input activation footprint.
+func (l ConvLayer) InputBytes() int { return l.InC * l.InH * l.InW }
+
+// OutputBytes returns the 8-bit output activation footprint.
+func (l ConvLayer) OutputBytes() int { return l.OutC * l.OutH() * l.OutW() }
+
+// Validate panics on an inconsistent shape.
+func (l ConvLayer) Validate() {
+	if l.InC <= 0 || l.OutC <= 0 || l.KH <= 0 || l.KW <= 0 || l.Stride <= 0 || l.Pad < 0 || l.Repeat <= 0 {
+		panic(fmt.Sprintf("nn: invalid layer %+v", l))
+	}
+	if l.InH+2*l.Pad < l.KH || l.InW+2*l.Pad < l.KW {
+		panic(fmt.Sprintf("nn: kernel exceeds padded input in layer %s", l.Name))
+	}
+}
+
+// Network is a named list of conv layers.
+type Network struct {
+	Name   string
+	Layers []ConvLayer
+}
+
+// Validate panics if any layer is inconsistent.
+func (n Network) Validate() {
+	for _, l := range n.Layers {
+		l.Validate()
+	}
+}
+
+// TotalMACs returns the network's conv MACs (counting repeats).
+func (n Network) TotalMACs() float64 {
+	var total float64
+	for _, l := range n.Layers {
+		total += l.MACs() * float64(l.Repeat)
+	}
+	return total
+}
+
+// TotalWeightBytes returns the 8-bit conv weight footprint.
+func (n Network) TotalWeightBytes() int {
+	var total int
+	for _, l := range n.Layers {
+		total += l.WeightBytes() * l.Repeat
+	}
+	return total
+}
+
+// LayerCount returns the number of conv layer instances.
+func (n Network) LayerCount() int {
+	var total int
+	for _, l := range n.Layers {
+		total += l.Repeat
+	}
+	return total
+}
+
+// MaxFilters returns N_F, the largest filter count of any layer — the
+// output-buffer sizing input of §5.3.3.
+func (n Network) MaxFilters() int {
+	max := 0
+	for _, l := range n.Layers {
+		if l.OutC > max {
+			max = l.OutC
+		}
+	}
+	return max
+}
+
+// MaxChannels returns N_C, the largest channel count of any layer.
+func (n Network) MaxChannels() int {
+	max := 0
+	for _, l := range n.Layers {
+		if l.InC > max {
+			max = l.InC
+		}
+	}
+	return max
+}
+
+// MaxWeightLayerBytes returns the largest single layer's weight footprint —
+// the value the 512 KB per-RFCU weight SRAM is sized against (§5.2, noting
+// weights are also striped across the 16 RFCUs' SRAMs).
+func (n Network) MaxWeightLayerBytes() int {
+	max := 0
+	for _, l := range n.Layers {
+		if b := l.WeightBytes(); b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// MaxActivationBytes returns the largest input+output activation resident
+// set of any layer — what the 4 MB activation SRAM must hold (§5.2).
+func (n Network) MaxActivationBytes() int {
+	max := 0
+	for _, l := range n.Layers {
+		if b := l.InputBytes() + l.OutputBytes(); b > max {
+			max = b
+		}
+	}
+	return max
+}

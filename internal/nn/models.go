@@ -1,0 +1,139 @@
+package nn
+
+// The five benchmark networks of the paper's evaluation (§6), as conv-layer
+// shape tables. Spatial sizes follow the standard torchvision ImageNet
+// graphs; only convolution layers are listed (the paper benchmarks those,
+// measuring them at >99% of computation).
+
+// AlexNet returns the torchvision AlexNet conv stack (Krizhevsky et al.
+// [27], 224×224 single-crop variant).
+func AlexNet() Network {
+	n := Network{Name: "AlexNet", Layers: []ConvLayer{
+		{Name: "conv1", InC: 3, InH: 224, InW: 224, OutC: 64, KH: 11, KW: 11, Stride: 4, Pad: 2, Repeat: 1},
+		{Name: "conv2", InC: 64, InH: 27, InW: 27, OutC: 192, KH: 5, KW: 5, Stride: 1, Pad: 2, Repeat: 1},
+		{Name: "conv3", InC: 192, InH: 13, InW: 13, OutC: 384, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 1},
+		{Name: "conv4", InC: 384, InH: 13, InW: 13, OutC: 256, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 1},
+		{Name: "conv5", InC: 256, InH: 13, InW: 13, OutC: 256, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 1},
+	}}
+	n.Validate()
+	return n
+}
+
+// VGG16 returns the VGG-16 conv stack (Simonyan & Zisserman [54]).
+func VGG16() Network {
+	n := Network{Name: "VGG-16", Layers: []ConvLayer{
+		{Name: "conv1_1", InC: 3, InH: 224, InW: 224, OutC: 64, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 1},
+		{Name: "conv1_2", InC: 64, InH: 224, InW: 224, OutC: 64, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 1},
+		{Name: "conv2_1", InC: 64, InH: 112, InW: 112, OutC: 128, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 1},
+		{Name: "conv2_2", InC: 128, InH: 112, InW: 112, OutC: 128, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 1},
+		{Name: "conv3_1", InC: 128, InH: 56, InW: 56, OutC: 256, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 1},
+		{Name: "conv3_x", InC: 256, InH: 56, InW: 56, OutC: 256, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 2},
+		{Name: "conv4_1", InC: 256, InH: 28, InW: 28, OutC: 512, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 1},
+		{Name: "conv4_x", InC: 512, InH: 28, InW: 28, OutC: 512, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 2},
+		{Name: "conv5_x", InC: 512, InH: 14, InW: 14, OutC: 512, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 3},
+	}}
+	n.Validate()
+	return n
+}
+
+// ResNet18 returns the ResNet-18 conv stack (He et al. [23]).
+func ResNet18() Network {
+	n := Network{Name: "ResNet-18", Layers: []ConvLayer{
+		{Name: "conv1", InC: 3, InH: 224, InW: 224, OutC: 64, KH: 7, KW: 7, Stride: 2, Pad: 3, Repeat: 1},
+		{Name: "layer1", InC: 64, InH: 56, InW: 56, OutC: 64, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 4},
+		{Name: "layer2.0.conv1", InC: 64, InH: 56, InW: 56, OutC: 128, KH: 3, KW: 3, Stride: 2, Pad: 1, Repeat: 1},
+		{Name: "layer2.0.down", InC: 64, InH: 56, InW: 56, OutC: 128, KH: 1, KW: 1, Stride: 2, Pad: 0, Repeat: 1},
+		{Name: "layer2", InC: 128, InH: 28, InW: 28, OutC: 128, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 3},
+		{Name: "layer3.0.conv1", InC: 128, InH: 28, InW: 28, OutC: 256, KH: 3, KW: 3, Stride: 2, Pad: 1, Repeat: 1},
+		{Name: "layer3.0.down", InC: 128, InH: 28, InW: 28, OutC: 256, KH: 1, KW: 1, Stride: 2, Pad: 0, Repeat: 1},
+		{Name: "layer3", InC: 256, InH: 14, InW: 14, OutC: 256, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 3},
+		{Name: "layer4.0.conv1", InC: 256, InH: 14, InW: 14, OutC: 512, KH: 3, KW: 3, Stride: 2, Pad: 1, Repeat: 1},
+		{Name: "layer4.0.down", InC: 256, InH: 14, InW: 14, OutC: 512, KH: 1, KW: 1, Stride: 2, Pad: 0, Repeat: 1},
+		{Name: "layer4", InC: 512, InH: 7, InW: 7, OutC: 512, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 3},
+	}}
+	n.Validate()
+	return n
+}
+
+// ResNet34 returns the ResNet-34 conv stack (He et al. [23]).
+func ResNet34() Network {
+	n := Network{Name: "ResNet-34", Layers: []ConvLayer{
+		{Name: "conv1", InC: 3, InH: 224, InW: 224, OutC: 64, KH: 7, KW: 7, Stride: 2, Pad: 3, Repeat: 1},
+		{Name: "layer1", InC: 64, InH: 56, InW: 56, OutC: 64, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 6},
+		{Name: "layer2.0.conv1", InC: 64, InH: 56, InW: 56, OutC: 128, KH: 3, KW: 3, Stride: 2, Pad: 1, Repeat: 1},
+		{Name: "layer2.0.down", InC: 64, InH: 56, InW: 56, OutC: 128, KH: 1, KW: 1, Stride: 2, Pad: 0, Repeat: 1},
+		{Name: "layer2", InC: 128, InH: 28, InW: 28, OutC: 128, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 7},
+		{Name: "layer3.0.conv1", InC: 128, InH: 28, InW: 28, OutC: 256, KH: 3, KW: 3, Stride: 2, Pad: 1, Repeat: 1},
+		{Name: "layer3.0.down", InC: 128, InH: 28, InW: 28, OutC: 256, KH: 1, KW: 1, Stride: 2, Pad: 0, Repeat: 1},
+		{Name: "layer3", InC: 256, InH: 14, InW: 14, OutC: 256, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 11},
+		{Name: "layer4.0.conv1", InC: 256, InH: 14, InW: 14, OutC: 512, KH: 3, KW: 3, Stride: 2, Pad: 1, Repeat: 1},
+		{Name: "layer4.0.down", InC: 256, InH: 14, InW: 14, OutC: 512, KH: 1, KW: 1, Stride: 2, Pad: 0, Repeat: 1},
+		{Name: "layer4", InC: 512, InH: 7, InW: 7, OutC: 512, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 5},
+	}}
+	n.Validate()
+	return n
+}
+
+// ResNet50 returns the ResNet-50 bottleneck conv stack (He et al. [23]).
+func ResNet50() Network {
+	layers := []ConvLayer{
+		{Name: "conv1", InC: 3, InH: 224, InW: 224, OutC: 64, KH: 7, KW: 7, Stride: 2, Pad: 3, Repeat: 1},
+	}
+	// Bottleneck stages: (mid channels, output channels, spatial in, blocks).
+	stages := []struct {
+		name        string
+		mid, out    int
+		inC         int
+		size        int
+		blocks      int
+		firstStride int
+	}{
+		{"layer1", 64, 256, 64, 56, 3, 1},
+		{"layer2", 128, 512, 256, 56, 4, 2},
+		{"layer3", 256, 1024, 512, 28, 6, 2},
+		{"layer4", 512, 2048, 1024, 14, 3, 2},
+	}
+	for _, s := range stages {
+		outSize := s.size / s.firstStride
+		// First block: projection shortcut plus strided 3×3.
+		layers = append(layers,
+			ConvLayer{Name: s.name + ".0.conv1", InC: s.inC, InH: s.size, InW: s.size, OutC: s.mid, KH: 1, KW: 1, Stride: 1, Pad: 0, Repeat: 1},
+			ConvLayer{Name: s.name + ".0.conv2", InC: s.mid, InH: s.size, InW: s.size, OutC: s.mid, KH: 3, KW: 3, Stride: s.firstStride, Pad: 1, Repeat: 1},
+			ConvLayer{Name: s.name + ".0.conv3", InC: s.mid, InH: outSize, InW: outSize, OutC: s.out, KH: 1, KW: 1, Stride: 1, Pad: 0, Repeat: 1},
+			ConvLayer{Name: s.name + ".0.down", InC: s.inC, InH: s.size, InW: s.size, OutC: s.out, KH: 1, KW: 1, Stride: s.firstStride, Pad: 0, Repeat: 1},
+		)
+		if s.blocks > 1 {
+			layers = append(layers,
+				ConvLayer{Name: s.name + ".x.conv1", InC: s.out, InH: outSize, InW: outSize, OutC: s.mid, KH: 1, KW: 1, Stride: 1, Pad: 0, Repeat: s.blocks - 1},
+				ConvLayer{Name: s.name + ".x.conv2", InC: s.mid, InH: outSize, InW: outSize, OutC: s.mid, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: s.blocks - 1},
+				ConvLayer{Name: s.name + ".x.conv3", InC: s.mid, InH: outSize, InW: outSize, OutC: s.out, KH: 1, KW: 1, Stride: 1, Pad: 0, Repeat: s.blocks - 1},
+			)
+		}
+	}
+	n := Network{Name: "ResNet-50", Layers: layers}
+	n.Validate()
+	return n
+}
+
+// Benchmarks returns the paper's five evaluation networks in its order.
+func Benchmarks() []Network {
+	return []Network{AlexNet(), VGG16(), ResNet18(), ResNet34(), ResNet50()}
+}
+
+// Table4Networks returns the four networks the paper's Table-4 design-space
+// exploration geo-means over (§5.4.1).
+func Table4Networks() []Network {
+	return []Network{VGG16(), ResNet18(), ResNet34(), ResNet50()}
+}
+
+// ByName looks up one of the benchmark networks case-sensitively
+// ("AlexNet", "VGG-16", "ResNet-18", "ResNet-34", "ResNet-50"), returning
+// false when unknown.
+func ByName(name string) (Network, bool) {
+	for _, n := range Benchmarks() {
+		if n.Name == name {
+			return n, true
+		}
+	}
+	return Network{}, false
+}

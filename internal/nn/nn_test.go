@@ -1,0 +1,218 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"refocus/internal/jtc"
+	"refocus/internal/tensor"
+)
+
+func relErr(got, want float64) float64 { return math.Abs(got-want) / math.Abs(want) }
+
+// TestNetworkMACs checks the shape tables against the well-known conv MAC
+// totals of the five ImageNet models (±3% for minor variant differences).
+func TestNetworkMACs(t *testing.T) {
+	want := map[string]float64{
+		"AlexNet":   0.656e9,
+		"VGG-16":    15.35e9,
+		"ResNet-18": 1.81e9,
+		"ResNet-34": 3.66e9,
+		"ResNet-50": 4.09e9,
+	}
+	for _, n := range Benchmarks() {
+		w, ok := want[n.Name]
+		if !ok {
+			t.Fatalf("unexpected network %q", n.Name)
+		}
+		if relErr(n.TotalMACs(), w) > 0.03 {
+			t.Errorf("%s: %.3g conv MACs, expected ≈%.3g", n.Name, n.TotalMACs(), w)
+		}
+	}
+}
+
+// TestLayerCounts: the conv layer counts must match the architectures
+// (AlexNet 5, VGG-16 13, ResNet-18 20 convs incl. downsamples, ResNet-34 36,
+// ResNet-50 53).
+func TestLayerCounts(t *testing.T) {
+	want := map[string]int{
+		"AlexNet":   5,
+		"VGG-16":    13,
+		"ResNet-18": 20,
+		"ResNet-34": 36,
+		"ResNet-50": 53,
+	}
+	for _, n := range Benchmarks() {
+		if got := n.LayerCount(); got != want[n.Name] {
+			t.Errorf("%s: %d conv layers, want %d", n.Name, got, want[n.Name])
+		}
+	}
+}
+
+// TestWeightFootprints: conv weight bytes at 8-bit must match the known
+// parameter counts (AlexNet convs 2.47 M, VGG-16 convs 14.7 M, ResNet-18
+// 11.2 M, ResNet-34 21.3 M, ResNet-50 23.5 M params; small tolerance for
+// downsample/bias variants).
+func TestWeightFootprints(t *testing.T) {
+	want := map[string]float64{
+		"AlexNet":   2.47e6,
+		"VGG-16":    14.71e6,
+		"ResNet-18": 11.17e6,
+		"ResNet-34": 21.26e6,
+		"ResNet-50": 23.45e6,
+	}
+	for _, n := range Benchmarks() {
+		if relErr(float64(n.TotalWeightBytes()), want[n.Name]) > 0.03 {
+			t.Errorf("%s: %d weight bytes, expected ≈%.3g", n.Name, n.TotalWeightBytes(), want[n.Name])
+		}
+	}
+}
+
+// TestSRAMSizingClaims validates the §5.2 memory-hierarchy rationale: the
+// 4 MB activation SRAM holds any single layer's activation tensor (input
+// or output — VGG-16's 224×224×64 planes are 3.2 MB each, so in and out
+// cannot both be resident, but neither ever spills to DRAM mid-layer), and
+// each layer's weights fit the aggregate 16×512 KB weight SRAM.
+func TestSRAMSizingClaims(t *testing.T) {
+	for _, n := range Benchmarks() {
+		for _, l := range n.Layers {
+			if l.InputBytes() > 4*1024*1024 {
+				t.Errorf("%s/%s: input activations %d bytes exceed the 4 MB SRAM", n.Name, l.Name, l.InputBytes())
+			}
+			if l.OutputBytes() > 4*1024*1024 {
+				t.Errorf("%s/%s: output activations %d bytes exceed the 4 MB SRAM", n.Name, l.Name, l.OutputBytes())
+			}
+		}
+		if w := n.MaxWeightLayerBytes(); w > 16*512*1024 {
+			t.Errorf("%s: largest layer weights %d bytes exceed 16×512 KB", n.Name, w)
+		}
+	}
+}
+
+// TestResNet34SmallLayersClaim reproduces the §4.1.3 claim: ResNet-34 has
+// 18 layers whose entire input plane (InH·InW values) fits the 256
+// waveguides of a single JTC at once, which kills temporal weight reuse —
+// the argument for reusing inputs rather than weights.
+func TestResNet34SmallLayersClaim(t *testing.T) {
+	count := 0
+	for _, l := range ResNet34().Layers {
+		if l.InH*l.InW <= 256 {
+			count += l.Repeat
+		}
+	}
+	if count != 18 {
+		t.Errorf("ResNet-34 has %d whole-input layers; the paper says 18", count)
+	}
+}
+
+func TestOutputShapes(t *testing.T) {
+	l := ConvLayer{InC: 3, InH: 224, InW: 224, OutC: 64, KH: 7, KW: 7, Stride: 2, Pad: 3, Repeat: 1}
+	if l.OutH() != 112 || l.OutW() != 112 {
+		t.Errorf("7x7 s2 p3 on 224 → %dx%d, want 112x112", l.OutH(), l.OutW())
+	}
+	l2 := ConvLayer{InC: 64, InH: 56, InW: 56, OutC: 64, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 1}
+	if l2.OutH() != 56 {
+		t.Errorf("3x3 s1 p1 should preserve size, got %d", l2.OutH())
+	}
+}
+
+func TestByName(t *testing.T) {
+	if n, ok := ByName("ResNet-50"); !ok || n.Name != "ResNet-50" {
+		t.Error("ByName failed to find ResNet-50")
+	}
+	if _, ok := ByName("LeNet"); ok {
+		t.Error("ByName should not find LeNet")
+	}
+}
+
+func TestMaxFiltersChannels(t *testing.T) {
+	r50 := ResNet50()
+	if r50.MaxFilters() != 2048 {
+		t.Errorf("ResNet-50 max filters = %d, want 2048", r50.MaxFilters())
+	}
+	vgg := VGG16()
+	if vgg.MaxFilters() != 512 || vgg.MaxChannels() != 512 {
+		t.Errorf("VGG-16 max filters/channels = %d/%d, want 512/512", vgg.MaxFilters(), vgg.MaxChannels())
+	}
+}
+
+func TestValidateRejectsBadLayer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero-channel layer")
+		}
+	}()
+	ConvLayer{InC: 0, InH: 8, InW: 8, OutC: 1, KH: 1, KW: 1, Stride: 1, Repeat: 1}.Validate()
+}
+
+// TestSmallNetJTCMatchesReference: a full small CNN (convs, ReLU, pooling,
+// GAP, dense head) executed through the exact JTC engine produces the same
+// logits as the digital reference.
+func TestSmallNetJTCMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := RandomSmallNet(rng, 3, 16, 10)
+	input := tensor.New(3, 16, 16)
+	for i := range input.Data {
+		input.Data[i] = rng.Float64()
+	}
+	ref := net.Forward(input, ReferenceConv)
+
+	cfg := jtc.DefaultEngineConfig()
+	cfg.Quant = jtc.QuantConfig{}
+	got := net.Forward(input, JTCConv(jtc.NewEngine(cfg)))
+	if d := tensor.MaxAbsDiff(got, ref); d > 1e-8 {
+		t.Errorf("JTC forward differs from reference by %g", d)
+	}
+}
+
+// TestSmallNetQuantizedClassificationAgrees: with the 8-bit datapath the
+// predicted class matches the reference on the large majority of random
+// inputs.
+func TestSmallNetQuantizedClassificationAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := RandomSmallNet(rng, 3, 16, 10)
+	engine := jtc.NewEngine(jtc.DefaultEngineConfig())
+	agree := 0
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		input := tensor.New(3, 16, 16)
+		for j := range input.Data {
+			input.Data[j] = rng.Float64()
+		}
+		ref := Argmax(net.Forward(input, ReferenceConv))
+		got := Argmax(net.Forward(input, JTCConv(engine)))
+		if ref == got {
+			agree++
+		}
+	}
+	if agree < trials*8/10 {
+		t.Errorf("8-bit datapath agreed on %d/%d classifications; expected ≥80%%", agree, trials)
+	}
+}
+
+func TestSmallNetOpsStringable(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := RandomSmallNet(rng, 3, 16, 10)
+	for _, op := range net.Ops {
+		if op.String() == "" {
+			t.Errorf("op %T has empty String()", op)
+		}
+	}
+}
+
+func BenchmarkSmallNetJTCForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	net := RandomSmallNet(rng, 3, 16, 10)
+	input := tensor.New(3, 16, 16)
+	for i := range input.Data {
+		input.Data[i] = rng.Float64()
+	}
+	engine := jtc.NewEngine(jtc.DefaultEngineConfig())
+	conv := JTCConv(engine)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(input, conv)
+	}
+}

@@ -1,0 +1,153 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"refocus/internal/jtc"
+	"refocus/internal/tensor"
+)
+
+// ConvFunc executes one convolution layer: valid conv of the zero-padded
+// input with the given stride. Implementations: ReferenceConv (exact
+// digital) and JTCConv (routes through the JTC engine, optionally with
+// quantization, optical noise, or real field propagation).
+type ConvFunc func(input, weights *tensor.Tensor, stride, pad int) *tensor.Tensor
+
+// ReferenceConv is the exact digital convolution.
+func ReferenceConv(input, weights *tensor.Tensor, stride, pad int) *tensor.Tensor {
+	return tensor.Conv2DStride(input, weights, stride, pad)
+}
+
+// JTCConv adapts a JTC engine to ConvFunc. The returned function pads in
+// the digital domain (as the scheduler does in SRAM) and dispatches to the
+// engine.
+func JTCConv(engine *jtc.Engine) ConvFunc {
+	return func(input, weights *tensor.Tensor, stride, pad int) *tensor.Tensor {
+		if pad > 0 {
+			input = tensor.Pad2D(input, pad)
+		}
+		return engine.Conv2D(input, weights, stride)
+	}
+}
+
+// Op is one operation of a SmallNet.
+type Op interface {
+	Apply(x *tensor.Tensor, conv ConvFunc) *tensor.Tensor
+	fmt.Stringer
+}
+
+// Conv is a convolution op with owned weights.
+type Conv struct {
+	Weights *tensor.Tensor // [F, C, KH, KW]
+	Stride  int
+	Pad     int
+}
+
+// Apply runs the convolution through the supplied ConvFunc.
+func (c Conv) Apply(x *tensor.Tensor, conv ConvFunc) *tensor.Tensor {
+	return conv(x, c.Weights, c.Stride, c.Pad)
+}
+
+func (c Conv) String() string {
+	return fmt.Sprintf("conv %v s%d p%d", c.Weights.Shape, c.Stride, c.Pad)
+}
+
+// ReLU is the rectifier op (computed in the CMOS compute units, §5.1).
+type ReLU struct{}
+
+// Apply applies the rectifier.
+func (ReLU) Apply(x *tensor.Tensor, _ ConvFunc) *tensor.Tensor { return tensor.ReLU(x) }
+
+func (ReLU) String() string { return "relu" }
+
+// MaxPool pools non-overlapping windows.
+type MaxPool struct{ Window int }
+
+// Apply applies max pooling.
+func (p MaxPool) Apply(x *tensor.Tensor, _ ConvFunc) *tensor.Tensor {
+	return tensor.MaxPool2D(x, p.Window)
+}
+
+func (p MaxPool) String() string { return fmt.Sprintf("maxpool %d", p.Window) }
+
+// GlobalAvgPool reduces each channel to its mean.
+type GlobalAvgPool struct{}
+
+// Apply applies global average pooling.
+func (GlobalAvgPool) Apply(x *tensor.Tensor, _ ConvFunc) *tensor.Tensor {
+	return tensor.AvgPool2DGlobal(x)
+}
+
+func (GlobalAvgPool) String() string { return "gap" }
+
+// Dense is a fully-connected head (digital; the paper's accelerator leaves
+// FC layers to the CMOS side).
+type Dense struct{ Weights *tensor.Tensor } // [Out, In]
+
+// Apply computes W·x.
+func (d Dense) Apply(x *tensor.Tensor, _ ConvFunc) *tensor.Tensor {
+	return tensor.MatVec(d.Weights, x)
+}
+
+func (d Dense) String() string { return fmt.Sprintf("dense %v", d.Weights.Shape) }
+
+// SmallNet is a runnable CNN for functional validation: the same weights
+// can be executed with the exact digital reference or through the JTC
+// datapath, and outputs compared.
+type SmallNet struct {
+	Name string
+	Ops  []Op
+}
+
+// Forward runs the network on input [C,H,W] with the given conv
+// implementation.
+func (n *SmallNet) Forward(input *tensor.Tensor, conv ConvFunc) *tensor.Tensor {
+	x := input
+	for _, op := range n.Ops {
+		x = op.Apply(x, conv)
+	}
+	return x
+}
+
+// RandomSmallNet builds a compact CNN (conv-relu-pool ×2, conv-relu, GAP,
+// dense) with Gaussian weights scaled for stable activations: inC input
+// channels, spatial size, and classes output logits.
+func RandomSmallNet(rng *rand.Rand, inC, size, classes int) *SmallNet {
+	if size%4 != 0 {
+		panic(fmt.Sprintf("nn: RandomSmallNet size %d must be divisible by 4", size))
+	}
+	scaleInit := func(t *tensor.Tensor, fanIn int) *tensor.Tensor {
+		// He-style 1/sqrt(fanIn) keeps activations and logits O(1).
+		s := 1.0 / math.Sqrt(float64(fanIn))
+		for i := range t.Data {
+			t.Data[i] *= s
+		}
+		return t
+	}
+	c1 := scaleInit(tensor.Random(rng, 8, inC, 3, 3), inC*9)
+	c2 := scaleInit(tensor.Random(rng, 16, 8, 3, 3), 8*9)
+	c3 := scaleInit(tensor.Random(rng, 16, 16, 3, 3), 16*9)
+	head := scaleInit(tensor.Random(rng, classes, 16), 16)
+	return &SmallNet{
+		Name: "smallnet",
+		Ops: []Op{
+			Conv{Weights: c1, Stride: 1, Pad: 1}, ReLU{}, MaxPool{2},
+			Conv{Weights: c2, Stride: 1, Pad: 1}, ReLU{}, MaxPool{2},
+			Conv{Weights: c3, Stride: 1, Pad: 1}, ReLU{},
+			GlobalAvgPool{}, Dense{Weights: head},
+		},
+	}
+}
+
+// Argmax returns the index of the largest logit.
+func Argmax(logits *tensor.Tensor) int {
+	best, bi := logits.Data[0], 0
+	for i, v := range logits.Data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}

@@ -1,0 +1,344 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"refocus/internal/tensor"
+)
+
+// This file implements a small trainable CNN with exact backpropagation,
+// enabling the §7.2 experiment the paper describes but does not run:
+// "the noise impact can be further compensated by modeling and injecting
+// noise during training". The forward pass is pluggable (ConvFunc), so
+// training can run against the exact digital convolution, the quantized
+// JTC engine, or a noise-injected JTC — while gradients flow through the
+// clean math (straight-through, the standard practice for analog-aware
+// training).
+
+// TrainableNet is a compact conv-relu-pool ×2 → GAP → dense classifier
+// with owned parameters and exact gradients.
+type TrainableNet struct {
+	Conv1 *tensor.Tensor // [F1, C, 3, 3]
+	Conv2 *tensor.Tensor // [F2, F1, 3, 3]
+	Head  *tensor.Tensor // [classes, F2]
+
+	// caches from the last Forward (consumed by Backward).
+	cacheInput *tensor.Tensor
+	cacheZ1    *tensor.Tensor // conv1 pre-activation
+	cacheA1    *tensor.Tensor // pooled relu(conv1)
+	cacheZ2    *tensor.Tensor
+	cacheA2    *tensor.Tensor // pooled relu(conv2)
+	cacheGAP   *tensor.Tensor
+	poolIdx1   []int
+	poolIdx2   []int
+}
+
+// NewTrainableNet initializes He-scaled parameters for inC input channels
+// and the given class count.
+func NewTrainableNet(rng *rand.Rand, inC, f1, f2, classes int) *TrainableNet {
+	he := func(t *tensor.Tensor, fanIn int) *tensor.Tensor {
+		s := math.Sqrt(2 / float64(fanIn))
+		for i := range t.Data {
+			t.Data[i] *= s
+		}
+		return t
+	}
+	return &TrainableNet{
+		Conv1: he(tensor.Random(rng, f1, inC, 3, 3), inC*9),
+		Conv2: he(tensor.Random(rng, f2, f1, 3, 3), f1*9),
+		Head:  he(tensor.Random(rng, classes, f2), f2),
+	}
+}
+
+// Forward runs input [C,H,W] (H, W divisible by 4) through the network
+// with the supplied convolution implementation, returning the logits and
+// caching intermediates for Backward.
+func (n *TrainableNet) Forward(input *tensor.Tensor, conv ConvFunc) *tensor.Tensor {
+	n.cacheInput = input
+	n.cacheZ1 = conv(input, n.Conv1, 1, 1)
+	a1, idx1 := maxPoolWithIndex(tensor.ReLU(n.cacheZ1), 2)
+	n.cacheA1, n.poolIdx1 = a1, idx1
+	n.cacheZ2 = conv(a1, n.Conv2, 1, 1)
+	a2, idx2 := maxPoolWithIndex(tensor.ReLU(n.cacheZ2), 2)
+	n.cacheA2, n.poolIdx2 = a2, idx2
+	n.cacheGAP = tensor.AvgPool2DGlobal(a2)
+	return tensor.MatVec(n.Head, n.cacheGAP)
+}
+
+// Gradients holds parameter gradients matching TrainableNet's layout.
+type Gradients struct {
+	Conv1, Conv2, Head *tensor.Tensor
+}
+
+// Backward computes exact parameter gradients for the cached forward pass
+// given dLogits (∂loss/∂logits). The gradient flows through the clean
+// convolution regardless of which ConvFunc ran forward (straight-through
+// for quantization/noise).
+func (n *TrainableNet) Backward(dLogits *tensor.Tensor) Gradients {
+	if n.cacheInput == nil {
+		panic("nn: Backward before Forward")
+	}
+	var g Gradients
+
+	// Head: logits = Head·gap.
+	classes, f2 := n.Head.Shape[0], n.Head.Shape[1]
+	g.Head = tensor.New(classes, f2)
+	dGAP := tensor.New(f2)
+	for i := 0; i < classes; i++ {
+		for j := 0; j < f2; j++ {
+			g.Head.Data[i*f2+j] = dLogits.Data[i] * n.cacheGAP.Data[j]
+			dGAP.Data[j] += dLogits.Data[i] * n.Head.Data[i*f2+j]
+		}
+	}
+
+	// GAP: each spatial position of a2 receives dGAP[c]/(h·w).
+	c2, h2, w2 := n.cacheA2.Shape[0], n.cacheA2.Shape[1], n.cacheA2.Shape[2]
+	dA2 := tensor.New(c2, h2, w2)
+	for c := 0; c < c2; c++ {
+		v := dGAP.Data[c] / float64(h2*w2)
+		for i := c * h2 * w2; i < (c+1)*h2*w2; i++ {
+			dA2.Data[i] = v
+		}
+	}
+
+	// Unpool 2 + ReLU mask → dZ2.
+	dZ2 := unpoolGrad(dA2, n.poolIdx2, n.cacheZ2.Shape)
+	reluMask(dZ2, n.cacheZ2)
+
+	// Conv2 gradients and input gradient.
+	g.Conv2 = convWeightGrad(n.cacheA1, dZ2, n.Conv2.Shape, 1)
+	dA1 := convInputGrad(dZ2, n.Conv2, n.cacheA1.Shape, 1)
+
+	dZ1 := unpoolGrad(dA1, n.poolIdx1, n.cacheZ1.Shape)
+	reluMask(dZ1, n.cacheZ1)
+	g.Conv1 = convWeightGrad(n.cacheInput, dZ1, n.Conv1.Shape, 1)
+	return g
+}
+
+// Step applies SGD with the given learning rate.
+func (n *TrainableNet) Step(g Gradients, lr float64) {
+	axpy := func(p, gr *tensor.Tensor) {
+		for i := range p.Data {
+			p.Data[i] -= lr * gr.Data[i]
+		}
+	}
+	axpy(n.Conv1, g.Conv1)
+	axpy(n.Conv2, g.Conv2)
+	axpy(n.Head, g.Head)
+}
+
+// SoftmaxCrossEntropy returns the loss and dLogits for an integer label.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, label int) (float64, *tensor.Tensor) {
+	if label < 0 || label >= logits.Len() {
+		panic(fmt.Sprintf("nn: label %d out of range", label))
+	}
+	max := logits.Data[0]
+	for _, v := range logits.Data {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	probs := make([]float64, logits.Len())
+	for i, v := range logits.Data {
+		probs[i] = math.Exp(v - max)
+		sum += probs[i]
+	}
+	d := tensor.New(logits.Len())
+	for i := range probs {
+		probs[i] /= sum
+		d.Data[i] = probs[i]
+	}
+	d.Data[label] -= 1
+	return -math.Log(probs[label] + 1e-300), d
+}
+
+// --- gradient helpers ---------------------------------------------------
+
+// maxPoolWithIndex pools 2×2 windows recording the argmax flat index.
+func maxPoolWithIndex(t *tensor.Tensor, window int) (*tensor.Tensor, []int) {
+	c, h, w := t.Shape[0], t.Shape[1], t.Shape[2]
+	oh, ow := h/window, w/window
+	out := tensor.New(c, oh, ow)
+	idx := make([]int, c*oh*ow)
+	for ci := 0; ci < c; ci++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				best := math.Inf(-1)
+				bi := -1
+				for dy := 0; dy < window; dy++ {
+					for dx := 0; dx < window; dx++ {
+						p := (ci*h+y*window+dy)*w + x*window + dx
+						if t.Data[p] > best {
+							best, bi = t.Data[p], p
+						}
+					}
+				}
+				o := (ci*oh+y)*ow + x
+				out.Data[o] = best
+				idx[o] = bi
+			}
+		}
+	}
+	return out, idx
+}
+
+// unpoolGrad scatters pooled gradients back to the argmax positions.
+func unpoolGrad(dPooled *tensor.Tensor, idx []int, shape []int) *tensor.Tensor {
+	out := tensor.New(shape...)
+	for o, p := range idx {
+		out.Data[p] += dPooled.Data[o]
+	}
+	return out
+}
+
+// reluMask zeroes gradient where the pre-activation was non-positive.
+func reluMask(grad, pre *tensor.Tensor) {
+	for i, v := range pre.Data {
+		if v <= 0 {
+			grad.Data[i] = 0
+		}
+	}
+}
+
+// convWeightGrad computes ∂loss/∂W for a pad-1 stride-1 3×3 convolution:
+// dW[f,c,ky,kx] = Σ_{y,x} dOut[f,y,x] · inPadded[c,y+ky,x+kx].
+func convWeightGrad(input, dOut *tensor.Tensor, wShape []int, pad int) *tensor.Tensor {
+	in := input
+	if pad > 0 {
+		in = tensor.Pad2D(input, pad)
+	}
+	f, c, kh, kw := wShape[0], wShape[1], wShape[2], wShape[3]
+	oh, ow := dOut.Shape[1], dOut.Shape[2]
+	h, w := in.Shape[1], in.Shape[2]
+	g := tensor.New(f, c, kh, kw)
+	for fi := 0; fi < f; fi++ {
+		for ci := 0; ci < c; ci++ {
+			for ky := 0; ky < kh; ky++ {
+				for kx := 0; kx < kw; kx++ {
+					var sum float64
+					for y := 0; y < oh; y++ {
+						inRow := (ci*h+y+ky)*w + kx
+						outRow := (fi*oh + y) * ow
+						for x := 0; x < ow; x++ {
+							sum += dOut.Data[outRow+x] * in.Data[inRow+x]
+						}
+					}
+					g.Data[((fi*c+ci)*kh+ky)*kw+kx] = sum
+				}
+			}
+		}
+	}
+	return g
+}
+
+// convInputGrad computes ∂loss/∂input for a pad-1 stride-1 convolution:
+// a full correlation of dOut with the flipped, channel-transposed kernel.
+func convInputGrad(dOut, weights *tensor.Tensor, inShape []int, pad int) *tensor.Tensor {
+	f, c, kh, kw := weights.Shape[0], weights.Shape[1], weights.Shape[2], weights.Shape[3]
+	ih, iw := inShape[1], inShape[2]
+	oh, ow := dOut.Shape[1], dOut.Shape[2]
+	d := tensor.New(inShape...)
+	for fi := 0; fi < f; fi++ {
+		for ci := 0; ci < c; ci++ {
+			wBase := ((fi*c + ci) * kh) * kw
+			for y := 0; y < oh; y++ {
+				for x := 0; x < ow; x++ {
+					dv := dOut.Data[(fi*oh+y)*ow+x]
+					if dv == 0 {
+						continue
+					}
+					for ky := 0; ky < kh; ky++ {
+						iy := y + ky - pad
+						if iy < 0 || iy >= ih {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := x + kx - pad
+							if ix < 0 || ix >= iw {
+								continue
+							}
+							d.Data[(ci*ih+iy)*iw+ix] += dv * weights.Data[wBase+ky*kw+kx]
+						}
+					}
+				}
+			}
+		}
+	}
+	return d
+}
+
+// TrainSample is one labelled input.
+type TrainSample struct {
+	Input *tensor.Tensor
+	Label int
+}
+
+// Train runs epochs of SGD over the samples with the given forward conv
+// implementation (the §7.2 knob: pass a noisy JTC conv to noise-aware
+// train). Returns the mean loss of the final epoch.
+func (n *TrainableNet) Train(samples []TrainSample, conv ConvFunc, lr float64, epochs int, rng *rand.Rand) float64 {
+	if len(samples) == 0 {
+		panic("nn: no training samples")
+	}
+	var last float64
+	for e := 0; e < epochs; e++ {
+		perm := rng.Perm(len(samples))
+		var total float64
+		for _, i := range perm {
+			s := samples[i]
+			logits := n.Forward(s.Input, conv)
+			loss, dLogits := SoftmaxCrossEntropy(logits, s.Label)
+			total += loss
+			g := n.Backward(dLogits)
+			n.Step(g, lr)
+		}
+		last = total / float64(len(samples))
+	}
+	return last
+}
+
+// Accuracy evaluates classification accuracy with the given forward conv.
+func (n *TrainableNet) Accuracy(samples []TrainSample, conv ConvFunc) float64 {
+	correct := 0
+	for _, s := range samples {
+		if Argmax(n.Forward(s.Input, conv)) == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}
+
+// SyntheticTask generates a deterministic prototype-classification dataset:
+// each class has a non-negative prototype image; samples are the prototype
+// plus clipped Gaussian pixel noise. Returns train and test splits.
+func SyntheticTask(rng *rand.Rand, classes, c, size, trainN, testN int, pixelNoise float64) (train, test []TrainSample) {
+	protos := make([]*tensor.Tensor, classes)
+	for k := range protos {
+		p := tensor.New(c, size, size)
+		for i := range p.Data {
+			if rng.Float64() < 0.3 {
+				p.Data[i] = 0.5 + rng.Float64()
+			}
+		}
+		protos[k] = p
+	}
+	mk := func(n int) []TrainSample {
+		out := make([]TrainSample, n)
+		for i := range out {
+			k := rng.Intn(classes)
+			x := protos[k].Clone()
+			for j := range x.Data {
+				x.Data[j] += pixelNoise * rng.NormFloat64()
+				if x.Data[j] < 0 {
+					x.Data[j] = 0
+				}
+			}
+			out[i] = TrainSample{Input: x, Label: k}
+		}
+		return out
+	}
+	return mk(trainN), mk(testN)
+}

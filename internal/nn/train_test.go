@@ -1,0 +1,149 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"refocus/internal/jtc"
+	"refocus/internal/tensor"
+)
+
+// TestGradientsMatchNumerical: exact backprop against central finite
+// differences for every parameter tensor.
+func TestGradientsMatchNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := NewTrainableNet(rng, 2, 3, 4, 3)
+	input := tensor.New(2, 8, 8)
+	for i := range input.Data {
+		input.Data[i] = rng.Float64()
+	}
+	label := 1
+
+	loss := func() float64 {
+		logits := net.Forward(input, ReferenceConv)
+		l, _ := SoftmaxCrossEntropy(logits, label)
+		return l
+	}
+	logits := net.Forward(input, ReferenceConv)
+	_, dLogits := SoftmaxCrossEntropy(logits, label)
+	g := net.Backward(dLogits)
+
+	check := func(name string, p, grad *tensor.Tensor) {
+		t.Helper()
+		const eps = 1e-5
+		// Spot-check a spread of parameters (full sweep is slow).
+		for _, i := range []int{0, 1, p.Len() / 2, p.Len() - 1} {
+			orig := p.Data[i]
+			p.Data[i] = orig + eps
+			up := loss()
+			p.Data[i] = orig - eps
+			down := loss()
+			p.Data[i] = orig
+			num := (up - down) / (2 * eps)
+			if d := math.Abs(num - grad.Data[i]); d > 1e-6*(1+math.Abs(num)) {
+				t.Errorf("%s[%d]: numerical %g vs analytical %g", name, i, num, grad.Data[i])
+			}
+		}
+	}
+	check("conv1", net.Conv1, g.Conv1)
+	check("conv2", net.Conv2, g.Conv2)
+	check("head", net.Head, g.Head)
+}
+
+// TestSoftmaxCrossEntropy: known values and gradient structure.
+func TestSoftmaxCrossEntropy(t *testing.T) {
+	logits := tensor.FromSlice([]float64{0, 0, 0}, 3)
+	loss, d := SoftmaxCrossEntropy(logits, 0)
+	if math.Abs(loss-math.Log(3)) > 1e-12 {
+		t.Errorf("uniform loss = %g, want ln 3", loss)
+	}
+	// Gradient sums to zero, negative only at the label.
+	var sum float64
+	for i, v := range d.Data {
+		sum += v
+		if i == 0 && v >= 0 {
+			t.Error("label gradient should be negative")
+		}
+		if i != 0 && v <= 0 {
+			t.Error("non-label gradient should be positive")
+		}
+	}
+	if math.Abs(sum) > 1e-12 {
+		t.Errorf("gradient sum = %g, want 0", sum)
+	}
+}
+
+// TestTrainingConverges: the trainer reaches high accuracy on the
+// prototype task with the exact digital forward.
+func TestTrainingConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	train, test := SyntheticTask(rng, 4, 1, 8, 64, 40, 0.15)
+	net := NewTrainableNet(rng, 1, 4, 8, 4)
+	before := net.Accuracy(test, ReferenceConv)
+	loss := net.Train(train, ReferenceConv, 0.05, 12, rng)
+	after := net.Accuracy(test, ReferenceConv)
+	if after < 0.9 {
+		t.Errorf("test accuracy after training = %g (before %g, final loss %g)", after, before, loss)
+	}
+	if after <= before {
+		t.Errorf("training did not improve accuracy: %g -> %g", before, after)
+	}
+}
+
+// TestTrainedNetRunsOnJTC: a digitally trained network deployed on the
+// 8-bit JTC datapath keeps (nearly) its accuracy — the quantization story
+// of §6 holds for trained weights, not just random ones.
+func TestTrainedNetRunsOnJTC(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	train, test := SyntheticTask(rng, 4, 1, 8, 64, 40, 0.15)
+	net := NewTrainableNet(rng, 1, 4, 8, 4)
+	net.Train(train, ReferenceConv, 0.05, 12, rng)
+
+	digital := net.Accuracy(test, ReferenceConv)
+	engine := jtc.NewEngine(jtc.DefaultEngineConfig())
+	onJTC := net.Accuracy(test, JTCConv(engine))
+	if digital-onJTC > 0.1 {
+		t.Errorf("8-bit JTC deployment lost too much accuracy: %g -> %g", digital, onJTC)
+	}
+}
+
+func TestSyntheticTaskDeterministicShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	train, test := SyntheticTask(rng, 3, 2, 8, 10, 5, 0.1)
+	if len(train) != 10 || len(test) != 5 {
+		t.Fatalf("split sizes %d/%d", len(train), len(test))
+	}
+	for _, s := range append(train, test...) {
+		if s.Label < 0 || s.Label >= 3 {
+			t.Fatalf("label %d out of range", s.Label)
+		}
+		for _, v := range s.Input.Data {
+			if v < 0 {
+				t.Fatal("synthetic inputs must be non-negative (optical amplitudes)")
+			}
+		}
+	}
+}
+
+func TestBackwardBeforeForwardPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := NewTrainableNet(rng, 1, 2, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	net.Backward(tensor.New(2))
+}
+
+func BenchmarkTrainEpoch(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	train, _ := SyntheticTask(rng, 4, 1, 8, 32, 1, 0.15)
+	net := NewTrainableNet(rng, 1, 4, 8, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Train(train, ReferenceConv, 0.05, 1, rng)
+	}
+}

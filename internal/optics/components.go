@@ -1,0 +1,174 @@
+package optics
+
+import (
+	"fmt"
+	"math"
+)
+
+// YJunction splits an incoming field into two branches. SplitRatio α is the
+// power fraction sent to the primary branch (toward the JTC in the buffer
+// designs of paper Figure 4); 1-α goes to the secondary branch (toward the
+// delay line). ExcessLossDB is insertion loss applied to both branches.
+type YJunction struct {
+	SplitRatio   float64
+	ExcessLossDB float64
+}
+
+// Split divides the field. Amplitudes scale by sqrt of the power fractions,
+// so primary.Power() + secondary.Power() equals the input power minus excess
+// loss.
+func (y YJunction) Split(f Field) (primary, secondary Field) {
+	if y.SplitRatio < 0 || y.SplitRatio > 1 {
+		panic(fmt.Sprintf("optics: Y-junction split ratio %g outside [0,1]", y.SplitRatio))
+	}
+	loss := 0.0
+	if y.ExcessLossDB > 0 {
+		loss = 1 - math.Pow(10, -y.ExcessLossDB/10)
+	}
+	pf := math.Sqrt(y.SplitRatio * (1 - loss))
+	sf := math.Sqrt((1 - y.SplitRatio) * (1 - loss))
+	return f.Scale(complex(pf, 0)), f.Scale(complex(sf, 0))
+}
+
+// Combine merges two branches into one waveguide (a Y-junction used in
+// reverse, as in the feedforward buffer's second junction, Figure 4b). The
+// fields add coherently; excess loss applies to the sum.
+func (y YJunction) Combine(a, b Field) Field {
+	out := a.Add(b)
+	if y.ExcessLossDB > 0 {
+		out = out.Attenuate(1 - math.Pow(10, -y.ExcessLossDB/10))
+	}
+	return out
+}
+
+// MRRModulator is a micro-ring resonator used either as an amplitude
+// modulator (encoding DAC samples onto a carrier) or as an on/off switch
+// (the feedback buffer's gate). A ring is wavelength-selective: it acts only
+// on its resonant wavelength channel.
+type MRRModulator struct {
+	// On gates the ring. An off modulator blocks its channel entirely
+	// (used to avoid corruption when reused light re-enters the main
+	// waveguide, paper §4.1.1, and to switch off zero-padding channels so
+	// their DACs draw no power, §2.2).
+	On bool
+	// InsertionLossDB is the through loss when the ring is on.
+	InsertionLossDB float64
+}
+
+// Modulate encodes the non-negative values onto the carrier field
+// sample-wise: E_out[i] = carrier[i]·values[i] (amplitude modulation). The
+// carrier and values must have equal length. An off modulator emits darkness.
+func (m MRRModulator) Modulate(carrier Field, values []float64) Field {
+	if len(carrier) != len(values) {
+		panic(fmt.Sprintf("optics: modulator carrier %d samples vs %d values", len(carrier), len(values)))
+	}
+	out := NewField(len(carrier))
+	if !m.On {
+		return out
+	}
+	for i, v := range values {
+		if v < 0 {
+			panic(fmt.Sprintf("optics: negative modulation value %g at sample %d", v, i))
+		}
+		out[i] = carrier[i] * complex(v, 0)
+	}
+	if m.InsertionLossDB > 0 {
+		out = out.Attenuate(1 - math.Pow(10, -m.InsertionLossDB/10))
+	}
+	return out
+}
+
+// Gate passes or blocks a field (switch-MRR use).
+func (m MRRModulator) Gate(f Field) Field {
+	if !m.On {
+		return NewField(len(f))
+	}
+	if m.InsertionLossDB > 0 {
+		return f.Attenuate(1 - math.Pow(10, -m.InsertionLossDB/10))
+	}
+	return f.Clone()
+}
+
+// Laser is a continuous-wave source emitting a flat carrier across n
+// waveguides with the given per-waveguide power.
+type Laser struct {
+	PowerPerWaveguide float64
+}
+
+// Emit produces the carrier field: amplitude sqrt(P) per waveguide.
+func (l Laser) Emit(n int) Field {
+	if l.PowerPerWaveguide < 0 {
+		panic("optics: negative laser power")
+	}
+	f := NewField(n)
+	a := complex(math.Sqrt(l.PowerPerWaveguide), 0)
+	for i := range f {
+		f[i] = a
+	}
+	return f
+}
+
+// DelayLine is a spiral waveguide that delays a field by a fixed number of
+// clock cycles, attenuating it by the propagation loss. It is a strict FIFO:
+// Step pushes this cycle's input and pops the field injected Cycles ago
+// (dark fields before the pipe fills). This is the optical buffer storage
+// element of paper §4.1.
+type DelayLine struct {
+	Cycles       int
+	LossFraction float64 // total lost power fraction over the full length
+
+	queue []Field
+}
+
+// NewDelayLine builds a delay line with the given delay and total loss.
+func NewDelayLine(cycles int, lossFraction float64) *DelayLine {
+	if cycles < 1 {
+		panic("optics: delay line must delay at least one cycle")
+	}
+	if lossFraction < 0 || lossFraction >= 1 {
+		panic(fmt.Sprintf("optics: delay line loss %g outside [0,1)", lossFraction))
+	}
+	return &DelayLine{Cycles: cycles, LossFraction: lossFraction}
+}
+
+// Step advances one clock cycle: in enters the spiral, and the field that
+// entered Cycles ago emerges attenuated. Before the line fills, darkness of
+// the same width emerges. Step is Pop followed by Push.
+func (d *DelayLine) Step(in Field) Field {
+	out := d.Pop(len(in))
+	d.Push(in)
+	return out
+}
+
+// Push injects a field into the spiral for this cycle.
+func (d *DelayLine) Push(in Field) {
+	if len(d.queue) >= d.Cycles {
+		panic("optics: delay line overfilled — Pop each cycle before Push")
+	}
+	d.queue = append(d.queue, in.Clone())
+}
+
+// Pop extracts the field that emerges this cycle — the one pushed Cycles
+// ago, attenuated — or darkness of the given width while the line is still
+// filling. In a closed loop (the feedback buffer) the emerging light is
+// needed *before* this cycle's injection is known, so Pop and Push are
+// exposed separately; Step combines them for feedforward paths.
+func (d *DelayLine) Pop(width int) Field {
+	if len(d.queue) < d.Cycles {
+		return NewField(width)
+	}
+	out := d.queue[0]
+	d.queue = d.queue[1:]
+	return out.Attenuate(d.LossFraction)
+}
+
+// Occupancy reports how many fields are in flight inside the spiral.
+func (d *DelayLine) Occupancy() int {
+	if len(d.queue) > d.Cycles {
+		return d.Cycles
+	}
+	return len(d.queue)
+}
+
+// Reset drains the line.
+func (d *DelayLine) Reset() { d.queue = nil }

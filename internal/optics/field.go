@@ -1,0 +1,169 @@
+// Package optics models the photonic components of a ReFOCUS compute unit at
+// the complex-field level: lasers, micro-ring modulators, Y-junctions,
+// spiral delay lines, on-chip Fourier lenses, square-law nonlinear material,
+// photodetectors, and WDM multiplexing.
+//
+// A Field is the complex optical amplitude sampled across the waveguide
+// array at one instant (one sample per waveguide / spatial position). Power
+// is |E|² per sample. Components transform Fields; the jtc package composes
+// them into the full joint-transform-correlator pipeline of paper Figure 1.
+//
+// Detection convention: a physical photodetector is square-law (current ∝
+// intensity = |E|²). Architecture papers in this family — including ReFOCUS
+// Eq. (1) — treat the detected pattern as the convolution values themselves,
+// which also is what temporal accumulation (charge summing across cycles ⇒
+// channel-sum of convolutions) requires. The Photodetector model therefore
+// supports both a Linear mode (faithful to the paper's system equations and
+// used by the functional engine) and a SquareLaw mode (physical intensity,
+// used by the noise study). See Photodetector.
+package optics
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"refocus/internal/dsp"
+)
+
+// Field is a complex optical amplitude across the waveguide array.
+type Field []complex128
+
+// NewField returns an all-dark field with n samples.
+func NewField(n int) Field { return make(Field, n) }
+
+// FieldFromAmplitudes encodes non-negative real values as optical
+// amplitudes (phase 0). It panics on negative values: JTC systems transport
+// non-negative amplitudes only, which is why ReFOCUS needs pseudo-negative
+// filter processing (paper §6).
+func FieldFromAmplitudes(values []float64) Field {
+	f := NewField(len(values))
+	for i, v := range values {
+		if v < 0 {
+			panic(fmt.Sprintf("optics: negative amplitude %g at sample %d; use pseudo-negative splitting", v, i))
+		}
+		f[i] = complex(v, 0)
+	}
+	return f
+}
+
+// Clone returns a deep copy of the field.
+func (f Field) Clone() Field {
+	c := make(Field, len(f))
+	copy(c, f)
+	return c
+}
+
+// Power returns the total optical power Σ|E|².
+func (f Field) Power() float64 {
+	var p float64
+	for _, e := range f {
+		p += real(e)*real(e) + imag(e)*imag(e)
+	}
+	return p
+}
+
+// Intensity returns the per-sample optical intensity |E|².
+func (f Field) Intensity() []float64 {
+	out := make([]float64, len(f))
+	for i, e := range f {
+		out[i] = real(e)*real(e) + imag(e)*imag(e)
+	}
+	return out
+}
+
+// Scale multiplies every sample by the complex factor s, returning a new
+// field.
+func (f Field) Scale(s complex128) Field {
+	out := make(Field, len(f))
+	for i, e := range f {
+		out[i] = e * s
+	}
+	return out
+}
+
+// Attenuate applies a power loss given as a lost fraction l in [0,1),
+// scaling the amplitude by sqrt(1-l).
+func (f Field) Attenuate(lossFraction float64) Field {
+	if lossFraction < 0 || lossFraction >= 1 {
+		panic(fmt.Sprintf("optics: loss fraction %g outside [0,1)", lossFraction))
+	}
+	return f.Scale(complex(math.Sqrt(1-lossFraction), 0))
+}
+
+// Add superposes two coherent fields sample-wise (same wavelength). The
+// fields must have equal length.
+func (f Field) Add(g Field) Field {
+	if len(f) != len(g) {
+		panic(fmt.Sprintf("optics: field length mismatch %d vs %d", len(f), len(g)))
+	}
+	out := make(Field, len(f))
+	for i := range f {
+		out[i] = f[i] + g[i]
+	}
+	return out
+}
+
+// MaxAbs returns the largest amplitude magnitude in the field.
+func (f Field) MaxAbs() float64 {
+	var m float64
+	for _, e := range f {
+		if a := cmplx.Abs(e); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Lens is an ideal 1-D on-chip metasurface Fourier lens: the field at its
+// back focal plane is the Fourier transform of the field at its front focal
+// plane (Goodman, ch. 5; paper §2.1). Aperture is the number of spatial
+// samples it supports; applying it to a longer field panics.
+//
+// InsertionLossDB models the lens's optical insertion loss.
+type Lens struct {
+	Aperture        int
+	InsertionLossDB float64
+}
+
+// Transform propagates a field through the lens. A second application does
+// NOT invert the first: two cascaded lenses return a coordinate-reversed
+// copy of the input (FT∘FT = parity), exactly like real optics — which is
+// why the JTC's output correlation terms appear at mirrored offsets.
+func (l Lens) Transform(f Field) Field {
+	if len(f) > l.Aperture {
+		panic(fmt.Sprintf("optics: field of %d samples exceeds lens aperture %d", len(f), l.Aperture))
+	}
+	out := f.Clone()
+	dsp.FFTInPlace(out)
+	// Unitary scaling keeps optical power constant through a lossless
+	// lens (Parseval); insertion loss then attenuates.
+	out = out.Scale(complex(1/math.Sqrt(float64(len(f))), 0))
+	if l.InsertionLossDB > 0 {
+		out = out.Attenuate(1 - math.Pow(10, -l.InsertionLossDB/10))
+	}
+	return out
+}
+
+// SquareLawMaterial is the passive nonlinear element at the JTC's Fourier
+// plane (paper §2.1 item 3; realized with ITO/graphene-type materials
+// [4, 6, 26, 41]). It converts the incident field to a new field whose
+// amplitude is the incident intensity: E_out = |E_in|². Without it the two
+// lenses would simply image the input and no convolution would occur.
+type SquareLawMaterial struct {
+	// Efficiency scales the conversion (1 = ideal).
+	Efficiency float64
+}
+
+// Apply performs the square-law conversion.
+func (s SquareLawMaterial) Apply(f Field) Field {
+	eff := s.Efficiency
+	if eff == 0 {
+		eff = 1
+	}
+	out := make(Field, len(f))
+	for i, e := range f {
+		out[i] = complex(eff*(real(e)*real(e)+imag(e)*imag(e)), 0)
+	}
+	return out
+}

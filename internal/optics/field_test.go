@@ -1,0 +1,278 @@
+package optics
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randField(rng *rand.Rand, n int) Field {
+	f := NewField(n)
+	for i := range f {
+		f[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return f
+}
+
+func TestFieldFromAmplitudes(t *testing.T) {
+	f := FieldFromAmplitudes([]float64{0, 1, 2.5})
+	if f[2] != complex(2.5, 0) {
+		t.Errorf("amplitude encoding wrong: %v", f)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative amplitude")
+		}
+	}()
+	FieldFromAmplitudes([]float64{-1})
+}
+
+func TestFieldPower(t *testing.T) {
+	f := Field{complex(3, 4), complex(0, 2)}
+	if p := f.Power(); math.Abs(p-29) > 1e-12 {
+		t.Errorf("Power = %g, want 29", p)
+	}
+	in := f.Intensity()
+	if math.Abs(in[0]-25) > 1e-12 || math.Abs(in[1]-4) > 1e-12 {
+		t.Errorf("Intensity = %v, want [25 4]", in)
+	}
+}
+
+func TestAttenuatePower(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := randField(rng, 16)
+	p0 := f.Power()
+	g := f.Attenuate(0.25)
+	if d := math.Abs(g.Power() - 0.75*p0); d > 1e-12*p0 {
+		t.Errorf("attenuation by 0.25 left %g of %g", g.Power(), p0)
+	}
+}
+
+func TestAttenuateRejectsBadLoss(t *testing.T) {
+	f := NewField(2)
+	for _, l := range []float64{-0.1, 1.0, 2} {
+		func() {
+			defer func() { recover() }()
+			f.Attenuate(l)
+			t.Errorf("Attenuate(%g) did not panic", l)
+		}()
+	}
+}
+
+func TestAddCoherent(t *testing.T) {
+	a := Field{complex(1, 0)}
+	b := Field{complex(-1, 0)}
+	if s := a.Add(b); cmplx.Abs(s[0]) != 0 {
+		t.Error("coherent addition should allow destructive interference")
+	}
+}
+
+// TestLensUnitary: an ideal lossless lens conserves optical power
+// (Parseval through the Fourier transform).
+func TestLensUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	lens := Lens{Aperture: 256}
+	f := randField(rng, 256)
+	g := lens.Transform(f)
+	if d := math.Abs(f.Power() - g.Power()); d > 1e-9*f.Power() {
+		t.Errorf("lens not power conserving: %g vs %g", f.Power(), g.Power())
+	}
+}
+
+// TestLensTwiceIsParity: two cascaded Fourier lenses produce a mirrored
+// image of the input — the textbook 4F identity that makes JTC outputs
+// appear at mirrored offsets.
+func TestLensTwiceIsParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 64
+	lens := Lens{Aperture: n}
+	f := randField(rng, n)
+	g := lens.Transform(lens.Transform(f))
+	// FT∘FT gives f(-x): g[0]=f[0], g[k]=f[n-k].
+	if cmplx.Abs(g[0]-f[0]) > 1e-9 {
+		t.Errorf("parity at 0 broken: %v vs %v", g[0], f[0])
+	}
+	for k := 1; k < n; k++ {
+		if cmplx.Abs(g[k]-f[n-k]) > 1e-9 {
+			t.Fatalf("parity broken at %d", k)
+		}
+	}
+}
+
+func TestLensApertureEnforced(t *testing.T) {
+	lens := Lens{Aperture: 8}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for field exceeding aperture")
+		}
+	}()
+	lens.Transform(NewField(9))
+}
+
+func TestLensInsertionLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	lens := Lens{Aperture: 32, InsertionLossDB: 3}
+	f := randField(rng, 32)
+	g := lens.Transform(f)
+	want := f.Power() * math.Pow(10, -0.3)
+	if d := math.Abs(g.Power() - want); d > 1e-9*want {
+		t.Errorf("3 dB lens: power %g, want %g", g.Power(), want)
+	}
+}
+
+func TestSquareLawMaterial(t *testing.T) {
+	f := Field{complex(3, 4), complex(0, 0), complex(1, 0)}
+	g := SquareLawMaterial{}.Apply(f)
+	want := []float64{25, 0, 1}
+	for i, w := range want {
+		if cmplx.Abs(g[i]-complex(w, 0)) > 1e-12 {
+			t.Errorf("square law [%d] = %v, want %g", i, g[i], w)
+		}
+	}
+}
+
+// TestYJunctionConservesPower: with no excess loss the two branches carry
+// exactly the input power, split α : 1-α.
+func TestYJunctionConservesPower(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := randField(rng, 16)
+	for _, alpha := range []float64{0, 0.25, 0.5, 1 / 16.0, 1} {
+		y := YJunction{SplitRatio: alpha}
+		p, s := y.Split(f)
+		if d := math.Abs(p.Power() - alpha*f.Power()); d > 1e-12*(1+f.Power()) {
+			t.Errorf("α=%g primary power %g, want %g", alpha, p.Power(), alpha*f.Power())
+		}
+		if d := math.Abs(p.Power() + s.Power() - f.Power()); d > 1e-9*f.Power() {
+			t.Errorf("α=%g power not conserved", alpha)
+		}
+	}
+}
+
+func TestYJunctionExcessLoss(t *testing.T) {
+	f := FieldFromAmplitudes([]float64{1})
+	y := YJunction{SplitRatio: 0.5, ExcessLossDB: 0.1}
+	p, s := y.Split(f)
+	want := math.Pow(10, -0.01)
+	if d := math.Abs(p.Power() + s.Power() - want); d > 1e-12 {
+		t.Errorf("excess loss: total %g, want %g", p.Power()+s.Power(), want)
+	}
+}
+
+func TestYJunctionPropertySplit(t *testing.T) {
+	f := func(seed int64, rawAlpha float64) bool {
+		alpha := math.Mod(math.Abs(rawAlpha), 1)
+		rng := rand.New(rand.NewSource(seed))
+		fl := randField(rng, 8)
+		p, s := YJunction{SplitRatio: alpha}.Split(fl)
+		return math.Abs(p.Power()+s.Power()-fl.Power()) < 1e-9*(1+fl.Power())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMRRModulator(t *testing.T) {
+	carrier := FieldFromAmplitudes([]float64{2, 2, 2})
+	m := MRRModulator{On: true}
+	out := m.Modulate(carrier, []float64{0, 0.5, 1})
+	want := []float64{0, 1, 2}
+	for i, w := range want {
+		if cmplx.Abs(out[i]-complex(w, 0)) > 1e-12 {
+			t.Errorf("modulated[%d] = %v, want %g", i, out[i], w)
+		}
+	}
+	// Off modulator emits darkness (zero-pad DAC gating, paper §2.2).
+	dark := MRRModulator{On: false}.Modulate(carrier, []float64{1, 1, 1})
+	if dark.Power() != 0 {
+		t.Error("off modulator should emit no light")
+	}
+}
+
+func TestMRRGate(t *testing.T) {
+	f := FieldFromAmplitudes([]float64{1, 2})
+	if g := (MRRModulator{On: false}).Gate(f); g.Power() != 0 {
+		t.Error("closed gate passed light")
+	}
+	if g := (MRRModulator{On: true}).Gate(f); math.Abs(g.Power()-f.Power()) > 1e-12 {
+		t.Error("open lossless gate altered power")
+	}
+}
+
+func TestLaserEmit(t *testing.T) {
+	l := Laser{PowerPerWaveguide: 4}
+	f := l.Emit(3)
+	for i := range f {
+		if cmplx.Abs(f[i]-complex(2, 0)) > 1e-12 {
+			t.Errorf("laser amplitude[%d] = %v, want 2", i, f[i])
+		}
+	}
+	if math.Abs(f.Power()-12) > 1e-12 {
+		t.Errorf("laser total power %g, want 12", f.Power())
+	}
+}
+
+// TestDelayLineFIFO: fields emerge exactly Cycles later, attenuated, with
+// darkness before the pipe fills — the optical buffer contract.
+func TestDelayLineFIFO(t *testing.T) {
+	d := NewDelayLine(3, 0.1)
+	inputs := []Field{
+		FieldFromAmplitudes([]float64{1}),
+		FieldFromAmplitudes([]float64{2}),
+		FieldFromAmplitudes([]float64{3}),
+		FieldFromAmplitudes([]float64{4}),
+		FieldFromAmplitudes([]float64{5}),
+	}
+	var outs []Field
+	for _, in := range inputs {
+		outs = append(outs, d.Step(in))
+	}
+	for i := 0; i < 3; i++ {
+		if outs[i].Power() != 0 {
+			t.Errorf("cycle %d: light emerged before the line filled", i)
+		}
+	}
+	// Cycle 3 must emit input 0 attenuated by 10% power.
+	want := 1 * 0.9
+	if p := outs[3].Power(); math.Abs(p-want) > 1e-12 {
+		t.Errorf("cycle 3 power %g, want %g", p, want)
+	}
+	if p := outs[4].Power(); math.Abs(p-4*0.9) > 1e-12 {
+		t.Errorf("cycle 4 power %g, want %g", p, 4*0.9)
+	}
+	if d.Occupancy() != 3 {
+		t.Errorf("occupancy %d, want 3", d.Occupancy())
+	}
+	d.Reset()
+	if d.Occupancy() != 0 {
+		t.Error("reset did not drain the line")
+	}
+}
+
+func TestDelayLineRejectsBadParams(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewDelayLine(0, 0) },
+		func() { NewDelayLine(1, 1.0) },
+		func() { NewDelayLine(1, -0.1) },
+	} {
+		func() {
+			defer func() { recover() }()
+			fn()
+			t.Error("expected panic for invalid delay line parameters")
+		}()
+	}
+}
+
+// TestDelayLineInputIsolation: mutating the input after Step must not
+// change what later emerges (the spiral holds a snapshot of the light).
+func TestDelayLineInputIsolation(t *testing.T) {
+	d := NewDelayLine(1, 0)
+	in := FieldFromAmplitudes([]float64{1})
+	d.Step(in)
+	in[0] = complex(99, 0)
+	out := d.Step(FieldFromAmplitudes([]float64{0}))
+	if cmplx.Abs(out[0]-complex(1, 0)) > 1e-12 {
+		t.Errorf("delay line aliased its input: got %v", out[0])
+	}
+}

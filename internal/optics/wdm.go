@@ -1,0 +1,71 @@
+package optics
+
+import "fmt"
+
+// WDMField carries several wavelength channels on one waveguide. Channels
+// at different wavelengths are mutually incoherent: they never interfere,
+// and a photodetector sums their individual intensities/signals — which is
+// exactly how ReFOCUS accumulates the convolution results of the N_λ
+// channels at a shared detector (paper §4.2.2, Figure 5).
+type WDMField struct {
+	Channels []Field
+}
+
+// NewWDM multiplexes the given per-wavelength fields onto one waveguide.
+// All channels must have the same spatial width.
+func NewWDM(channels ...Field) WDMField {
+	if len(channels) == 0 {
+		panic("optics: WDM needs at least one channel")
+	}
+	n := len(channels[0])
+	for i, c := range channels {
+		if len(c) != n {
+			panic(fmt.Sprintf("optics: WDM channel %d has %d samples, want %d", i, len(c), n))
+		}
+	}
+	cp := make([]Field, len(channels))
+	for i, c := range channels {
+		cp[i] = c.Clone()
+	}
+	return WDMField{Channels: cp}
+}
+
+// Width returns the spatial sample count.
+func (w WDMField) Width() int { return len(w.Channels[0]) }
+
+// Apply maps a per-wavelength field transformation over all channels.
+// Broadcasting one operation to every wavelength is the WDM property
+// ReFOCUS exploits to share lenses and delay lines (paper §4.2.1:
+// "operations applied to the waveguide ... are effectively broadcasted to
+// all wavelengths").
+func (w WDMField) Apply(op func(Field) Field) WDMField {
+	out := make([]Field, len(w.Channels))
+	for i, c := range w.Channels {
+		out[i] = op(c)
+	}
+	return WDMField{Channels: out}
+}
+
+// DetectSum reads all channels at a single shared photodetector: the
+// per-channel signals add in the photocurrent. This is the decoder-free
+// detection of paper §4.2.2.
+func (w WDMField) DetectSum(p *Photodetector) []float64 {
+	sum := make([]float64, w.Width())
+	for _, c := range w.Channels {
+		s := p.Detect(c)
+		for i, v := range s {
+			sum[i] += v
+		}
+	}
+	p.clip(sum)
+	return sum
+}
+
+// TotalPower returns the summed optical power across channels.
+func (w WDMField) TotalPower() float64 {
+	var p float64
+	for _, c := range w.Channels {
+		p += c.Power()
+	}
+	return p
+}

@@ -1,0 +1,448 @@
+package paper
+
+import (
+	"fmt"
+	"math/rand"
+
+	"refocus/internal/arch"
+	"refocus/internal/baseline"
+	"refocus/internal/compress"
+	"refocus/internal/nn"
+	"refocus/internal/phys"
+	"refocus/internal/tensor"
+)
+
+// Figure3Result is the §3 case study: power breakdowns of the single-JTC
+// system and the ReFOCUS baseline, plus the baseline's photonic area split.
+type Figure3Result struct {
+	SingleJTC          arch.PowerBreakdown
+	Baseline           arch.PowerBreakdown
+	BaselineTotalPower float64
+	BaselineArea       arch.AreaBreakdown
+}
+
+// Figure3 evaluates both §3 systems on the five-CNN average.
+func Figure3() Figure3Result {
+	nets := nn.Benchmarks()
+	single := arch.MeanBreakdown(arch.EvaluateAll(arch.SingleJTC(), nets))
+	bl := arch.MeanBreakdown(arch.EvaluateAll(arch.Baseline(), nets))
+	return Figure3Result{
+		SingleJTC:          single,
+		Baseline:           bl,
+		BaselineTotalPower: bl.Total(),
+		BaselineArea:       arch.ComputeArea(arch.Baseline()),
+	}
+}
+
+func breakdownRows(b arch.PowerBreakdown) [][]string {
+	tot := b.Total()
+	row := func(name string, v float64) []string {
+		return []string{name, fmt.Sprintf("%.2f W", v), fmt.Sprintf("%.1f%%", 100*v/tot)}
+	}
+	return [][]string{
+		row("input DAC", b.InputDAC),
+		row("weight DAC", b.WeightDAC),
+		row("ADC", b.ADC),
+		row("laser", b.Laser),
+		row("MRR", b.MRR),
+		row("activation SRAM", b.ActivationSRAM),
+		row("weight SRAM", b.WeightSRAM),
+		row("data buffers", b.DataBuffers),
+		row("SRAM leakage", b.SRAMLeakage),
+		row("CMOS", b.CMOS),
+		{"total (no DRAM)", fmt.Sprintf("%.2f W", tot), "100%"},
+		{"DRAM (reported separately)", fmt.Sprintf("%.2f W", b.DRAM), ""},
+	}
+}
+
+// Tables renders the two power breakdowns and the area breakdown.
+func (r Figure3Result) Tables() []Table {
+	area := r.BaselineArea
+	photonic := phys.M2ToMM2(area.Photonic())
+	areaRow := func(name string, v float64) []string {
+		mm2 := phys.M2ToMM2(v)
+		return []string{name, f1(mm2), fmt.Sprintf("%.1f%%", 100*mm2/photonic)}
+	}
+	return []Table{
+		{
+			ID: "Figure 3a-1", Title: "Power breakdown — single JTC (no optimizations), 5-CNN mean",
+			Columns: []string{"component", "power", "share"},
+			Rows:    breakdownRows(r.SingleJTC),
+			Notes:   []string{"paper: ADC+DAC dominate (>85%)"},
+		},
+		{
+			ID: "Figure 3a-2", Title: "Power breakdown — ReFOCUS-baseline (PhotoFourier-NG style), 5-CNN mean",
+			Columns: []string{"component", "power", "share"},
+			Rows:    breakdownRows(r.Baseline),
+			Notes:   []string{fmt.Sprintf("total %.1f W (paper: 15.7 W)", r.BaselineTotalPower)},
+		},
+		{
+			ID: "Figure 3b", Title: "Photonic area breakdown — ReFOCUS-baseline",
+			Columns: []string{"component", "area (mm²)", "share"},
+			Rows: [][]string{
+				areaRow("lens", area.Lens),
+				areaRow("photodetector", area.Photodetector),
+				areaRow("MRR", area.MRR),
+				areaRow("laser", area.Laser),
+				areaRow("Y-junction", area.YJunction),
+				areaRow("routing", area.Routing),
+				{"total photonic", f1(photonic), "100%"},
+			},
+			Notes: []string{fmt.Sprintf("paper: 90.7 mm² photonic, lens >50%%; measured lens share %.0f%%", 100*phys.M2ToMM2(area.Lens)/photonic)},
+		},
+	}
+}
+
+// Figure8Result is the ReFOCUS power evaluation (paper §6.1 / Figure 8).
+type Figure8Result struct {
+	FF, FB           arch.PowerBreakdown
+	FFTotal, FBTotal float64
+}
+
+// Figure8 evaluates both ReFOCUS versions on the five-CNN average.
+func Figure8() Figure8Result {
+	nets := nn.Benchmarks()
+	ff := arch.MeanBreakdown(arch.EvaluateAll(arch.FF(), nets))
+	fb := arch.MeanBreakdown(arch.EvaluateAll(arch.FB(), nets))
+	return Figure8Result{FF: ff, FB: fb, FFTotal: ff.Total(), FBTotal: fb.Total()}
+}
+
+// Tables renders both breakdowns.
+func (r Figure8Result) Tables() []Table {
+	return []Table{
+		{
+			ID: "Figure 8a", Title: "Power breakdown — ReFOCUS-FF, 5-CNN mean",
+			Columns: []string{"component", "power", "share"},
+			Rows:    breakdownRows(r.FF),
+			Notes: []string{
+				fmt.Sprintf("total %.1f W (paper: 14.0 W); weight DAC %.0f%% of DAC power (paper: 53%%)", r.FFTotal, 100*r.FF.WeightDAC/r.FF.DAC()),
+			},
+		},
+		{
+			ID: "Figure 8b", Title: "Power breakdown — ReFOCUS-FB, 5-CNN mean",
+			Columns: []string{"component", "power", "share"},
+			Rows:    breakdownRows(r.FB),
+			Notes: []string{
+				fmt.Sprintf("total %.1f W (paper: 10.8 W); weight DAC %.0f%% of DAC power (paper: 90%%)", r.FBTotal, 100*r.FB.WeightDAC/r.FB.DAC()),
+			},
+		},
+	}
+}
+
+// Figure9Result is the ReFOCUS area breakdown.
+type Figure9Result struct {
+	Area arch.AreaBreakdown
+}
+
+// Figure9 computes the FB/FF chip area (identical for both).
+func Figure9() Figure9Result { return Figure9Result{Area: arch.ComputeArea(arch.FB())} }
+
+// Table renders the exhibit.
+func (r Figure9Result) Table() Table {
+	a := r.Area
+	row := func(name string, v float64) []string {
+		return []string{name, f1(phys.M2ToMM2(v))}
+	}
+	return Table{
+		ID: "Figure 9", Title: "ReFOCUS area breakdown",
+		Columns: []string{"component", "area (mm²)"},
+		Rows: [][]string{
+			row("lens", a.Lens),
+			row("delay lines", a.DelayLine),
+			row("photodetector", a.Photodetector),
+			row("MRR + Y-junction + laser", a.MRR+a.YJunction+a.Laser),
+			row("waveguide routing", a.Routing),
+			row("photonic subtotal", a.Photonic()),
+			row("SRAM", a.SRAM),
+			row("data buffers", a.DataBuffer),
+			row("converters (ADC/DAC)", a.Converters),
+			row("CMOS logic", a.CMOSLogic),
+			row("TOTAL", a.Total()),
+		},
+		Notes: []string{"paper: 171.1 mm² total, 135.7 photonic, lens 58.5, delay lines 41.0, SRAM+buffers 12.4"},
+	}
+}
+
+// Figure10Result is the optimization-ablation study on ResNet-34.
+type Figure10Result struct {
+	Steps          []string
+	RelFPSW        []float64 // relative to the baseline
+	ConverterRatio float64   // baseline converter energy / FB converter energy per inference
+}
+
+// Figure10 enables the optimizations cumulatively — optical buffer, WDM,
+// SRAM data buffers — on ResNet-34, as in the paper's Figure 10.
+func Figure10() Figure10Result {
+	net, _ := nn.ByName("ResNet-34")
+
+	base := arch.Baseline()
+
+	ob := base
+	ob.Name = "+optical buffer"
+	ob.Buffer = arch.Feedback
+	ob.Reuses = 15
+
+	wdm := ob
+	wdm.Name = "+WDM"
+	wdm.NLambda = 2
+
+	sb := wdm
+	sb.Name = "+SRAM buffers"
+	sb.UseDataBuffers = true
+
+	configs := []arch.SystemConfig{base, ob, wdm, sb}
+	res := Figure10Result{ConverterRatio: 0}
+	var baseEff float64
+	for i, cfg := range configs {
+		r := arch.Evaluate(cfg, net)
+		if i == 0 {
+			baseEff = r.FPSPerWatt
+		}
+		res.Steps = append(res.Steps, cfg.Name)
+		res.RelFPSW = append(res.RelFPSW, r.FPSPerWatt/baseEff)
+	}
+	// Converter energy per inference: baseline vs the full FB system
+	// (the paper's "1.72× smaller" comparison at equal throughput).
+	rb := arch.Evaluate(base, net)
+	rf := arch.Evaluate(sb, net)
+	convBase := rb.Power.Converters() * rb.Latency
+	convFB := rf.Power.Converters() * rf.Latency
+	res.ConverterRatio = convBase / convFB
+	return res
+}
+
+// Table renders the exhibit.
+func (r Figure10Result) Table() Table {
+	t := Table{
+		ID: "Figure 10", Title: "Relative FPS/W on ResNet-34 with optimizations enabled cumulatively",
+		Columns: []string{"configuration", "relative FPS/W"},
+	}
+	for i, s := range r.Steps {
+		t.Rows = append(t.Rows, []string{s, f2(r.RelFPSW[i])})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("converter energy per inference: baseline/FB = %.2f× (paper: 1.72×)", r.ConverterRatio),
+		"paper: all three optimizations improve FPS/W noticeably; FB ends ≈2× the baseline")
+	return t
+}
+
+// Figure11Result compares ReFOCUS-FF/FB against PhotoFourier on the five
+// CNNs (geometric means).
+type Figure11Result struct {
+	Metrics []string
+	FF, FB  []float64 // relative to PhotoFourier, metric-aligned
+}
+
+// Figure11 computes the headline comparison.
+func Figure11() Figure11Result {
+	nets := nn.Benchmarks()
+	pf := arch.EvaluateAll(baseline.PhotoFourier(), nets)
+	ff := arch.EvaluateAll(arch.FF(), nets)
+	fb := arch.EvaluateAll(arch.FB(), nets)
+	metrics := []struct {
+		name string
+		m    arch.Metric
+	}{
+		{"FPS", arch.MetricFPS},
+		{"FPS/W", arch.MetricFPSPerWatt},
+		{"FPS/mm²", arch.MetricFPSPerMM2},
+		{"PAP", arch.MetricPAP},
+		{"1/EDP", arch.MetricInvEDP},
+	}
+	res := Figure11Result{}
+	for _, m := range metrics {
+		res.Metrics = append(res.Metrics, m.name)
+		base := arch.GeoMean(pf, m.m)
+		res.FF = append(res.FF, arch.GeoMean(ff, m.m)/base)
+		res.FB = append(res.FB, arch.GeoMean(fb, m.m)/base)
+	}
+	return res
+}
+
+// Ratio returns the FB-relative value of a named metric (test helper).
+func (r Figure11Result) Ratio(metric string, fb bool) float64 {
+	for i, m := range r.Metrics {
+		if m == metric {
+			if fb {
+				return r.FB[i]
+			}
+			return r.FF[i]
+		}
+	}
+	panic("paper: unknown metric " + metric)
+}
+
+// Table renders the exhibit.
+func (r Figure11Result) Table() Table {
+	t := Table{
+		ID: "Figure 11", Title: "ReFOCUS vs PhotoFourier (geo-mean over 5 CNNs, relative)",
+		Columns: []string{"metric", "ReFOCUS-FF", "ReFOCUS-FB"},
+	}
+	for i, m := range r.Metrics {
+		t.Rows = append(t.Rows, []string{m, f2(r.FF[i]), f2(r.FB[i])})
+	}
+	t.Notes = append(t.Notes, "paper headline: 2× FPS, 2.2× FPS/W (FB), 1.36× FPS/mm²")
+	return t
+}
+
+// Figure12Result compares ReFOCUS with digital accelerators on ResNet-50.
+type Figure12Result struct {
+	Entries []baseline.Published // including the two ReFOCUS rows
+}
+
+// Figure12 builds the ResNet-50 comparison.
+func Figure12() Figure12Result {
+	net, _ := nn.ByName("ResNet-50")
+	rows := []baseline.Published{}
+	for _, cfg := range []arch.SystemConfig{arch.FF(), arch.FB()} {
+		r := arch.Evaluate(cfg, net)
+		rows = append(rows, baseline.Published{
+			Accelerator: cfg.Name, Network: net.Name,
+			FPS: r.FPS, FPSPerWatt: r.FPSPerWatt, Source: "this simulator",
+		})
+	}
+	rows = append(rows, baseline.Figure12Digital()...)
+	return Figure12Result{Entries: rows}
+}
+
+// Table renders the exhibit.
+func (r Figure12Result) Table() Table {
+	t := Table{
+		ID: "Figure 12", Title: "ReFOCUS vs digital accelerators on ResNet-50",
+		Columns: []string{"accelerator", "FPS", "FPS/W", "source"},
+	}
+	for _, e := range r.Entries {
+		t.Rows = append(t.Rows, []string{e.Accelerator, f1(e.FPS), f1(e.FPSPerWatt), e.Source})
+	}
+	t.Notes = append(t.Notes, "paper: H100/TPUv3 lead raw FPS; ReFOCUS leads FPS/W by 5.6–24.5×")
+	return t
+}
+
+// Figure13Result compares ReFOCUS with photonic/digital/RRAM accelerators
+// on AlexNet, VGG-16 and ResNet-18.
+type Figure13Result struct {
+	Entries []baseline.Published
+}
+
+// Figure13 builds the three-network comparison.
+func Figure13() Figure13Result {
+	rows := []baseline.Published{}
+	for _, name := range []string{"AlexNet", "VGG-16", "ResNet-18"} {
+		net, _ := nn.ByName(name)
+		for _, cfg := range []arch.SystemConfig{arch.FF(), arch.FB()} {
+			r := arch.Evaluate(cfg, net)
+			rows = append(rows, baseline.Published{
+				Accelerator: cfg.Name, Network: name,
+				FPS: r.FPS, FPSPerWatt: r.FPSPerWatt, Source: "this simulator",
+			})
+		}
+		rows = append(rows, baseline.ForNetwork(baseline.Figure13Photonic(), name)...)
+	}
+	return Figure13Result{Entries: rows}
+}
+
+// Table renders the exhibit.
+func (r Figure13Result) Table() Table {
+	t := Table{
+		ID: "Figure 13", Title: "ReFOCUS vs photonic / digital / RRAM accelerators",
+		Columns: []string{"accelerator", "network", "FPS", "FPS/W", "source"},
+	}
+	for _, e := range r.Entries {
+		t.Rows = append(t.Rows, []string{e.Accelerator, e.Network, f1(e.FPS), f1(e.FPSPerWatt), e.Source})
+	}
+	t.Notes = append(t.Notes, "paper: up to 25× FPS/W vs Albireo, up to 145× vs HolyLight-m")
+	return t
+}
+
+// Section73Result carries the weight-sharing and channel-reordering study.
+type Section73Result struct {
+	CompressionRatio float64
+	WeightShareError float64
+	DRAMShareFB      float64 // DRAM share of FB total (with DRAM)
+	EnergySavingUpTo float64 // best-case §7.3 saving
+	ReorderReduction float64 // weight-DAC work reduction on the typical setup
+	EfficiencyGain   float64 // overall FF efficiency gain from reordering
+}
+
+// Section73 runs the §7.3 experiments: 256-codeword sharing of a
+// ResNet-like 3×3 layer, the DRAM-energy arithmetic, and the annealed
+// channel reordering on the typical correlated setup.
+func Section73(seed int64) Section73Result {
+	rng := rand.New(rand.NewSource(seed))
+	// Weight sharing on a representative 3×3 layer population.
+	w := randomKernels(rng, 128, 128)
+	sw := compress.ShareWeights(w, 256, rng)
+
+	// DRAM share of the FB system on its worst benchmark (ResNet-34:
+	// large weight stream, fast execution — the "more than 50%" case of
+	// §7.3).
+	var dramShare, weightShareOfDRAM float64
+	for _, net := range nn.Benchmarks() {
+		r := arch.Evaluate(arch.FB(), net)
+		if share := r.Power.DRAM / r.Power.TotalWithDRAM(); share > dramShare {
+			dramShare = share
+			weightShareOfDRAM = float64(net.TotalWeightBytes()) /
+				(float64(net.TotalWeightBytes()) + float64(net.Layers[0].InputBytes()))
+		}
+	}
+
+	saving := compress.DRAMEnergySaving(dramShare, weightShareOfDRAM, sw.CompressionRatio())
+
+	// Channel reordering on the typical setup.
+	cw := compress.TypicalSetupCodewords(16, 64, 16, 0.45, rng)
+	res := compress.AnnealChannelOrder(cw, 9, 20000, rng)
+
+	// Overall efficiency gain for FF: weight DAC is ~31% of FF power
+	// (§7.3); a ρ reduction of weight-DAC power lifts FPS/W by
+	// 1/(1-0.31ρ)-1.
+	nets := nn.Benchmarks()
+	ffB := arch.MeanBreakdown(arch.EvaluateAll(arch.FF(), nets))
+	wShare := ffB.WeightDAC / ffB.Total()
+	gain := 1/(1-wShare*res.Reduction) - 1
+
+	return Section73Result{
+		CompressionRatio: sw.CompressionRatio(),
+		WeightShareError: sw.RelativeError(w),
+		DRAMShareFB:      dramShare,
+		EnergySavingUpTo: saving,
+		ReorderReduction: res.Reduction,
+		EfficiencyGain:   gain,
+	}
+}
+
+// randomKernels draws correlated kernels (a few underlying prototypes plus
+// noise) so clustering has real structure, as trained CNN kernels do.
+func randomKernels(rng *rand.Rand, f, c int) *tensor.Tensor {
+	protos := make([][]float64, 32)
+	for i := range protos {
+		protos[i] = make([]float64, 9)
+		for j := range protos[i] {
+			protos[i][j] = rng.NormFloat64()
+		}
+	}
+	w := tensor.New(f, c, 3, 3)
+	for k := 0; k < f*c; k++ {
+		p := protos[rng.Intn(len(protos))]
+		scale := 0.5 + rng.Float64()
+		for j := 0; j < 9; j++ {
+			w.Data[k*9+j] = scale*p[j] + 0.1*rng.NormFloat64()
+		}
+	}
+	return w
+}
+
+// Table renders the exhibit.
+func (r Section73Result) Table() Table {
+	return Table{
+		ID: "Section 7.3", Title: "Weight sharing and channel reordering",
+		Columns: []string{"quantity", "measured", "paper"},
+		Rows: [][]string{
+			{"weight-sharing compression", f2(r.CompressionRatio) + "x", "4.5x"},
+			{"sharing relative error", f3(r.WeightShareError), "negligible accuracy loss"},
+			{"FB DRAM share (worst CNN)", fmt.Sprintf("%.0f%%", 100*r.DRAMShareFB), ">50%"},
+			{"total energy saving (up to)", fmt.Sprintf("%.0f%%", 100*r.EnergySavingUpTo), "up to 52%"},
+			{"reorder weight-DAC cut", fmt.Sprintf("%.0f%%", 100*r.ReorderReduction), "15%"},
+			{"overall efficiency gain (FF)", fmt.Sprintf("%.1f%%", 100*r.EfficiencyGain), "4.7%"},
+		},
+	}
+}

@@ -1,0 +1,64 @@
+package paper
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"refocus/internal/arch"
+	"refocus/internal/nn"
+)
+
+// MonteCarloResult is a robustness analysis of the headline conclusion:
+// every component power in Table 6 is independently perturbed by a
+// log-normal factor (the uncertainty of transplanting published numbers
+// across processes), and the FB/baseline FPS/W advantage is re-evaluated.
+// If the conclusion only held at the exact Table-6 values it would not be
+// worth much; the percentiles below show it is insensitive.
+type MonteCarloResult struct {
+	Trials       int
+	Sigma        float64 // log-normal sigma of each perturbation
+	Gains        []float64
+	P5, P50, P95 float64
+}
+
+// MonteCarlo runs the perturbation study on ResNet-34.
+func MonteCarlo(trials int, sigma float64, seed int64) MonteCarloResult {
+	if trials < 1 || sigma < 0 {
+		panic("paper: invalid Monte-Carlo parameters")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	net, _ := nn.ByName("ResNet-34")
+	res := MonteCarloResult{Trials: trials, Sigma: sigma}
+	for i := 0; i < trials; i++ {
+		perturb := func(cfg *arch.SystemConfig, f [5]float64) {
+			cfg.Components.DACPower *= f[0]
+			cfg.Components.ADCPower *= f[1]
+			cfg.Components.MRRPower *= f[2]
+			cfg.Components.LaserMinPowerPerWaveguide *= f[3]
+			cfg.CMOS.OutputOpEnergyPerSample *= f[4]
+			cfg.CMOS.InputPrepEnergyPerByte *= f[4]
+		}
+		var f [5]float64
+		for j := range f {
+			f[j] = lognormal(rng, sigma)
+		}
+		fb := arch.FB()
+		bl := arch.Baseline()
+		perturb(&fb, f)
+		perturb(&bl, f)
+		gain := arch.Evaluate(fb, net).FPSPerWatt / arch.Evaluate(bl, net).FPSPerWatt
+		res.Gains = append(res.Gains, gain)
+	}
+	sorted := append([]float64(nil), res.Gains...)
+	sort.Float64s(sorted)
+	res.P5 = sorted[trials*5/100]
+	res.P50 = sorted[trials/2]
+	res.P95 = sorted[trials*95/100]
+	return res
+}
+
+// lognormal draws exp(N(0,σ²)): median 1, multiplicative spread exp(σ).
+func lognormal(rng *rand.Rand, sigma float64) float64 {
+	return math.Exp(sigma * rng.NormFloat64())
+}

@@ -1,0 +1,31 @@
+package paper
+
+import "refocus/internal/arch"
+
+// AllTables regenerates every exhibit in paper order. seed feeds the
+// stochastic §7.3 experiments.
+func AllTables(seed int64) []Table {
+	var out []Table
+	out = append(out, Section22().Table())
+	out = append(out, Table1())
+	out = append(out, Table2().Table())
+	out = append(out, Table3())
+	out = append(out, Figure3().Tables()...)
+	out = append(out, Table4(arch.Feedforward).Table())
+	out = append(out, Table4(arch.Feedback).Table())
+	out = append(out, Table5().Table())
+	out = append(out, Section423(seed).Table())
+	out = append(out, Table6())
+	out = append(out, Table7Table())
+	out = append(out, Figure8().Tables()...)
+	out = append(out, Figure9().Table())
+	out = append(out, Figure10().Table())
+	out = append(out, Figure11().Table())
+	out = append(out, Figure12().Table())
+	out = append(out, Figure13().Table())
+	out = append(out, Section533().Table())
+	out = append(out, Section72(seed).Table())
+	out = append(out, Section73(seed).Table())
+	out = append(out, Section75().Table())
+	return out
+}

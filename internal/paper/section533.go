@@ -1,0 +1,58 @@
+package paper
+
+import (
+	"fmt"
+
+	"refocus/internal/arch"
+	"refocus/internal/memory"
+	"refocus/internal/nn"
+)
+
+// Section533Result is the §5.3.3 dataflow-choice ablation: ReFOCUS-FF with
+// the filter-major ordering (choice (1), adopted) versus the channel-major
+// ordering (choice (2)).
+type Section533Result struct {
+	InputBufferBytes  [2]int // [filter-major, channel-major], shared buffer
+	OutputBufferBytes [2]int // per RFCU
+	BufferPower       [2]float64
+	TotalPower        [2]float64
+	FPSPerWatt        [2]float64
+}
+
+// Section533 evaluates both orderings over the five CNNs.
+func Section533() Section533Result {
+	var res Section533Result
+	nets := nn.Benchmarks()
+	for i, choice := range []memory.DataflowChoice{memory.FilterMajor, memory.ChannelMajor} {
+		cfg := arch.FF()
+		cfg.BufferChoice = choice
+		plan := memory.PlanBuffers(choice, cfg.T, cfg.M, cfg.NLambda, 512, 512, cfg.NRFCU, 1)
+		res.InputBufferBytes[i] = plan.InputBufferBytes
+		res.OutputBufferBytes[i] = plan.OutputBufferBytesPerRFCU
+		reports := arch.EvaluateAll(cfg, nets)
+		b := arch.MeanBreakdown(reports)
+		res.BufferPower[i] = b.DataBuffers
+		res.TotalPower[i] = b.Total()
+		res.FPSPerWatt[i] = arch.GeoMean(reports, arch.MetricFPSPerWatt)
+	}
+	return res
+}
+
+// Table renders the exhibit.
+func (r Section533Result) Table() Table {
+	return Table{
+		ID:      "Section 5.3.3",
+		Title:   "Dataflow choice ablation — ReFOCUS-FF, filter-major (1) vs channel-major (2)",
+		Columns: []string{"quantity", "choice (1) filter-major", "choice (2) channel-major"},
+		Rows: [][]string{
+			{"input buffer (shared)", fmt.Sprintf("%d B", r.InputBufferBytes[0]), fmt.Sprintf("%d B", r.InputBufferBytes[1])},
+			{"output buffer (per RFCU)", fmt.Sprintf("%d B", r.OutputBufferBytes[0]), fmt.Sprintf("%d B", r.OutputBufferBytes[1])},
+			{"data-buffer power", fmt.Sprintf("%.3f W", r.BufferPower[0]), fmt.Sprintf("%.3f W", r.BufferPower[1])},
+			{"total power", fmt.Sprintf("%.2f W", r.TotalPower[0]), fmt.Sprintf("%.2f W", r.TotalPower[1])},
+			{"FPS/W (geo-mean)", f1(r.FPSPerWatt[0]), f1(r.FPSPerWatt[1])},
+		},
+		Notes: []string{
+			"paper adopts (1): the every-cycle input buffer must stay small and fast; (2)'s 256 KB input buffer costs more per access",
+		},
+	}
+}

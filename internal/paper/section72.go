@@ -1,0 +1,46 @@
+package paper
+
+import (
+	"fmt"
+
+	"refocus/internal/noise"
+	"refocus/internal/optics"
+)
+
+// Section72Result wraps the noise-compensation experiment of §7.2.
+type Section72Result struct {
+	noise.CompensationResult
+	FixedPatternSigma float64
+	ReadSigma         float64
+}
+
+// Section72 runs the §7.2 demonstration: a CNN trained through a model of
+// its photonic device's non-idealities (fixed-pattern detector gains plus
+// read noise) recovers the accuracy a conventionally trained CNN loses
+// when deployed on that device.
+func Section72(seed int64) Section72Result {
+	const fixedSigma, readSigma = 0.3, 0.05
+	return Section72Result{
+		CompensationResult: noise.TrainingCompensation(seed, fixedSigma, optics.NoiseModel{ReadSigma: readSigma}),
+		FixedPatternSigma:  fixedSigma,
+		ReadSigma:          readSigma,
+	}
+}
+
+// Table renders the exhibit.
+func (r Section72Result) Table() Table {
+	return Table{
+		ID:      "Section 7.2",
+		Title:   fmt.Sprintf("Noise-aware training (fixed-pattern σ=%.0f%%, read σ=%.2f)", r.FixedPatternSigma*100, r.ReadSigma),
+		Columns: []string{"configuration", "accuracy"},
+		Rows: [][]string{
+			{"trained digitally, evaluated digitally", f3(r.CleanTrainCleanEval)},
+			{"trained digitally, evaluated on the noisy device", f3(r.CleanTrainNoisyEval)},
+			{"trained through the device model, evaluated on it", f3(r.NoisyTrainNoisyEval)},
+			{"drop recovered by noise-aware training", fmt.Sprintf("%.0f%%", 100*r.Recovered)},
+		},
+		Notes: []string{
+			"paper §7.2: 'the noise impact can be further compensated by modeling and injecting noise during training' — demonstrated here end to end",
+		},
+	}
+}

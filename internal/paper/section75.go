@@ -1,0 +1,81 @@
+package paper
+
+import (
+	"fmt"
+
+	"refocus/internal/arch"
+	"refocus/internal/buffers"
+	"refocus/internal/phys"
+)
+
+// Section75Result is the slow-light what-if of §7.5: swapping the Table-1
+// strip-waveguide delay lines for slow-light Bragg gratings shrinks the
+// spiral area (more RFCUs fit the budget) but multiplies the per-trip loss,
+// which the feedback buffer — whose light makes up to 15 trips — cannot
+// absorb.
+type Section75Result struct {
+	DelayAreaRatio float64 // strip / slow-light area per cycle
+
+	RFCUsStrip, RFCUsSlow int // at M=16, 150 mm² photonic budget
+
+	FFLaserStrip, FFLaserSlow float64 // relative laser power
+	FBLaserStrip, FBLaserSlow float64
+	FBDynamicRangeSlow        float64 // vs the 256 ADC levels
+	FBFeasibleSlow            bool
+}
+
+// Section75 runs the what-if.
+func Section75() Section75Result {
+	strip := phys.DefaultComponents()
+	slow := phys.DefaultSlowLight().ApplyTo(strip)
+
+	var r Section75Result
+	r.DelayAreaRatio = strip.DelayLineAreaPerCycle / slow.DelayLineAreaPerCycle
+
+	base := arch.FF()
+	r.RFCUsStrip = arch.MaxRFCUsForBudget(base, 16, 150*phys.MM2)
+	slowCfg := base
+	slowCfg.Components = slow
+	r.RFCUsSlow = arch.MaxRFCUsForBudget(slowCfg, 16, 150*phys.MM2)
+
+	r.FFLaserStrip = buffers.NewFeedforwardBuffer(0, 16, strip).RelativeLaserPower()
+	r.FFLaserSlow = buffers.NewFeedforwardBuffer(0, 16, slow).RelativeLaserPower()
+
+	fbStrip := buffers.NewFeedbackBuffer(buffers.OptimalFeedbackAlpha(15), 16, strip)
+	fbSlow := buffers.NewFeedbackBuffer(buffers.OptimalFeedbackAlpha(15), 16, slow)
+	r.FBLaserStrip = fbStrip.RelativeLaserPower(15)
+	r.FBLaserSlow = fbSlow.RelativeLaserPower(15)
+	r.FBDynamicRangeSlow = fbSlow.DynamicRange(15)
+	r.FBFeasibleSlow = r.FBDynamicRangeSlow < strip.PhotodetectorDynamicRangeLevels &&
+		r.FBLaserSlow < 20
+	return r
+}
+
+// Table renders the exhibit.
+func (r Section75Result) Table() Table {
+	feasible := "yes"
+	if !r.FBFeasibleSlow {
+		feasible = "NO"
+	}
+	return Table{
+		ID:      "Section 7.5",
+		Title:   "Slow-light delay lines: area win vs loss penalty (M=16)",
+		Columns: []string{"quantity", "strip waveguide", "slow light"},
+		Rows: [][]string{
+			{"delay area per cycle", "1.00", fmt.Sprintf("%.2f (%.1fx smaller)", 1/r.DelayAreaRatio, r.DelayAreaRatio)},
+			{"RFCUs in 150 mm²", d(r.RFCUsStrip), d(r.RFCUsSlow)},
+			{"FF relative laser power", f2(r.FFLaserStrip), f2(r.FFLaserSlow)},
+			{"FB relative laser power (R=15)", f2(r.FBLaserStrip), g3(r.FBLaserSlow)},
+			{"FB dynamic range (R=15)", f2(buffersDynamicRangeStrip()), g3(r.FBDynamicRangeSlow)},
+			{"FB feasible", "yes", feasible},
+		},
+		Notes: []string{
+			"paper §7.5: slow light would shrink the buffers but 'currently has relatively large loss' — quantified here: FF tolerates it, FB (15 round trips) does not",
+		},
+	}
+}
+
+func buffersDynamicRangeStrip() float64 {
+	c := phys.DefaultComponents()
+	return buffers.NewFeedbackBuffer(buffers.OptimalFeedbackAlpha(15), 16, c).DynamicRange(15)
+}

@@ -1,0 +1,71 @@
+// Package paper regenerates every table and figure of the ReFOCUS paper
+// from the simulator: one generator per exhibit, returning typed results
+// for tests plus a rendered text table for the CLI tools. DESIGN.md §4
+// maps each generator to the modules it exercises; EXPERIMENTS.md records
+// paper-vs-measured values.
+package paper
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered exhibit.
+type Table struct {
+	ID      string // "Table 4", "Figure 11", ...
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string // paper-vs-measured remarks
+}
+
+// Render formats the table as aligned text.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len([]rune(c))
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				for p := len([]rune(c)); p < widths[i]; p++ {
+					b.WriteByte(' ')
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func g3(v float64) string { return fmt.Sprintf("%.3g", v) }
+func d(v int) string      { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,129 @@
+package phys
+
+// ComponentTable gathers the per-component power and area figures of paper
+// Table 6 plus the delay-line characteristics of Table 1. All powers are in
+// watts and areas in m²; the constructors below convert from the paper's
+// units. A table is a value type: experiments that perturb a component (for
+// sensitivity studies) copy and modify it without affecting the defaults.
+type ComponentTable struct {
+	// Power of active components, in watts.
+
+	// MRRPower is the power of an active micro-ring resonator modulator
+	// (0.42 mW, Moazeni et al. JSSC'17 [42]).
+	MRRPower float64
+	// LaserMinPowerPerWaveguide is the minimum laser power per waveguide
+	// (0.1 mW, Table 6). Average laser power is scaled up to compensate
+	// optical-buffer losses (paper §4.1.5, Table 5).
+	LaserMinPowerPerWaveguide float64
+	// ADCPower is the power of an 8-bit ADC at ADCFrequency
+	// (0.93 mW @ 625 MHz, scaled linearly from the 10 GS/s design of Liu
+	// et al. ISSCC'22 [35]; the paper calls the linear scaling
+	// conservative).
+	ADCPower float64
+	// DACPower is the power of an 8-bit DAC at ClockFrequency
+	// (35.71 mW @ 10 GHz, scaled from the 14 GS/s design of Caragiulo et
+	// al. VLSI'20 [7]). Average DAC power multiplies this by duty cycle.
+	DACPower float64
+
+	// Area of photonic components, in m².
+
+	MRRArea               float64 // 255 µm² [32]
+	PhotodetectorArea     float64 // 1920 µm² [32]
+	YJunctionArea         float64 // 2.6 µm² (Zhang et al. [69])
+	LaserArea             float64 // 1.2e5 µm² (Descos et al. [13])
+	DelayLineAreaPerCycle float64 // 1e4 µm² per 0.1 ns of delay (Table 1)
+	LensArea              float64 // 2e6 µm²
+
+	// Delay line characteristics (Table 1, per 0.1 ns = one 10 GHz cycle).
+
+	// DelayLineLengthPerCycle is the physical spiral length per cycle of
+	// delay (8.57 mm).
+	DelayLineLengthPerCycle float64
+	// DelayLineLossPerCycleDB is the propagation loss per cycle of delay
+	// (6.94e-3 dB, from the ultra-low-loss delay line of Lee et al. [28]).
+	DelayLineLossPerCycleDB float64
+
+	// System-level constants (paper §5.1).
+
+	// ClockFrequency is the photonic modulation rate (10 GHz).
+	ClockFrequency float64
+	// TemporalAccumulationCycles is how many cycles photodetectors
+	// integrate before an ADC readout (16), putting the ADC and the output
+	// CMOS domain at ClockFrequency/16 = 625 MHz.
+	TemporalAccumulationCycles int
+	// PrecisionBits is the data precision (8-bit).
+	PrecisionBits int
+	// YJunctionExcessLossDB is the insertion loss of a Y-junction beyond
+	// the split itself (~0.1 dB, Zhang et al. [69]).
+	YJunctionExcessLossDB float64
+	// PhotodetectorDynamicRangeLevels is the resolvable intensity levels at
+	// the detector/ADC chain, set by the 8-bit ADC (256 levels). The
+	// feedback buffer's reuse count is bounded by this (paper §5.4.2).
+	PhotodetectorDynamicRangeLevels float64
+}
+
+// DefaultComponents returns the paper's Table 6 / Table 1 values.
+func DefaultComponents() ComponentTable {
+	return ComponentTable{
+		MRRPower:                  0.42 * MilliWatt,
+		LaserMinPowerPerWaveguide: 0.1 * MilliWatt,
+		ADCPower:                  0.93 * MilliWatt,
+		DACPower:                  35.71 * MilliWatt,
+
+		MRRArea:               255 * UM2,
+		PhotodetectorArea:     1920 * UM2,
+		YJunctionArea:         2.6 * UM2,
+		LaserArea:             1.2e5 * UM2,
+		DelayLineAreaPerCycle: 1e4 * UM2,
+		LensArea:              2e6 * UM2,
+
+		DelayLineLengthPerCycle: 8.57 * MM,
+		DelayLineLossPerCycleDB: 6.94e-3,
+
+		ClockFrequency:             10 * GHz,
+		TemporalAccumulationCycles: 16,
+		PrecisionBits:              8,
+		YJunctionExcessLossDB:      0.1,
+
+		PhotodetectorDynamicRangeLevels: 256,
+	}
+}
+
+// CyclePeriod returns the duration of one photonic clock cycle in seconds.
+func (c ComponentTable) CyclePeriod() float64 { return 1 / c.ClockFrequency }
+
+// ADCFrequency returns the ADC readout rate under temporal accumulation.
+func (c ComponentTable) ADCFrequency() float64 {
+	return c.ClockFrequency / float64(c.TemporalAccumulationCycles)
+}
+
+// DelayLine describes a spiral delay line sized for a given number of clock
+// cycles of delay.
+type DelayLine struct {
+	Cycles  int
+	Length  float64 // metres
+	Area    float64 // m²
+	LossDB  float64 // total propagation loss in dB
+	DelayNS float64 // delay in nanoseconds
+}
+
+// DelayLineFor sizes a delay line for the given number of cycles at the
+// table's clock. Length, area, and loss all scale linearly with delay
+// (paper §4.1.5: "total signal power loss is directly proportional to the
+// delay line length").
+func (c ComponentTable) DelayLineFor(cycles int) DelayLine {
+	if cycles < 0 {
+		panic("phys: negative delay line length")
+	}
+	n := float64(cycles)
+	return DelayLine{
+		Cycles:  cycles,
+		Length:  n * c.DelayLineLengthPerCycle,
+		Area:    n * c.DelayLineAreaPerCycle,
+		LossDB:  n * c.DelayLineLossPerCycleDB,
+		DelayNS: n * c.CyclePeriod() / NS,
+	}
+}
+
+// LossFraction returns the delay line's lost power fraction l_d in [0,1).
+func (d DelayLine) LossFraction() float64 { return DBLoss(d.LossDB) }

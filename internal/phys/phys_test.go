@@ -1,0 +1,142 @@
+package phys
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDBConversionsRoundTrip(t *testing.T) {
+	for _, db := range []float64{0, 0.1, 3, 6.94e-3, 10, 30} {
+		f := DBToFraction(db)
+		back := FractionToDB(f)
+		if !almost(db, back, 1e-9) {
+			t.Errorf("dB %g -> fraction %g -> dB %g", db, f, back)
+		}
+	}
+}
+
+func TestDBKnownValues(t *testing.T) {
+	if !almost(DBToFraction(10), 0.1, 1e-12) {
+		t.Errorf("10 dB should transmit 0.1, got %g", DBToFraction(10))
+	}
+	if !almost(DBToFraction(3), 0.501187, 1e-6) {
+		t.Errorf("3 dB should transmit ~0.5012, got %g", DBToFraction(3))
+	}
+	if DBLoss(0) != 0 {
+		t.Errorf("0 dB should lose nothing, got %g", DBLoss(0))
+	}
+}
+
+func TestDBLossMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if a > 100 || b > 100 {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return DBLoss(a) <= DBLoss(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultComponentsMatchTable6(t *testing.T) {
+	c := DefaultComponents()
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"MRR power (W)", c.MRRPower, 0.42e-3},
+		{"laser min power (W)", c.LaserMinPowerPerWaveguide, 0.1e-3},
+		{"ADC power (W)", c.ADCPower, 0.93e-3},
+		{"DAC power (W)", c.DACPower, 35.71e-3},
+		{"MRR area (m²)", c.MRRArea, 255e-12},
+		{"photodetector area (m²)", c.PhotodetectorArea, 1920e-12},
+		{"Y-junction area (m²)", c.YJunctionArea, 2.6e-12},
+		{"laser area (m²)", c.LaserArea, 1.2e5 * 1e-12},
+		{"delay line area per cycle (m²)", c.DelayLineAreaPerCycle, 1e4 * 1e-12},
+		{"lens area (m²)", c.LensArea, 2e6 * 1e-12},
+	}
+	for _, ck := range checks {
+		if !almost(ck.got, ck.want, 1e-18+1e-9*math.Abs(ck.want)) {
+			t.Errorf("%s = %g, want %g", ck.name, ck.got, ck.want)
+		}
+	}
+}
+
+// TestDelayLineMatchesTable1 reproduces paper Table 1 exactly: a 0.1 ns
+// delay line is 8.57 mm long, 0.01 mm² in area, with 6.94e-3 dB loss.
+func TestDelayLineMatchesTable1(t *testing.T) {
+	c := DefaultComponents()
+	d := c.DelayLineFor(1)
+	if !almost(d.Length/MM, 8.57, 1e-9) {
+		t.Errorf("1-cycle delay line length = %g mm, want 8.57", d.Length/MM)
+	}
+	if !almost(M2ToMM2(d.Area), 0.01, 1e-9) {
+		t.Errorf("1-cycle delay line area = %g mm², want 0.01", M2ToMM2(d.Area))
+	}
+	if !almost(d.LossDB, 6.94e-3, 1e-12) {
+		t.Errorf("1-cycle delay line loss = %g dB, want 6.94e-3", d.LossDB)
+	}
+	if !almost(d.DelayNS, 0.1, 1e-12) {
+		t.Errorf("1-cycle delay = %g ns, want 0.1", d.DelayNS)
+	}
+}
+
+func TestDelayLineScalesLinearly(t *testing.T) {
+	c := DefaultComponents()
+	one := c.DelayLineFor(1)
+	sixteen := c.DelayLineFor(16)
+	if !almost(sixteen.Length, 16*one.Length, 1e-12) ||
+		!almost(sixteen.Area, 16*one.Area, 1e-18) ||
+		!almost(sixteen.LossDB, 16*one.LossDB, 1e-12) {
+		t.Error("delay line does not scale linearly with cycles")
+	}
+}
+
+func TestDelayLineLossFractionSmall(t *testing.T) {
+	c := DefaultComponents()
+	// The paper argues delay-line loss is negligible for reasonable
+	// lengths (§4.1.5): even 32 cycles loses well under 5%.
+	if l := c.DelayLineFor(32).LossFraction(); l > 0.05 {
+		t.Errorf("32-cycle delay line loses %g of power; paper says negligible", l)
+	}
+}
+
+func TestADCFrequency(t *testing.T) {
+	c := DefaultComponents()
+	if !almost(c.ADCFrequency(), 625*MHz, 1) {
+		t.Errorf("ADC frequency = %g, want 625 MHz", c.ADCFrequency())
+	}
+	if !almost(c.CyclePeriod(), 0.1*NS, 1e-15) {
+		t.Errorf("cycle period = %g, want 0.1 ns", c.CyclePeriod())
+	}
+}
+
+// TestGroupIndexConsistent checks the derived group index is physically
+// sensible for a silicon waveguide (~3.5) and consistent with Table 1.
+func TestGroupIndexConsistent(t *testing.T) {
+	if GroupIndexSi < 3.0 || GroupIndexSi > 4.0 {
+		t.Errorf("derived group index %g outside the silicon waveguide range", GroupIndexSi)
+	}
+	length := SpeedOfLight / GroupIndexSi * 0.1e-9
+	if !almost(length, 8.57e-3, 1e-9) {
+		t.Errorf("group index does not reproduce the 8.57 mm Table-1 length: %g", length)
+	}
+}
+
+func TestDelayLineForNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative cycles")
+		}
+	}()
+	DefaultComponents().DelayLineFor(-1)
+}

@@ -1,0 +1,57 @@
+package phys
+
+// SlowLight describes a slow-light delay line technology (§7.5): Bragg
+// grating or photonic-crystal waveguides raise the group index far above a
+// strip waveguide's ~3.5, shrinking the spiral needed for a given delay —
+// at the cost of much higher propagation loss, which is why ReFOCUS does
+// not adopt them ("they currently have relatively large loss [9]").
+type SlowLight struct {
+	// GroupIndex n_g of the slow-light waveguide (≈25 for the SiN Bragg
+	// gratings of Chen et al. [9], vs ≈3.5 for the Table-1 strip guide).
+	GroupIndex float64
+	// LossPerMeterDB is propagation loss in dB/m (slow-light structures
+	// sit at dB/cm scales; [9]-class devices ≈200 dB/m).
+	LossPerMeterDB float64
+	// AreaPerLength is spiral footprint per metre of waveguide, m²/m.
+	// Gratings pack about as densely as strip spirals.
+	AreaPerLength float64
+}
+
+// DefaultSlowLight returns a [9]-class SiN Bragg-grating technology.
+func DefaultSlowLight() SlowLight {
+	strip := DefaultComponents()
+	return SlowLight{
+		GroupIndex:     25,
+		LossPerMeterDB: 200,
+		// Same areal packing density as the strip spiral:
+		// area-per-cycle / length-per-cycle.
+		AreaPerLength: strip.DelayLineAreaPerCycle / strip.DelayLineLengthPerCycle,
+	}
+}
+
+// DelayLineFor sizes a slow-light delay line for the given cycles at the
+// table's clock, mirroring ComponentTable.DelayLineFor.
+func (s SlowLight) DelayLineFor(c ComponentTable, cycles int) DelayLine {
+	if cycles < 0 {
+		panic("phys: negative delay line length")
+	}
+	lengthPerCycle := SpeedOfLight / s.GroupIndex * c.CyclePeriod()
+	n := float64(cycles)
+	return DelayLine{
+		Cycles:  cycles,
+		Length:  n * lengthPerCycle,
+		Area:    n * lengthPerCycle * s.AreaPerLength,
+		LossDB:  n * lengthPerCycle * s.LossPerMeterDB,
+		DelayNS: n * c.CyclePeriod() / NS,
+	}
+}
+
+// ApplyTo returns a component table whose delay lines use the slow-light
+// technology — a drop-in what-if for the design-space exploration.
+func (s SlowLight) ApplyTo(c ComponentTable) ComponentTable {
+	one := s.DelayLineFor(c, 1)
+	c.DelayLineLengthPerCycle = one.Length
+	c.DelayLineAreaPerCycle = one.Area
+	c.DelayLineLossPerCycleDB = one.LossDB
+	return c
+}

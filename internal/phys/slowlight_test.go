@@ -1,0 +1,59 @@
+package phys
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSlowLightShrinksDelayLines(t *testing.T) {
+	c := DefaultComponents()
+	sl := DefaultSlowLight()
+	strip := c.DelayLineFor(16)
+	slow := sl.DelayLineFor(c, 16)
+	// ~7× shorter at n_g 25 vs 3.5.
+	if r := strip.Length / slow.Length; r < 6 || r > 8.5 {
+		t.Errorf("slow light length reduction = %.1f×, expected ≈7×", r)
+	}
+	if slow.Area >= strip.Area {
+		t.Error("slow light should shrink the spiral area")
+	}
+	if slow.DelayNS != strip.DelayNS {
+		t.Error("both technologies must deliver the same delay")
+	}
+}
+
+func TestSlowLightLossMuchHigher(t *testing.T) {
+	c := DefaultComponents()
+	sl := DefaultSlowLight()
+	strip := c.DelayLineFor(16)
+	slow := sl.DelayLineFor(c, 16)
+	// The §7.5 caveat: per-delay loss is orders of magnitude worse even
+	// though the guide is shorter.
+	if r := slow.LossDB / strip.LossDB; r < 30 {
+		t.Errorf("slow light loss ratio = %.0f×, expected ≫1", r)
+	}
+	// A 16-cycle slow-light trip loses a macroscopic power fraction.
+	if slow.LossFraction() < 0.3 {
+		t.Errorf("16-cycle slow-light loss fraction = %.2f, expected substantial", slow.LossFraction())
+	}
+}
+
+func TestSlowLightApplyTo(t *testing.T) {
+	c := DefaultComponents()
+	sl := DefaultSlowLight()
+	mod := sl.ApplyTo(c)
+	if mod.DelayLineAreaPerCycle >= c.DelayLineAreaPerCycle {
+		t.Error("ApplyTo should shrink per-cycle area")
+	}
+	if mod.DelayLineLossPerCycleDB <= c.DelayLineLossPerCycleDB {
+		t.Error("ApplyTo should raise per-cycle loss")
+	}
+	// Linearity still holds through the generic sizing path.
+	if d := mod.DelayLineFor(4); math.Abs(d.Area-4*mod.DelayLineAreaPerCycle) > 1e-18 {
+		t.Error("slow-light table lost linear scaling")
+	}
+	// The original table is untouched (value semantics).
+	if c.DelayLineAreaPerCycle != DefaultComponents().DelayLineAreaPerCycle {
+		t.Error("ApplyTo mutated its input")
+	}
+}

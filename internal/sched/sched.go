@@ -1,0 +1,296 @@
+// Package sched implements the §7.1 instruction scheduling of ReFOCUS:
+// because the optical buffer has a fixed, strictly-FIFO delay, the whole
+// machine can be driven by a statically compiled VLIW-style instruction
+// stream — one wide word per 10 GHz cycle controlling the input DACs, the
+// feedback switch MRR, every RFCU's filter assignment and weight loads,
+// and the ADC readouts.
+//
+// Compile produces the stream for one conv layer; Validate replays it
+// against a cycle-accurate machine model (delay-line occupancy, detector
+// wells, reuse attenuation) and rejects programs that would corrupt data —
+// the hazards the paper's switch MRR and weight-scaling scheduler exist to
+// prevent. Validate also cross-checks the stream's aggregate activity
+// against the analytical event counts of internal/dataflow.
+package sched
+
+import (
+	"fmt"
+
+	"refocus/internal/buffers"
+	"refocus/internal/dataflow"
+	"refocus/internal/nn"
+	"refocus/internal/phys"
+)
+
+// Instruction is one VLIW word: the complete per-cycle control state.
+type Instruction struct {
+	Cycle int
+
+	// Input side (shared bank, broadcast to all RFCUs).
+
+	// GenerateInputs fires the input DACs/MRRs with fresh activations.
+	GenerateInputs bool
+	// SwitchOpen opens the feedback switch MRR so reused light re-enters
+	// the main waveguide. Never legal together with GenerateInputs
+	// (paper §4.1.1: the reuse signal must be blocked during generation).
+	SwitchOpen bool
+	// ReuseIndex is which reuse iteration's light arrives this cycle
+	// (0 = fresh; i means the light has made i delay-line trips). Used to
+	// verify the weight compensation scale.
+	ReuseIndex int
+	// Channel is the input channel group slot carried this cycle (the
+	// IC(a-b) label of Figure 7); -1 when the input side idles.
+	Channel int
+
+	// Compute side.
+
+	// FilterBase is the first filter processed this round (RFCU i runs
+	// FilterBase+i); -1 when the RFCUs idle (pipeline bubble).
+	FilterBase int
+	// Negative marks the pseudo-negative half of the filter round.
+	Negative bool
+	// LoadWeights fires the weight DACs (the kernel changes this cycle).
+	LoadWeights bool
+	// WeightScale is the §4.1.1 compensation factor the scheduler applies
+	// to the weights for attenuated reuse light (1 for fresh rounds).
+	WeightScale float64
+
+	// Output side.
+
+	// Readout closes the temporal-accumulation window after this cycle:
+	// every active RFCU's detector wells are digitized and cleared.
+	Readout bool
+	// Region is the output region being accumulated.
+	Region int
+}
+
+// Program is a compiled layer schedule.
+type Program struct {
+	Layer        nn.ConvLayer
+	Config       dataflow.Config
+	Plan         dataflow.LayerPlan
+	Instructions []Instruction
+	// PaddingCycles counts the idle bubbles inserted to keep reuse
+	// arrivals aligned to the fixed M-cycle delay (when a window needs
+	// fewer than M passes, the machine must still wait out the spiral).
+	PaddingCycles int
+}
+
+// Cycles returns the program length.
+func (p *Program) Cycles() int { return len(p.Instructions) }
+
+// Compile statically schedules one conv layer instance under the
+// configuration, producing a hazard-free instruction stream implementing
+// the alternating OS-IS dataflow of Figure 7 with filter-major ordering:
+//
+//	for each output region:
+//	  for each channel group of M·Nλ channels:
+//	    for each filter round (R+1 rounds per fresh generation):
+//	      M cycles (one per channel slot) + one readout
+//
+// Because a filter round spans exactly the delay length M, light injected
+// at slot s of one round re-emerges precisely at slot s of the next — the
+// self-aligning property §7.1 relies on for static scheduling. Channel
+// groups shorter than M (the tail of InC) are padded with idle bubbles
+// whenever an optical buffer is active, since the spiral's latency is
+// fixed in silicon.
+func Compile(layer nn.ConvLayer, cfg dataflow.Config) *Program {
+	plan := dataflow.PlanLayer(layer, cfg)
+	p := &Program{Layer: layer, Config: cfg, Plan: plan}
+
+	reuseGroup := cfg.Reuses + 1
+	accum := plan.AccumPassesPerRegion
+
+	var fb buffers.FeedbackBuffer
+	if cfg.Reuses > 1 {
+		fb = buffers.NewFeedbackBuffer(buffers.OptimalFeedbackAlpha(cfg.Reuses), cfg.M, phys.DefaultComponents())
+	}
+
+	cycle := 0
+	for region := 0; region < plan.Regions; region++ {
+		for group := 0; group < plan.WindowsPerRegion; group++ {
+			groupLen := cfg.M
+			if rem := accum - group*cfg.M; rem < groupLen {
+				groupLen = rem
+			}
+			roundLen := groupLen
+			if cfg.Reuses > 0 && groupLen < cfg.M {
+				roundLen = cfg.M // alignment padding for the spiral
+			}
+			for round := 0; round < plan.FilterRounds; round++ {
+				reuse := round % reuseGroup
+				fresh := reuse == 0
+				scale := 1.0
+				if reuse > 0 && cfg.Reuses > 1 {
+					scale = fb.WeightScaleForIteration(reuse)
+				}
+				for slot := 0; slot < roundLen; slot++ {
+					active := slot < groupLen
+					in := Instruction{
+						Cycle:       cycle,
+						ReuseIndex:  reuse,
+						Channel:     -1,
+						FilterBase:  -1,
+						WeightScale: scale,
+						Region:      region,
+					}
+					if active {
+						in.Channel = group*cfg.M + slot
+						in.FilterBase = (round / 2) * cfg.NRFCU
+						in.Negative = round%2 == 1
+						in.LoadWeights = true
+						in.GenerateInputs = fresh
+						in.SwitchOpen = !fresh
+						in.Readout = slot == groupLen-1
+					} else {
+						p.PaddingCycles++
+					}
+					p.Instructions = append(p.Instructions, in)
+					cycle++
+				}
+			}
+		}
+	}
+	return p
+}
+
+// Stats aggregates a validated program's activity.
+type Stats struct {
+	Cycles          int
+	PaddingCycles   int
+	FreshCycles     int // cycles with input DACs firing
+	ReuseCycles     int // cycles computing on buffered light
+	Readouts        int
+	WeightLoads     int
+	MaxWindow       int // longest accumulation window observed
+	MaxWeightScale  float64
+	PaddingOverhead float64 // padding / total
+}
+
+// Validate replays the program on a cycle-accurate machine model and
+// returns aggregate statistics, or an error describing the first hazard:
+//
+//   - switch MRR open while the DACs generate (data corruption, §4.1.1)
+//   - switch open when no light emerges from the spiral (computing on dark)
+//   - reused light whose weight scale does not compensate its attenuation
+//   - an accumulation window exceeding the temporal-accumulation budget M
+//   - light left un-dumped that would corrupt a later fresh window
+func Validate(p *Program) (Stats, error) {
+	cfg := p.Config
+	var st Stats
+	st.Cycles = len(p.Instructions)
+
+	// The spiral: what was injected i cycles ago. Each entry records the
+	// reuse index of the light (or -1 for darkness).
+	spiral := make([]int, cfg.M)
+	for i := range spiral {
+		spiral[i] = -1
+	}
+	var fb buffers.FeedbackBuffer
+	haveFB := cfg.Reuses > 1
+	if haveFB {
+		fb = buffers.NewFeedbackBuffer(buffers.OptimalFeedbackAlpha(cfg.Reuses), cfg.M, phys.DefaultComponents())
+	}
+
+	window := 0
+	for i, in := range p.Instructions {
+		if in.Cycle != i {
+			return st, fmt.Errorf("cycle %d: instruction numbered %d", i, in.Cycle)
+		}
+		emerging := spiral[0]
+		copy(spiral, spiral[1:])
+		spiral[cfg.M-1] = -1
+
+		if in.GenerateInputs && in.SwitchOpen {
+			return st, fmt.Errorf("cycle %d: switch MRR open during input generation — reuse light would corrupt the fresh signal", i)
+		}
+		switch {
+		case in.GenerateInputs:
+			st.FreshCycles++
+			if cfg.Reuses > 0 {
+				spiral[cfg.M-1] = 1 // fresh light enters the spiral for its first trip
+			}
+		case in.SwitchOpen:
+			if emerging < 0 {
+				return st, fmt.Errorf("cycle %d: switch open but no light emerges from the delay line", i)
+			}
+			if emerging != in.ReuseIndex {
+				return st, fmt.Errorf("cycle %d: instruction expects reuse %d but trip-%d light emerges", i, in.ReuseIndex, emerging)
+			}
+			st.ReuseCycles++
+			// The §4.1.1 compensation: weights must be scaled by the
+			// inverse of the light's accumulated decay.
+			if haveFB {
+				want := fb.WeightScaleForIteration(emerging)
+				if rel := in.WeightScale/want - 1; rel > 1e-9 || rel < -1e-9 {
+					return st, fmt.Errorf("cycle %d: weight scale %.6g does not compensate trip-%d decay (want %.6g)", i, in.WeightScale, emerging, want)
+				}
+			}
+			// Re-inject for the next trip unless exhausted.
+			if emerging < cfg.Reuses {
+				spiral[cfg.M-1] = emerging + 1
+			}
+		default:
+			// Idle/bubble: emerging light (if any) is dumped harmlessly
+			// because the switch is shut — but only if it is genuinely
+			// exhausted or the schedule dumps it deliberately.
+			if emerging >= 0 && emerging <= cfg.Reuses && in.Channel >= 0 {
+				return st, fmt.Errorf("cycle %d: live reuse light dumped while computing", i)
+			}
+		}
+		if in.LoadWeights {
+			st.WeightLoads++
+		}
+		if in.Channel >= 0 {
+			window++
+			if window > cfg.M {
+				return st, fmt.Errorf("cycle %d: accumulation window exceeded M=%d without readout", i, cfg.M)
+			}
+		}
+		if in.Readout {
+			if window == 0 {
+				return st, fmt.Errorf("cycle %d: readout of an empty window", i)
+			}
+			st.Readouts++
+			if window > st.MaxWindow {
+				st.MaxWindow = window
+			}
+			window = 0
+		}
+		if in.WeightScale > st.MaxWeightScale {
+			st.MaxWeightScale = in.WeightScale
+		}
+	}
+	if window != 0 {
+		return st, fmt.Errorf("program ends with %d un-read accumulation cycles", window)
+	}
+	st.PaddingCycles = p.PaddingCycles
+	if st.Cycles > 0 {
+		st.PaddingOverhead = float64(st.PaddingCycles) / float64(st.Cycles)
+	}
+	return st, nil
+}
+
+// CrossCheck verifies the compiled stream agrees with the analytical event
+// counts of dataflow.LayerEvents: the analytical cycle count must equal
+// the program length minus alignment padding, and the readout count must
+// match the ADC accounting per active RFCU wavelength-group.
+func CrossCheck(p *Program) error {
+	ev := dataflow.LayerEvents(p.Layer, p.Config)
+	analytical := ev.Cycles
+	actual := float64(p.Cycles() - p.PaddingCycles)
+	if analytical != actual {
+		return fmt.Errorf("sched: analytical cycles %.0f != scheduled active cycles %.0f", analytical, actual)
+	}
+	st, err := Validate(p)
+	if err != nil {
+		return err
+	}
+	// Readouts: the analytical model counts one readout per region per
+	// window per filter round; the stream executes exactly that.
+	wantReadouts := p.Plan.Regions * p.Plan.WindowsPerRegion * p.Plan.FilterRounds
+	if st.Readouts != wantReadouts {
+		return fmt.Errorf("sched: %d readouts scheduled, plan says %d", st.Readouts, wantReadouts)
+	}
+	return nil
+}

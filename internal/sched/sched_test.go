@@ -1,0 +1,228 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"refocus/internal/dataflow"
+	"refocus/internal/nn"
+)
+
+func fbConfig() dataflow.Config {
+	return dataflow.Config{
+		NRFCU: 16, T: 256, WeightWaveguides: 25, NLambda: 2,
+		M: 16, Reuses: 15, UseDataBuffers: true,
+	}
+}
+
+func testLayer() nn.ConvLayer {
+	return nn.ConvLayer{
+		Name: "t", InC: 128, InH: 28, InW: 28, OutC: 128,
+		KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 1,
+	}
+}
+
+// TestCompileValidates: the compiler's output replays hazard-free on the
+// machine model for representative layers and all three buffer settings.
+func TestCompileValidates(t *testing.T) {
+	layers := []nn.ConvLayer{
+		testLayer(),
+		{Name: "pointwise", InC: 256, InH: 14, InW: 14, OutC: 64, KH: 1, KW: 1, Stride: 1, Pad: 0, Repeat: 1},
+		{Name: "stem", InC: 3, InH: 56, InW: 56, OutC: 64, KH: 7, KW: 7, Stride: 2, Pad: 3, Repeat: 1},
+		{Name: "short-tail", InC: 20, InH: 14, InW: 14, OutC: 32, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 1},
+	}
+	for _, reuses := range []int{0, 1, 15} {
+		for _, l := range layers {
+			cfg := fbConfig()
+			cfg.Reuses = reuses
+			p := Compile(l, cfg)
+			if _, err := Validate(p); err != nil {
+				t.Errorf("R=%d layer %s: %v", reuses, l.Name, err)
+			}
+		}
+	}
+}
+
+// TestCrossCheckAgainstDataflow: the compiled stream's active cycles and
+// readouts match the analytical event model exactly.
+func TestCrossCheckAgainstDataflow(t *testing.T) {
+	for _, reuses := range []int{0, 1, 15} {
+		cfg := fbConfig()
+		cfg.Reuses = reuses
+		p := Compile(testLayer(), cfg)
+		if err := CrossCheck(p); err != nil {
+			t.Errorf("R=%d: %v", reuses, err)
+		}
+	}
+}
+
+// TestWholeNetworkSchedulable: every layer of every benchmark network
+// compiles to a valid, cross-checked program under the ReFOCUS-FB config —
+// the §7.1 claim that scheduling can be fully static.
+func TestWholeNetworkSchedulable(t *testing.T) {
+	cfg := fbConfig()
+	for _, net := range nn.Benchmarks() {
+		for _, l := range net.Layers {
+			p := Compile(l, cfg)
+			if err := CrossCheck(p); err != nil {
+				t.Errorf("%s/%s: %v", net.Name, l.Name, err)
+			}
+		}
+	}
+}
+
+// TestFreshReuseProportion: with R=15 and ≥16 filter rounds, exactly one
+// round in 16 generates fresh light.
+func TestFreshReuseProportion(t *testing.T) {
+	p := Compile(testLayer(), fbConfig())
+	st, err := Validate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FreshCycles*15 != st.ReuseCycles {
+		t.Errorf("fresh %d vs reuse %d cycles; want 1:15", st.FreshCycles, st.ReuseCycles)
+	}
+}
+
+// TestWeightScaleCompensation: the stream carries the §4.1.1 compensation
+// scale, maximal at the last reuse and equal to the Table-5 dynamic range.
+func TestWeightScaleCompensation(t *testing.T) {
+	p := Compile(testLayer(), fbConfig())
+	st, err := Validate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxWeightScale < 3.5 || st.MaxWeightScale > 4.2 {
+		t.Errorf("max weight scale = %.2f, Table 5 says 3.87 at R=15", st.MaxWeightScale)
+	}
+	pNoReuse := Compile(testLayer(), func() dataflow.Config { c := fbConfig(); c.Reuses = 0; return c }())
+	stn, _ := Validate(pNoReuse)
+	if stn.MaxWeightScale != 1 {
+		t.Errorf("bufferless schedule should never rescale weights, got %g", stn.MaxWeightScale)
+	}
+}
+
+// TestPaddingOnlyForShortTails: a layer whose channel count fills every
+// window needs no alignment padding; a ragged tail under reuse does.
+func TestPaddingOnlyForShortTails(t *testing.T) {
+	cfg := fbConfig()
+	full := Compile(testLayer(), cfg) // InC=128, M·Nλ=32: exact fill
+	if full.PaddingCycles != 0 {
+		t.Errorf("exact-fill layer has %d padding cycles, want 0", full.PaddingCycles)
+	}
+	ragged := testLayer()
+	ragged.InC = 20 // ceil(20/2)=10 < M=16: padded tail window
+	p := Compile(ragged, cfg)
+	if p.PaddingCycles == 0 {
+		t.Error("ragged layer under reuse should need alignment padding")
+	}
+	st, err := Validate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PaddingOverhead <= 0 || st.PaddingOverhead >= 0.5 {
+		t.Errorf("padding overhead = %.2f, expected modest and positive", st.PaddingOverhead)
+	}
+	// Without a buffer the spiral imposes no alignment: no padding.
+	cfg.Reuses = 0
+	if pn := Compile(ragged, cfg); pn.PaddingCycles != 0 {
+		t.Errorf("bufferless ragged layer has %d padding cycles, want 0", pn.PaddingCycles)
+	}
+}
+
+// TestValidateCatchesCorruption: opening the switch during generation — the
+// exact hazard the paper's switch MRR exists to prevent — is rejected.
+func TestValidateCatchesCorruption(t *testing.T) {
+	p := Compile(testLayer(), fbConfig())
+	for i := range p.Instructions {
+		if p.Instructions[i].GenerateInputs {
+			p.Instructions[i].SwitchOpen = true
+			break
+		}
+	}
+	if _, err := Validate(p); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("corrupted program validated: %v", err)
+	}
+}
+
+// TestValidateCatchesDarkSwitch: opening the switch when nothing emerges.
+func TestValidateCatchesDarkSwitch(t *testing.T) {
+	cfg := fbConfig()
+	cfg.Reuses = 0
+	p := Compile(testLayer(), cfg)
+	p.Instructions[0].GenerateInputs = false
+	p.Instructions[0].SwitchOpen = true
+	if _, err := Validate(p); err == nil {
+		t.Error("switch-on-darkness validated")
+	}
+}
+
+// TestValidateCatchesBadScale: a reuse round whose weights are not rescaled
+// would silently attenuate that filter's outputs.
+func TestValidateCatchesBadScale(t *testing.T) {
+	p := Compile(testLayer(), fbConfig())
+	for i := range p.Instructions {
+		if p.Instructions[i].SwitchOpen {
+			p.Instructions[i].WeightScale = 1
+			break
+		}
+	}
+	if _, err := Validate(p); err == nil || !strings.Contains(err.Error(), "scale") {
+		t.Errorf("unscaled reuse validated: %v", err)
+	}
+}
+
+// TestValidateCatchesOverlongWindow: removing a readout overruns the
+// temporal-accumulation budget.
+func TestValidateCatchesOverlongWindow(t *testing.T) {
+	p := Compile(testLayer(), fbConfig())
+	for i := range p.Instructions {
+		if p.Instructions[i].Readout {
+			p.Instructions[i].Readout = false
+			break
+		}
+	}
+	if _, err := Validate(p); err == nil {
+		t.Error("overlong accumulation window validated")
+	}
+}
+
+// TestSchedulePropertyAllLayersValid: random layer shapes compile to valid
+// programs under random reuse settings.
+func TestSchedulePropertyAllLayersValid(t *testing.T) {
+	f := func(rc, rh, rf, rr uint8) bool {
+		cfg := fbConfig()
+		cfg.Reuses = []int{0, 1, 3, 15}[int(rr)%4]
+		l := nn.ConvLayer{
+			Name: "p", InC: int(rc)%60 + 1, InH: int(rh)%20 + 8, InW: int(rh)%20 + 8,
+			OutC: int(rf)%100 + 1, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 1,
+		}
+		p := Compile(l, cfg)
+		return CrossCheck(p) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCompileLayer(b *testing.B) {
+	cfg := fbConfig()
+	l := testLayer()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compile(l, cfg)
+	}
+}
+
+func BenchmarkValidateLayer(b *testing.B) {
+	p := Compile(testLayer(), fbConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Validate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

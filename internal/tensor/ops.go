@@ -1,0 +1,193 @@
+package tensor
+
+import "fmt"
+
+// Conv2DValid performs a multi-channel valid-mode 2-D cross-correlation —
+// the operation CNN frameworks call "convolution". Input has shape
+// [C, H, W], weights [F, C, KH, KW], output [F, H-KH+1, W-KW+1].
+//
+// This is the exact digital reference the JTC engine must reproduce.
+func Conv2DValid(input, weights *Tensor) *Tensor {
+	if input.Rank() != 3 || weights.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Conv2DValid wants [C,H,W] and [F,C,KH,KW], got %v and %v", input.Shape, weights.Shape))
+	}
+	c, h, w := input.Shape[0], input.Shape[1], input.Shape[2]
+	f, wc, kh, kw := weights.Shape[0], weights.Shape[1], weights.Shape[2], weights.Shape[3]
+	if c != wc {
+		panic(fmt.Sprintf("tensor: Conv2DValid channel mismatch input %d vs weights %d", c, wc))
+	}
+	if kh > h || kw > w {
+		panic(fmt.Sprintf("tensor: kernel %dx%d exceeds input %dx%d", kh, kw, h, w))
+	}
+	oh, ow := h-kh+1, w-kw+1
+	out := New(f, oh, ow)
+	for fi := 0; fi < f; fi++ {
+		for ci := 0; ci < c; ci++ {
+			wBase := ((fi*c + ci) * kh) * kw
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var sum float64
+					for ky := 0; ky < kh; ky++ {
+						inBase := (ci*h+oy+ky)*w + ox
+						kBase := wBase + ky*kw
+						for kx := 0; kx < kw; kx++ {
+							sum += input.Data[inBase+kx] * weights.Data[kBase+kx]
+						}
+					}
+					out.Data[(fi*oh+oy)*ow+ox] += sum
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Conv2DStride performs Conv2DValid with the given stride and symmetric zero
+// padding, matching standard CNN layer semantics. stride must be >= 1.
+func Conv2DStride(input, weights *Tensor, stride, pad int) *Tensor {
+	if stride < 1 {
+		panic("tensor: stride must be >= 1")
+	}
+	if pad > 0 {
+		input = Pad2D(input, pad)
+	}
+	full := Conv2DValid(input, weights)
+	if stride == 1 {
+		return full
+	}
+	f, oh, ow := full.Shape[0], full.Shape[1], full.Shape[2]
+	sh, sw := (oh+stride-1)/stride, (ow+stride-1)/stride
+	out := New(f, sh, sw)
+	for fi := 0; fi < f; fi++ {
+		for y := 0; y < sh; y++ {
+			for x := 0; x < sw; x++ {
+				out.Data[(fi*sh+y)*sw+x] = full.Data[(fi*oh+y*stride)*ow+x*stride]
+			}
+		}
+	}
+	return out
+}
+
+// Pad2D zero-pads each spatial plane of a [C,H,W] tensor by pad on all sides.
+func Pad2D(input *Tensor, pad int) *Tensor {
+	if input.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: Pad2D wants [C,H,W], got %v", input.Shape))
+	}
+	if pad < 0 {
+		panic("tensor: negative padding")
+	}
+	c, h, w := input.Shape[0], input.Shape[1], input.Shape[2]
+	out := New(c, h+2*pad, w+2*pad)
+	for ci := 0; ci < c; ci++ {
+		for y := 0; y < h; y++ {
+			src := (ci*h + y) * w
+			dst := (ci*(h+2*pad)+y+pad)*(w+2*pad) + pad
+			copy(out.Data[dst:dst+w], input.Data[src:src+w])
+		}
+	}
+	return out
+}
+
+// ReLU applies max(0, x) element-wise, returning a new tensor.
+func ReLU(t *Tensor) *Tensor {
+	out := t.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// MaxPool2D applies non-overlapping max pooling with the given window to a
+// [C,H,W] tensor. H and W need not be multiples of the window; the ragged
+// edge is truncated as in common frameworks' floor mode.
+func MaxPool2D(t *Tensor, window int) *Tensor {
+	if t.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: MaxPool2D wants [C,H,W], got %v", t.Shape))
+	}
+	if window < 1 {
+		panic("tensor: pooling window must be >= 1")
+	}
+	c, h, w := t.Shape[0], t.Shape[1], t.Shape[2]
+	oh, ow := h/window, w/window
+	if oh == 0 || ow == 0 {
+		panic(fmt.Sprintf("tensor: pooling window %d too large for %dx%d input", window, h, w))
+	}
+	out := New(c, oh, ow)
+	for ci := 0; ci < c; ci++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				best := t.Data[(ci*h+y*window)*w+x*window]
+				for dy := 0; dy < window; dy++ {
+					for dx := 0; dx < window; dx++ {
+						v := t.Data[(ci*h+y*window+dy)*w+x*window+dx]
+						if v > best {
+							best = v
+						}
+					}
+				}
+				out.Data[(ci*oh+y)*ow+x] = best
+			}
+		}
+	}
+	return out
+}
+
+// AvgPool2DGlobal averages each channel plane of a [C,H,W] tensor, returning
+// a [C] vector (the global-average-pool head of ResNets).
+func AvgPool2DGlobal(t *Tensor) *Tensor {
+	if t.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: AvgPool2DGlobal wants [C,H,W], got %v", t.Shape))
+	}
+	c, h, w := t.Shape[0], t.Shape[1], t.Shape[2]
+	out := New(c)
+	for ci := 0; ci < c; ci++ {
+		var sum float64
+		for i := ci * h * w; i < (ci+1)*h*w; i++ {
+			sum += t.Data[i]
+		}
+		out.Data[ci] = sum / float64(h*w)
+	}
+	return out
+}
+
+// MatVec computes W·x for W of shape [M,N] and x of shape [N], the
+// fully-connected layer reference.
+func MatVec(w, x *Tensor) *Tensor {
+	if w.Rank() != 2 || x.Rank() != 1 || w.Shape[1] != x.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatVec shape mismatch %v vs %v", w.Shape, x.Shape))
+	}
+	m, n := w.Shape[0], w.Shape[1]
+	out := New(m)
+	for i := 0; i < m; i++ {
+		var sum float64
+		row := w.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			sum += v * x.Data[j]
+		}
+		out.Data[i] = sum
+	}
+	return out
+}
+
+// Add returns a+b element-wise; shapes must match.
+func Add(a, b *Tensor) *Tensor {
+	if !sameShape(a.Shape, b.Shape) {
+		panic(fmt.Sprintf("tensor: Add shape mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	out := a.Clone()
+	for i := range out.Data {
+		out.Data[i] += b.Data[i]
+	}
+	return out
+}
+
+// Scale returns t multiplied by s element-wise.
+func Scale(t *Tensor, s float64) *Tensor {
+	out := t.Clone()
+	for i := range out.Data {
+		out.Data[i] *= s
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+// Package tensor provides a minimal dense float64 tensor and the reference
+// (digital, exact) implementations of the CNN operators that ReFOCUS
+// accelerates. The JTC engine in internal/jtc is validated against these.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major float64 tensor.
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// New allocates a zero tensor with the given shape. All dimensions must be
+// positive.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// FromSlice wraps data with the given shape; the product of dimensions must
+// equal len(data). The data is not copied.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v wants %d elements, data has %d", shape, n, len(data)))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Random fills a new tensor with standard-normal samples from rng.
+func Random(rng *rand.Rand, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64()
+	}
+	return t
+}
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.Shape) }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// index computes the flat offset of a multi-index, panicking when it is out
+// of range.
+func (t *Tensor) index(idx ...int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index rank %d vs tensor rank %d", len(idx), len(t.Shape)))
+	}
+	off := 0
+	for i, v := range idx {
+		if v < 0 || v >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + v
+	}
+	return off
+}
+
+// At returns the element at idx.
+func (t *Tensor) At(idx ...int) float64 { return t.Data[t.index(idx...)] }
+
+// Set assigns the element at idx.
+func (t *Tensor) Set(v float64, idx ...int) { t.Data[t.index(idx...)] = v }
+
+// MaxAbs returns the largest |element|, or 0 for an empty tensor.
+func (t *Tensor) MaxAbs() float64 {
+	var m float64
+	for _, v := range t.Data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// MaxAbsDiff returns the largest |a-b| over corresponding elements. Shapes
+// must match.
+func MaxAbsDiff(a, b *Tensor) float64 {
+	if !sameShape(a.Shape, b.Shape) {
+		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	var m float64
+	for i := range a.Data {
+		if d := math.Abs(a.Data[i] - b.Data[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func sameShape(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,279 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndZero(t *testing.T) {
+	tt := New(2, 3, 4)
+	if tt.Len() != 24 || tt.Rank() != 3 {
+		t.Fatalf("New(2,3,4): len %d rank %d", tt.Len(), tt.Rank())
+	}
+	for _, v := range tt.Data {
+		if v != 0 {
+			t.Fatal("New tensor not zeroed")
+		}
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero dimension")
+		}
+	}()
+	New(2, 0)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	tt := New(3, 4)
+	tt.Set(7.5, 2, 1)
+	if tt.At(2, 1) != 7.5 {
+		t.Errorf("At(2,1) = %g, want 7.5", tt.At(2, 1))
+	}
+	if tt.Data[2*4+1] != 7.5 {
+		t.Error("row-major layout violated")
+	}
+}
+
+func TestIndexOutOfRangePanics(t *testing.T) {
+	tt := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	tt.At(2, 0)
+}
+
+func TestFromSliceValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for length mismatch")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := a.Clone()
+	b.Data[0] = 99
+	if a.Data[0] != 1 {
+		t.Error("Clone shares storage with the original")
+	}
+}
+
+func TestConv2DValidKnown(t *testing.T) {
+	// 1 channel 3x3 input, 1 filter 2x2.
+	in := FromSlice([]float64{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 3, 3)
+	w := FromSlice([]float64{
+		1, 0,
+		0, 1,
+	}, 1, 1, 2, 2)
+	out := Conv2DValid(in, w)
+	want := []float64{1 + 5, 2 + 6, 4 + 8, 5 + 9}
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Errorf("out[%d] = %g, want %g", i, out.Data[i], v)
+		}
+	}
+}
+
+func TestConv2DValidAccumulatesChannels(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := Random(rng, 3, 6, 6)
+	w := Random(rng, 2, 3, 3, 3)
+	out := Conv2DValid(in, w)
+	// Sum of per-channel convolutions must equal the multi-channel result.
+	acc := New(2, 4, 4)
+	for c := 0; c < 3; c++ {
+		inC := New(1, 6, 6)
+		copy(inC.Data, in.Data[c*36:(c+1)*36])
+		wC := New(2, 1, 3, 3)
+		for f := 0; f < 2; f++ {
+			copy(wC.Data[f*9:(f+1)*9], w.Data[(f*3+c)*9:(f*3+c+1)*9])
+		}
+		part := Conv2DValid(inC, wC)
+		acc = Add(acc, part)
+	}
+	if d := MaxAbsDiff(out, acc); d > 1e-12 {
+		t.Errorf("channel accumulation violated by %g", d)
+	}
+}
+
+func TestConv2DValidIsCorrelationNotConvolution(t *testing.T) {
+	// With an asymmetric kernel, CNN "conv" slides the kernel unflipped.
+	in := FromSlice([]float64{
+		1, 0, 0,
+		0, 0, 0,
+		0, 0, 0,
+	}, 1, 3, 3)
+	w := FromSlice([]float64{
+		1, 2,
+		3, 4,
+	}, 1, 1, 2, 2)
+	out := Conv2DValid(in, w)
+	// out[0,0] = in[0,0]*w[0,0] = 1 (unflipped); a true convolution would
+	// give w[1,1]=4.
+	if out.Data[0] != 1 {
+		t.Errorf("Conv2DValid flips the kernel: out[0]=%g, want 1", out.Data[0])
+	}
+}
+
+func TestConv2DStrideMatchesSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	in := Random(rng, 2, 9, 9)
+	w := Random(rng, 3, 2, 3, 3)
+	full := Conv2DValid(in, w)
+	s2 := Conv2DStride(in, w, 2, 0)
+	for f := 0; f < 3; f++ {
+		for y := 0; y < s2.Shape[1]; y++ {
+			for x := 0; x < s2.Shape[2]; x++ {
+				if s2.At(f, y, x) != full.At(f, 2*y, 2*x) {
+					t.Fatalf("stride sampling wrong at %d,%d,%d", f, y, x)
+				}
+			}
+		}
+	}
+}
+
+func TestConv2DStridePadding(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := Random(rng, 1, 5, 5)
+	w := Random(rng, 1, 1, 3, 3)
+	same := Conv2DStride(in, w, 1, 1)
+	if same.Shape[1] != 5 || same.Shape[2] != 5 {
+		t.Fatalf("pad=1 3x3 should preserve spatial size, got %v", same.Shape)
+	}
+	manual := Conv2DValid(Pad2D(in, 1), w)
+	if d := MaxAbsDiff(same, manual); d > 1e-12 {
+		t.Errorf("padding path differs by %g", d)
+	}
+}
+
+func TestPad2DPlacesInterior(t *testing.T) {
+	in := FromSlice([]float64{1, 2, 3, 4}, 1, 2, 2)
+	p := Pad2D(in, 2)
+	if p.Shape[1] != 6 || p.Shape[2] != 6 {
+		t.Fatalf("Pad2D shape %v", p.Shape)
+	}
+	if p.At(0, 2, 2) != 1 || p.At(0, 3, 3) != 4 {
+		t.Error("interior misplaced")
+	}
+	var border float64
+	for y := 0; y < 6; y++ {
+		border += p.At(0, y, 0) + p.At(0, y, 5)
+	}
+	if border != 0 {
+		t.Error("border not zero")
+	}
+}
+
+func TestReLU(t *testing.T) {
+	in := FromSlice([]float64{-1, 0, 2, -0.5}, 4)
+	out := ReLU(in)
+	want := []float64{0, 0, 2, 0}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Errorf("ReLU[%d] = %g, want %g", i, out.Data[i], want[i])
+		}
+	}
+	if in.Data[0] != -1 {
+		t.Error("ReLU modified input")
+	}
+}
+
+func TestMaxPool2D(t *testing.T) {
+	in := FromSlice([]float64{
+		1, 2, 5, 6,
+		3, 4, 7, 8,
+		-1, -2, 0, 0,
+		-3, -4, 0, 9,
+	}, 1, 4, 4)
+	out := MaxPool2D(in, 2)
+	want := []float64{4, 8, -1, 9}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Errorf("MaxPool[%d] = %g, want %g", i, out.Data[i], want[i])
+		}
+	}
+}
+
+func TestMaxPool2DRaggedEdgeTruncates(t *testing.T) {
+	in := Random(rand.New(rand.NewSource(4)), 1, 5, 5)
+	out := MaxPool2D(in, 2)
+	if out.Shape[1] != 2 || out.Shape[2] != 2 {
+		t.Fatalf("ragged pooling shape %v, want [1 2 2]", out.Shape)
+	}
+}
+
+func TestAvgPool2DGlobal(t *testing.T) {
+	in := FromSlice([]float64{1, 2, 3, 4, 10, 10, 10, 10}, 2, 2, 2)
+	out := AvgPool2DGlobal(in)
+	if out.Data[0] != 2.5 || out.Data[1] != 10 {
+		t.Errorf("global avg pool = %v, want [2.5 10]", out.Data)
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	w := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	x := FromSlice([]float64{1, 0, -1}, 3)
+	out := MatVec(w, x)
+	if out.Data[0] != -2 || out.Data[1] != -2 {
+		t.Errorf("MatVec = %v, want [-2 -2]", out.Data)
+	}
+}
+
+// TestConvPropertyLinearityInInput: conv is linear in the input — the
+// superposition property optical systems implement physically.
+func TestConvPropertyLinearityInInput(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := Random(rng, 2, 5, 5)
+		b := Random(rng, 2, 5, 5)
+		w := Random(rng, 1, 2, 3, 3)
+		lhs := Conv2DValid(Add(a, b), w)
+		rhs := Add(Conv2DValid(a, w), Conv2DValid(b, w))
+		return MaxAbsDiff(lhs, rhs) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConvPropertyScaling: scaling the input scales the output — the property
+// the feedback optical buffer's weight-rescaling scheduler relies on
+// (paper §4.1.1).
+func TestConvPropertyScaling(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := Random(rng, 1, 6, 6)
+		w := Random(rng, 2, 1, 3, 3)
+		s := 0.5 + rng.Float64()
+		lhs := Conv2DValid(Scale(in, s), w)
+		rhs := Scale(Conv2DValid(in, w), s)
+		return MaxAbsDiff(lhs, rhs) < 1e-10*(1+math.Abs(s))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkConv2DValid64(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	in := Random(rng, 16, 32, 32)
+	w := Random(rng, 16, 16, 3, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2DValid(in, w)
+	}
+}

@@ -1,0 +1,170 @@
+// Package transformer implements the §7.4 outlook: the non-CNN workloads a
+// JTC-based accelerator can serve. Fourier-transform token mixers (FNet
+// [30], AFNO [21]) replace self-attention with exactly the operation an
+// on-chip lens computes for free, and convolution-based transformers (CvT
+// [64], [68]) lean on the 1-D convolutions the JTC natively provides.
+//
+// The package provides digital references, the optical implementations on
+// the optics/jtc substrates (validated to match), and an event-count cost
+// model so the arch package's methodology extends to these layers.
+package transformer
+
+import (
+	"fmt"
+	"math"
+
+	"refocus/internal/dataflow"
+	"refocus/internal/dsp"
+	"refocus/internal/jtc"
+	"refocus/internal/optics"
+)
+
+// FNetMix applies the FNet token-mixing sublayer to a [seq][hidden] block:
+// y = Re( FFT_seq( FFT_hidden(x) ) ). It replaces self-attention with two
+// unparameterized Fourier transforms (Lee-Thorp et al. [30]).
+func FNetMix(x [][]float64) [][]float64 {
+	l, d := dims(x)
+	// Hidden-dimension transform per token.
+	inter := make([][]complex128, l)
+	for t := 0; t < l; t++ {
+		row := make([]complex128, d)
+		for j, v := range x[t] {
+			row[j] = complex(v, 0)
+		}
+		dsp.FFTInPlace(row)
+		inter[t] = row
+	}
+	// Sequence-dimension transform per hidden channel, then real part.
+	out := make([][]float64, l)
+	for t := range out {
+		out[t] = make([]float64, d)
+	}
+	col := make([]complex128, l)
+	for j := 0; j < d; j++ {
+		for t := 0; t < l; t++ {
+			col[t] = inter[t][j]
+		}
+		dsp.FFTInPlace(col)
+		for t := 0; t < l; t++ {
+			out[t][j] = real(col[t])
+		}
+	}
+	return out
+}
+
+// FNetMixOptical computes the same mixing with the sequence-dimension
+// transform performed by an on-chip lens: each hidden channel's token
+// column is loaded onto the waveguides and the lens emits its Fourier
+// transform in one pass — the passive, instantaneous operation that makes
+// FNet-style models natural JTC targets. The hidden-dimension transform
+// stays digital (it is the short one; d ≤ a few hundred).
+func FNetMixOptical(x [][]float64, lens optics.Lens) [][]float64 {
+	l, d := dims(x)
+	if lens.Aperture < l {
+		panic(fmt.Sprintf("transformer: %d tokens exceed the lens aperture %d", l, lens.Aperture))
+	}
+	inter := make([][]complex128, l)
+	for t := 0; t < l; t++ {
+		row := make([]complex128, d)
+		for j, v := range x[t] {
+			row[j] = complex(v, 0)
+		}
+		dsp.FFTInPlace(row)
+		inter[t] = row
+	}
+	out := make([][]float64, l)
+	for t := range out {
+		out[t] = make([]float64, d)
+	}
+	for j := 0; j < d; j++ {
+		field := optics.NewField(l)
+		for t := 0; t < l; t++ {
+			field[t] = inter[t][j]
+		}
+		transformed := lens.Transform(field)
+		// The lens's unitary 1/√L scaling is undone digitally, like every
+		// other fixed optical gain in the system.
+		scale := math.Sqrt(float64(l))
+		for t := 0; t < l; t++ {
+			out[t][j] = real(transformed[t]) * scale
+		}
+	}
+	return out
+}
+
+// SequenceConv applies a depthwise 1-D convolution over the sequence
+// dimension of a [seq][hidden] block — the token-mixing primitive of
+// convolutional transformers — using the supplied correlator (digital or a
+// physical JTC). kernel[j] convolves hidden channel j; all kernels share a
+// length. Output length is seq-len(kernel)+1 per channel (valid mode).
+func SequenceConv(x [][]float64, kernel [][]float64, corr jtc.Correlator) [][]float64 {
+	l, d := dims(x)
+	if len(kernel) != d {
+		panic(fmt.Sprintf("transformer: %d kernels for %d hidden channels", len(kernel), d))
+	}
+	k := len(kernel[0])
+	outL := l - k + 1
+	if outL < 1 {
+		panic("transformer: kernel longer than the sequence")
+	}
+	out := make([][]float64, outL)
+	for t := range out {
+		out[t] = make([]float64, d)
+	}
+	col := make([]float64, l)
+	for j := 0; j < d; j++ {
+		if len(kernel[j]) != k {
+			panic("transformer: ragged kernel lengths")
+		}
+		for t := 0; t < l; t++ {
+			col[t] = x[t][j]
+		}
+		res := corr(col, kernel[j])
+		for t := 0; t < outL; t++ {
+			out[t][j] = res[t]
+		}
+	}
+	return out
+}
+
+// MixingEvents estimates the JTC activity of one FNet mixing sublayer on
+// the ReFOCUS execution model: each hidden channel's token column is one
+// pass through a lens-equipped waveguide bank (tiled when seq exceeds T),
+// with the hidden-dimension transform charged to the CMOS side. Returns
+// dataflow-compatible event counts so arch-style power analysis applies.
+func MixingEvents(seqLen, hidden int, cfg dataflow.Config) dataflow.Events {
+	cfg.Validate()
+	if seqLen < 1 || hidden < 1 {
+		panic("transformer: non-positive dimensions")
+	}
+	tiles := (seqLen + cfg.T - 1) / cfg.T
+	// Columns processed NRFCU·NLambda at a time, one pass per tile.
+	passes := float64(tiles) * float64(ceilDiv(hidden, cfg.NRFCU*cfg.NLambda))
+	var e dataflow.Events
+	e.Cycles = passes
+	e.InputDACWrites = float64(seqLen * hidden)
+	// The mixing has no weights — the lens is passive. Outputs are read
+	// every pass (no channel accumulation to exploit).
+	e.ADCReads = float64(seqLen * hidden)
+	e.ActSRAMReads = e.InputDACWrites
+	e.ActSRAMWrites = e.ADCReads
+	e.LaserWaveguideCycles = e.Cycles * float64(cfg.T*cfg.NLambda)
+	e.MRRActiveCycles = e.InputDACWrites
+	return e
+}
+
+func dims(x [][]float64) (l, d int) {
+	l = len(x)
+	if l == 0 {
+		panic("transformer: empty sequence")
+	}
+	d = len(x[0])
+	for i, row := range x {
+		if len(row) != d {
+			panic(fmt.Sprintf("transformer: ragged row %d", i))
+		}
+	}
+	return l, d
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
