@@ -2,9 +2,14 @@
 // reuse count R, wavelength count, RFCU count, and Y-junction split ratio,
 // printing the metric surface the §5.4 design choices were made on.
 //
+// Design points are independent, so the sweep evaluates every
+// (configuration, network) pair across worker goroutines — -parallel N
+// (or REFOCUS_PARALLEL) picks the worker count, defaulting to GOMAXPROCS —
+// and prints rows in their original order.
+//
 // Usage:
 //
-//	refocus-sweep -sweep m|reuse|lambda|rfcu|alpha [-buffer fb|ff]
+//	refocus-sweep -sweep m|reuse|lambda|rfcu|alpha [-buffer fb|ff] [-parallel N]
 package main
 
 import (
@@ -19,13 +24,35 @@ import (
 	"refocus/internal/phys"
 )
 
+// metrics is one design point's geomean summary row.
+type metrics struct {
+	fpsw, fpsmm2, pap float64
+}
+
+// evalGrid evaluates all sweep configurations in parallel and reduces each
+// to its geomean metric row, preserving input order.
+func evalGrid(cfgs []arch.SystemConfig, nets []nn.Network) []metrics {
+	grid := arch.EvaluateGrid(cfgs, nets)
+	out := make([]metrics, len(cfgs))
+	for i, rs := range grid {
+		out[i] = metrics{
+			fpsw:   arch.GeoMean(rs, arch.MetricFPSPerWatt),
+			fpsmm2: arch.GeoMean(rs, arch.MetricFPSPerMM2),
+			pap:    arch.GeoMean(rs, arch.MetricPAP),
+		}
+	}
+	return out
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("refocus-sweep", flag.ContinueOnError)
 	sweep := fs.String("sweep", "m", "dimension: m, reuse, lambda, rfcu, alpha")
 	buffer := fs.String("buffer", "fb", "buffer design for m/rfcu sweeps: fb or ff")
+	parallel := fs.Int("parallel", 0, "evaluation workers (0 = REFOCUS_PARALLEL or GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	arch.SetParallelism(*parallel)
 
 	base := arch.FB()
 	if *buffer == "ff" {
@@ -33,49 +60,62 @@ func run(args []string, out io.Writer) error {
 	}
 	nets := nn.Table4Networks()
 
-	eval := func(cfg arch.SystemConfig) (fpsw, fpsmm2, pap float64) {
-		rs := arch.EvaluateAll(cfg, nets)
-		return arch.GeoMean(rs, arch.MetricFPSPerWatt),
-			arch.GeoMean(rs, arch.MetricFPSPerMM2),
-			arch.GeoMean(rs, arch.MetricPAP)
-	}
-
 	switch *sweep {
 	case "m":
-		fmt.Fprintln(out, "M    N_RFCU  FPS/W   FPS/mm²  PAP")
-		for _, m := range []int{1, 2, 4, 8, 16, 32} {
+		ms := []int{1, 2, 4, 8, 16, 32}
+		cfgs := make([]arch.SystemConfig, len(ms))
+		for i, m := range ms {
 			cfg := base
 			cfg.M = m
 			cfg.NRFCU = arch.MaxRFCUsForBudget(base, m, 150*phys.MM2)
-			a, b, c := eval(cfg)
-			fmt.Fprintf(out, "%-4d %-7d %-7.0f %-8.1f %.3g\n", m, cfg.NRFCU, a, b, c)
+			cfgs[i] = cfg
+		}
+		rows := evalGrid(cfgs, nets)
+		fmt.Fprintln(out, "M    N_RFCU  FPS/W   FPS/mm²  PAP")
+		for i, m := range ms {
+			fmt.Fprintf(out, "%-4d %-7d %-7.0f %-8.1f %.3g\n", m, cfgs[i].NRFCU, rows[i].fpsw, rows[i].fpsmm2, rows[i].pap)
 		}
 	case "reuse":
-		fmt.Fprintln(out, "R    α=1/(R+1)  rel laser power  dynamic range  FPS/W")
-		c := phys.DefaultComponents()
-		for _, r := range []int{1, 3, 7, 15, 31, 63} {
-			fb := buffers.NewFeedbackBuffer(buffers.OptimalFeedbackAlpha(r), 16, c)
+		reuses := []int{1, 3, 7, 15, 31, 63}
+		cfgs := make([]arch.SystemConfig, len(reuses))
+		for i, r := range reuses {
 			cfg := arch.FB()
 			cfg.Reuses = r
-			a, _, _ := eval(cfg)
+			cfgs[i] = cfg
+		}
+		rows := evalGrid(cfgs, nets)
+		fmt.Fprintln(out, "R    α=1/(R+1)  rel laser power  dynamic range  FPS/W")
+		c := phys.DefaultComponents()
+		for i, r := range reuses {
+			fb := buffers.NewFeedbackBuffer(buffers.OptimalFeedbackAlpha(r), 16, c)
 			fmt.Fprintf(out, "%-4d %-10.4f %-16.2f %-14.2f %.0f\n",
-				r, buffers.OptimalFeedbackAlpha(r), fb.RelativeLaserPower(r), fb.DynamicRange(r), a)
+				r, buffers.OptimalFeedbackAlpha(r), fb.RelativeLaserPower(r), fb.DynamicRange(r), rows[i].fpsw)
 		}
 	case "lambda":
-		fmt.Fprintln(out, "Nλ   area(mm²)  FPS/W   FPS/mm²")
-		for _, l := range []int{1, 2, 3, 4} {
+		lambdas := []int{1, 2, 3, 4}
+		cfgs := make([]arch.SystemConfig, len(lambdas))
+		for i, l := range lambdas {
 			cfg := base
 			cfg.NLambda = l
-			a, b, _ := eval(cfg)
-			fmt.Fprintf(out, "%-4d %-10.1f %-7.0f %.1f\n", l, phys.M2ToMM2(arch.ComputeArea(cfg).Total()), a, b)
+			cfgs[i] = cfg
+		}
+		rows := evalGrid(cfgs, nets)
+		fmt.Fprintln(out, "Nλ   area(mm²)  FPS/W   FPS/mm²")
+		for i, l := range lambdas {
+			fmt.Fprintf(out, "%-4d %-10.1f %-7.0f %.1f\n", l, phys.M2ToMM2(arch.ComputeArea(cfgs[i]).Total()), rows[i].fpsw, rows[i].fpsmm2)
 		}
 	case "rfcu":
-		fmt.Fprintln(out, "N    photonic(mm²)  FPS/W   FPS/mm²  PAP")
-		for _, n := range []int{4, 8, 12, 16, 20, 24} {
+		ns := []int{4, 8, 12, 16, 20, 24}
+		cfgs := make([]arch.SystemConfig, len(ns))
+		for i, n := range ns {
 			cfg := base
 			cfg.NRFCU = n
-			a, b, c := eval(cfg)
-			fmt.Fprintf(out, "%-4d %-14.1f %-7.0f %-8.1f %.3g\n", n, phys.M2ToMM2(arch.ComputeArea(cfg).Photonic()), a, b, c)
+			cfgs[i] = cfg
+		}
+		rows := evalGrid(cfgs, nets)
+		fmt.Fprintln(out, "N    photonic(mm²)  FPS/W   FPS/mm²  PAP")
+		for i, n := range ns {
+			fmt.Fprintf(out, "%-4d %-14.1f %-7.0f %-8.1f %.3g\n", n, phys.M2ToMM2(arch.ComputeArea(cfgs[i]).Photonic()), rows[i].fpsw, rows[i].fpsmm2, rows[i].pap)
 		}
 	case "alpha":
 		fmt.Fprintln(out, "α      rel laser power (R=15)  dynamic range")

@@ -2,6 +2,11 @@ package arch
 
 import (
 	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"refocus/internal/dataflow"
 	"refocus/internal/memory"
@@ -159,12 +164,91 @@ func Evaluate(cfg SystemConfig, net nn.Network) Report {
 	return r
 }
 
-// EvaluateAll evaluates every network on the configuration.
-func EvaluateAll(cfg SystemConfig, nets []nn.Network) []Report {
-	out := make([]Report, 0, len(nets))
-	for _, n := range nets {
-		out = append(out, Evaluate(cfg, n))
+// parallelismOverride holds the SetParallelism value; 0 means "use the
+// default" (REFOCUS_PARALLEL or GOMAXPROCS).
+var parallelismOverride atomic.Int64
+
+// Parallelism returns the worker count EvaluateAll (and the sweep tools
+// built on it) fan out across: the last positive SetParallelism value if
+// any, else the REFOCUS_PARALLEL environment variable when set to a
+// positive integer, else runtime.GOMAXPROCS(0).
+func Parallelism() int {
+	if v := parallelismOverride.Load(); v > 0 {
+		return int(v)
 	}
+	if s := os.Getenv("REFOCUS_PARALLEL"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetParallelism overrides the evaluation worker count for the whole
+// process (the -parallel flag of cmd/refocus-sweep lands here). n <= 0
+// restores the default. Safe to call concurrently.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelismOverride.Store(int64(n))
+}
+
+// parallelFor runs body(0..n-1) across min(Parallelism(), n) goroutines.
+// Iterations must be independent; the call returns after all complete.
+func parallelFor(n int, body func(i int)) {
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// EvaluateAll evaluates every network on the configuration. Networks are
+// independent design points, so they fan out across Parallelism() workers;
+// the result order (and every value in it — Evaluate is deterministic)
+// matches the serial loop exactly.
+func EvaluateAll(cfg SystemConfig, nets []nn.Network) []Report {
+	out := make([]Report, len(nets))
+	parallelFor(len(nets), func(i int) {
+		out[i] = Evaluate(cfg, nets[i])
+	})
+	return out
+}
+
+// EvaluateGrid evaluates many configurations — a sweep's design points —
+// against the same networks, fanning the (config, network) product out
+// across Parallelism() workers. out[i] corresponds to cfgs[i] in order.
+func EvaluateGrid(cfgs []SystemConfig, nets []nn.Network) [][]Report {
+	out := make([][]Report, len(cfgs))
+	for i := range out {
+		out[i] = make([]Report, len(nets))
+	}
+	k := len(nets)
+	parallelFor(len(cfgs)*k, func(i int) {
+		out[i/k][i%k] = Evaluate(cfgs[i/k], nets[i%k])
+	})
 	return out
 }
 

@@ -1,0 +1,68 @@
+package arch
+
+import (
+	"testing"
+
+	"refocus/internal/nn"
+)
+
+// TestEvaluateAllParallelMatchesSerial pins the determinism contract of
+// the evaluation fan-out: EvaluateAll and EvaluateGrid must produce
+// exactly the reports a serial Evaluate loop does, in the same order,
+// for any worker count.
+func TestEvaluateAllParallelMatchesSerial(t *testing.T) {
+	defer SetParallelism(0)
+	nets := nn.Table4Networks()
+	cfgs := []SystemConfig{Baseline(), FF(), FB()}
+
+	want := make([][]Report, len(cfgs))
+	SetParallelism(1)
+	for i, cfg := range cfgs {
+		want[i] = make([]Report, len(nets))
+		for j, n := range nets {
+			want[i][j] = Evaluate(cfg, n)
+		}
+	}
+
+	for _, workers := range []int{2, 4, 8} {
+		SetParallelism(workers)
+		for i, cfg := range cfgs {
+			got := EvaluateAll(cfg, nets)
+			for j := range got {
+				if got[j] != want[i][j] {
+					t.Fatalf("workers=%d cfg=%s net=%s: parallel report differs from serial",
+						workers, cfg.Name, nets[j].Name)
+				}
+			}
+		}
+		grid := EvaluateGrid(cfgs, nets)
+		for i := range grid {
+			for j := range grid[i] {
+				if grid[i][j] != want[i][j] {
+					t.Fatalf("workers=%d: EvaluateGrid[%d][%d] differs from serial", workers, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelismKnob checks the override and default resolution order.
+func TestParallelismKnob(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(3)
+	if got := Parallelism(); got != 3 {
+		t.Errorf("Parallelism() = %d after SetParallelism(3)", got)
+	}
+	SetParallelism(0)
+	if got := Parallelism(); got < 1 {
+		t.Errorf("default Parallelism() = %d, want >= 1", got)
+	}
+	t.Setenv("REFOCUS_PARALLEL", "5")
+	if got := Parallelism(); got != 5 {
+		t.Errorf("Parallelism() = %d with REFOCUS_PARALLEL=5", got)
+	}
+	t.Setenv("REFOCUS_PARALLEL", "bogus")
+	if got := Parallelism(); got < 1 {
+		t.Errorf("Parallelism() = %d with malformed env", got)
+	}
+}

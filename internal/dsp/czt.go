@@ -39,16 +39,20 @@ func CZT(x []complex128, s float64) []complex128 {
 		b[d] = c
 		b[m-d] = c
 	}
-	radix2(a, false)
-	radix2(b, false)
+	// The chirp depends on the continuous scale s, so it cannot be plan-
+	// cached like the plain DFT's — but the three length-m transforms can
+	// still run off the shared power-of-two plans (the inverse plan carries
+	// the 1/m factor).
+	fwd, bwd := PlanFFT(m, false), PlanFFT(m, true)
+	fwd.Execute(a)
+	fwd.Execute(b)
 	for i := range a {
 		a[i] *= b[i]
 	}
-	radix2(a, true)
-	invM := complex(1/float64(m), 0)
+	bwd.Execute(a)
 	out := make([]complex128, n)
 	for k := 0; k < n; k++ {
-		out[k] = a[k] * invM * chirp(float64(k)*float64(k))
+		out[k] = a[k] * chirp(float64(k)*float64(k))
 	}
 	return out
 }

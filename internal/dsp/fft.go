@@ -63,39 +63,30 @@ func IFFT(x []complex128) []complex128 {
 	return out
 }
 
-// FFTInPlace computes the DFT of x in place.
+// FFTInPlace computes the DFT of x in place. It routes through the
+// package-level plan cache (see PlanFFT), so repeated transforms of the
+// same length reuse precomputed twiddle tables and allocate nothing.
 func FFTInPlace(x []complex128) {
-	n := len(x)
-	switch {
-	case n <= 1:
+	if len(x) <= 1 {
 		return
-	case IsPowerOfTwo(n):
-		radix2(x, false)
-	default:
-		bluestein(x, false)
 	}
+	PlanFFT(len(x), false).Execute(x)
 }
 
 // IFFTInPlace computes the inverse DFT of x in place, including the 1/N
-// normalization.
+// normalization. Like FFTInPlace it runs off the cached plan for len(x).
 func IFFTInPlace(x []complex128) {
-	n := len(x)
-	switch {
-	case n <= 1:
+	if len(x) <= 1 {
 		return
-	case IsPowerOfTwo(n):
-		radix2(x, true)
-	default:
-		bluestein(x, true)
 	}
-	scale := complex(1/float64(n), 0)
-	for i := range x {
-		x[i] *= scale
-	}
+	PlanFFT(len(x), true).Execute(x)
 }
 
-// radix2 performs an unnormalized in-place radix-2 DIT FFT. inverse selects
-// the conjugate twiddle kernel (no 1/N scaling applied here).
+// radix2 performs an unnormalized in-place radix-2 DIT FFT, deriving its
+// twiddle factors by recurrence on every call. It is the plan-free
+// reference the planned path is benchmarked and cross-checked against;
+// hot paths go through Plan.Execute instead. inverse selects the
+// conjugate twiddle kernel (no 1/N scaling applied here).
 func radix2(x []complex128, inverse bool) {
 	n := len(x)
 	// Bit-reversal permutation.
@@ -133,7 +124,10 @@ func radix2(x []complex128, inverse bool) {
 
 // bluestein computes an arbitrary-length DFT via the chirp-z transform,
 // expressing the length-n DFT as a length-m circular convolution with
-// m = NextPowerOfTwo(2n-1).
+// m = NextPowerOfTwo(2n-1). Like radix2 it rebuilds all of its state —
+// chirp vector, b kernel, and that kernel's FFT — on every call; it is
+// kept as the plan-free reference implementation (see Plan for the cached
+// path that hot code uses).
 func bluestein(x []complex128, inverse bool) {
 	n := len(x)
 	m := NextPowerOfTwo(2*n - 1)

@@ -1,0 +1,39 @@
+// Benchmarks for the parallel Conv2D engine (ISSUE 1). The Parallel
+// variants only beat Serial on multi-core runners — filters fan out
+// across GOMAXPROCS workers — but both are reported so the before/after
+// in EXPERIMENTS.md is reproducible anywhere:
+//
+//	go test -bench 'Conv2D' -benchmem ./internal/jtc
+package jtc
+
+import (
+	"testing"
+)
+
+func benchmarkConv2D(b *testing.B, parallelism int, correlator Correlator, c, hw, f int) {
+	in, wt := testConvOperands(1, c, hw, hw, f, 3, 3)
+	cfg := DefaultEngineConfig()
+	cfg.InputWaveguides = 128
+	cfg.Parallelism = parallelism
+	cfg.Correlator = correlator
+	e := NewEngine(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Conv2D(in, wt, 1)
+	}
+}
+
+func BenchmarkConv2DSerial(b *testing.B)   { benchmarkConv2D(b, 1, nil, 8, 32, 16) }
+func BenchmarkConv2DParallel(b *testing.B) { benchmarkConv2D(b, 0, nil, 8, 32, 16) }
+
+// The physical-correlator pair measures the end-to-end optical path where
+// each pass runs three aperture-sized FFTs — the case the dsp plan cache
+// accelerates most. Smaller operands keep the field simulation affordable.
+func BenchmarkConv2DSerialPhysical(b *testing.B) {
+	benchmarkConv2D(b, 1, NewPhysicalJTC(2048).Correlate, 2, 12, 4)
+}
+
+func BenchmarkConv2DParallelPhysical(b *testing.B) {
+	benchmarkConv2D(b, 0, NewPhysicalJTC(2048).Correlate, 2, 12, 4)
+}

@@ -3,6 +3,8 @@ package jtc
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"refocus/internal/tensor"
 )
@@ -39,6 +41,13 @@ type EngineConfig struct {
 	// Correlator overrides the 1-D correlator; nil uses the exact digital
 	// one. Supplying PhysicalJTC.Correlate runs real field propagation.
 	Correlator Correlator
+	// Parallelism is how many worker goroutines Conv2D fans filters out
+	// across. 0 means runtime.GOMAXPROCS(0); 1 forces the serial path.
+	// The output is bit-identical for every setting: filters are
+	// independent and each filter's accumulation order is unchanged. The
+	// Correlator must be safe for concurrent use when Parallelism != 1
+	// (DigitalCorrelator and PhysicalJTC.Correlate both are).
+	Parallelism int
 }
 
 // DefaultEngineConfig matches the ReFOCUS RFCU (paper §4, §5.1).
@@ -56,8 +65,14 @@ func DefaultEngineConfig() EngineConfig {
 // 1-D JTC passes per (filter, channel) pair, temporal accumulation of
 // channel groups at the detector, ADC quantization of the accumulated
 // readout, and digital accumulation across groups.
+//
+// An Engine is safe for concurrent use: Conv2D computes into local state
+// and only touches the shared statistics under a mutex, after its own
+// worker barrier.
 type Engine struct {
-	cfg   EngineConfig
+	cfg EngineConfig
+
+	mu    sync.Mutex
 	stats PassStats
 }
 
@@ -79,10 +94,34 @@ func NewEngine(cfg EngineConfig) *Engine {
 }
 
 // Stats returns the accumulated pass statistics since the last ResetStats.
-func (e *Engine) Stats() PassStats { return e.stats }
+func (e *Engine) Stats() PassStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
 
 // ResetStats clears the counters.
-func (e *Engine) ResetStats() { e.stats = PassStats{} }
+func (e *Engine) ResetStats() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats = PassStats{}
+}
+
+// parallelism resolves the configured worker count against the host and
+// the number of independent work items.
+func (e *Engine) parallelism(items int) int {
+	w := e.cfg.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
 
 // Conv2D runs a conv layer: input [C,H,W], weights [F,C,KH,KW], returning
 // [F,OutH,OutW] (valid convolution; apply tensor.Pad2D beforehand for
@@ -109,14 +148,11 @@ func (e *Engine) Conv2D(input, weights *tensor.Tensor, stride int) *tensor.Tenso
 	if kw > e.cfg.WeightWaveguides {
 		panic(fmt.Sprintf("jtc: kernel width %d exceeds the %d weight waveguides; column splitting is not supported", kw, e.cfg.WeightWaveguides))
 	}
-	for _, v := range input.Data {
-		if v < 0 {
-			panic("jtc: negative activation; the optical input must be non-negative")
-		}
-	}
 
-	// Operand quantization (the DACs): per-tensor symmetric scales.
-	qInput, inputScale := e.quantizeNonNeg(input.Data, e.cfg.Quant.InputBits)
+	// Operand quantization (the DACs): per-tensor symmetric scales. The
+	// non-negativity check rides along with the max-finding scan so the
+	// input tensor is traversed once.
+	qInput, inputScale := e.quantizeInput(input.Data, e.cfg.Quant.InputBits)
 	posW, negW, weightScale := e.splitQuantizeWeights(weights)
 
 	oh, ow := h-kh+1, w-kw+1
@@ -127,26 +163,38 @@ func (e *Engine) Conv2D(input, weights *tensor.Tensor, stride int) *tensor.Tenso
 		inPlanes[ci] = asPlane(qInput[ci*h*w:(ci+1)*h*w], h, w)
 	}
 
-	M := e.cfg.AccumulationWindow
-	for fi := 0; fi < f; fi++ {
-		acc := make([]float64, oh*ow)
-		// Channel groups of M accumulate optically; groups accumulate
-		// digitally after ADC readout.
-		for c0 := 0; c0 < c; c0 += M {
-			cn := c0 + M
-			if cn > c {
-				cn = c
-			}
-			e.accumulateGroup(acc, inPlanes, posW, fi, c0, cn, kh, kw, +1)
-			e.accumulateGroup(acc, inPlanes, negW, fi, c0, cn, kh, kw, -1)
+	// Filters are independent: fan them out across workers, each with a
+	// private stats tally merged after the barrier. Within one filter the
+	// accumulation order is exactly the serial order, so the output is
+	// bit-identical for any Parallelism setting.
+	opScale := inputScale * weightScale
+	workers := e.parallelism(f)
+	if workers == 1 {
+		var st PassStats
+		for fi := 0; fi < f; fi++ {
+			e.convFilter(out, inPlanes, posW, negW, fi, kh, kw, opScale, &st)
 		}
-		// Undo the operand scales in the digital domain.
-		s := inputScale * weightScale
-		for y := 0; y < oh; y++ {
-			for x := 0; x < ow; x++ {
-				out.Data[(fi*oh+y)*ow+x] = acc[y*ow+x] * s
-			}
+		e.mu.Lock()
+		e.stats.Add(st)
+		e.mu.Unlock()
+	} else {
+		perWorker := make([]PassStats, workers)
+		var wg sync.WaitGroup
+		for wi := 0; wi < workers; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				for fi := wi; fi < f; fi += workers {
+					e.convFilter(out, inPlanes, posW, negW, fi, kh, kw, opScale, &perWorker[wi])
+				}
+			}(wi)
 		}
+		wg.Wait()
+		e.mu.Lock()
+		for i := range perWorker {
+			e.stats.Add(perWorker[i])
+		}
+		e.mu.Unlock()
 	}
 
 	if stride == 1 {
@@ -164,11 +212,41 @@ func (e *Engine) Conv2D(input, weights *tensor.Tensor, stride int) *tensor.Tenso
 	return sub
 }
 
+// convFilter computes one output filter: optical accumulation over channel
+// groups, the pseudo-negative subtraction, and the operand-scale undo,
+// writing into out's (disjoint) filter-fi region. st receives the pass
+// statistics; callers running convFilter concurrently hand each worker its
+// own tally and merge after the barrier.
+func (e *Engine) convFilter(out *tensor.Tensor, inPlanes [][][]float64, posW, negW []float64, fi, kh, kw int, opScale float64, st *PassStats) {
+	c := len(inPlanes)
+	h, w := len(inPlanes[0]), len(inPlanes[0][0])
+	oh, ow := h-kh+1, w-kw+1
+	acc := make([]float64, oh*ow)
+	// Channel groups of M accumulate optically; groups accumulate
+	// digitally after ADC readout.
+	M := e.cfg.AccumulationWindow
+	for c0 := 0; c0 < c; c0 += M {
+		cn := c0 + M
+		if cn > c {
+			cn = c
+		}
+		e.accumulateGroup(acc, inPlanes, posW, fi, c0, cn, kh, kw, +1, st)
+		e.accumulateGroup(acc, inPlanes, negW, fi, c0, cn, kh, kw, -1, st)
+	}
+	// Undo the operand scales in the digital domain.
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
+			out.Data[(fi*oh+y)*ow+x] = acc[y*ow+x] * opScale
+		}
+	}
+}
+
 // accumulateGroup runs one temporal-accumulation window: channels
 // [c0,cn) of filter fi through the JTC, detector-accumulated, one ADC
 // readout, then added into acc with the given sign (the pseudo-negative
-// subtraction happens here).
-func (e *Engine) accumulateGroup(acc []float64, inPlanes [][][]float64, w []float64, fi, c0, cn, kh, kw int, sign float64) {
+// subtraction happens here). Pass counts tally into st, never into the
+// engine's shared stats, so concurrent workers do not contend.
+func (e *Engine) accumulateGroup(acc []float64, inPlanes [][][]float64, w []float64, fi, c0, cn, kh, kw int, sign float64, st *PassStats) {
 	c := len(inPlanes)
 	h := len(inPlanes[0])
 	width := len(inPlanes[0][0])
@@ -207,7 +285,7 @@ func (e *Engine) accumulateGroup(acc []float64, inPlanes [][][]float64, w []floa
 			// j0 .. j0+g-1 for output rows 0..oh-1.
 			view := inPlanes[ci][j0 : j0+oh-1+g]
 			plane, stats := ConvPlane(view, sub, e.cfg.InputWaveguides, e.cfg.Correlator)
-			e.stats.Add(stats)
+			st.Add(stats)
 			for y := 0; y < oh; y++ {
 				for x := 0; x < ow; x++ {
 					v := plane[y][x]
@@ -238,20 +316,23 @@ func (e *Engine) accumulateGroup(acc []float64, inPlanes [][][]float64, w []floa
 	}
 }
 
-// quantizeNonNeg quantizes a non-negative slice to bits of precision over
-// [0, max], returning the levels as floats plus the scale such that
-// value ≈ level·scale. Disabled quantization returns the input and scale 1.
-func (e *Engine) quantizeNonNeg(data []float64, bits int) ([]float64, float64) {
-	if !e.cfg.Quant.Enabled || bits <= 0 {
-		return data, 1
-	}
+// quantizeInput validates and quantizes the activation tensor in a single
+// traversal: the scan that finds the quantization maximum also rejects
+// negative values (the optical system transports amplitudes), so the
+// input is never walked twice. It returns the quantized levels plus the
+// scale such that value ≈ level·scale; disabled quantization returns the
+// input and scale 1 (after the non-negativity scan, which always runs).
+func (e *Engine) quantizeInput(data []float64, bits int) ([]float64, float64) {
 	var max float64
 	for _, v := range data {
+		if v < 0 {
+			panic("jtc: negative activation; the optical input must be non-negative")
+		}
 		if v > max {
 			max = v
 		}
 	}
-	if max == 0 {
+	if !e.cfg.Quant.Enabled || bits <= 0 || max == 0 {
 		return data, 1
 	}
 	levels := math.Exp2(float64(bits)) - 1
