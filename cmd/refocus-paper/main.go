@@ -14,10 +14,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"os"
 	"strings"
 
 	"refocus/internal/paper"
+	"refocus/internal/sim"
 )
 
 func run(args []string, out io.Writer) error {
@@ -42,8 +42,5 @@ func run(args []string, out io.Writer) error {
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "refocus-paper: %v\n", err)
-		os.Exit(1)
-	}
+	sim.Main("refocus-paper", run)
 }

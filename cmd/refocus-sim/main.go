@@ -3,102 +3,62 @@
 //
 // Usage:
 //
-//	refocus-sim [-config fb|ff|baseline|single] [-network ResNet-50] [-dram]
+//	refocus-sim [-config fb|ff|baseline|single|fbws] [-config-file point.json]
+//	            [-network ResNet-50] [-dram] [-json] [-list] [-dump-config]
+//
+// -config accepts any registry preset name or alias (-list prints them);
+// -config-file evaluates a serialized design point instead, optionally
+// overlaying a "Base" preset. -dump-config prints the resolved config as
+// JSON — the starting point for writing custom design-point files.
 package main
 
 import (
-	"encoding/json"
 	"flag"
-	"fmt"
 	"io"
-	"os"
 
 	"refocus/internal/arch"
-	"refocus/internal/nn"
-	"refocus/internal/phys"
+	"refocus/internal/sim"
 )
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("refocus-sim", flag.ContinueOnError)
-	configName := fs.String("config", "fb", "accelerator: fb, ff, baseline, single")
-	network := fs.String("network", "ResNet-50", "benchmark network (AlexNet, VGG-16, ResNet-18/34/50), or 'all'")
+	configName := fs.String("config", "fb", "accelerator preset name or alias (see -list)")
+	configFile := fs.String("config-file", "", "JSON design-point file (overrides -config)")
+	network := fs.String("network", "ResNet-50", "benchmark network (see -list), or 'all'")
 	withDRAM := fs.Bool("dram", false, "include DRAM power in the total (the paper's §7.3 view)")
 	profile := fs.Int("profile", 0, "also print the top-N layer consumers")
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON reports instead of text")
+	list := fs.Bool("list", false, "print known presets and benchmark networks, then exit")
+	dumpConfig := fs.Bool("dump-config", false, "print the resolved config as JSON, then exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	var cfg arch.SystemConfig
-	switch *configName {
-	case "fb":
-		cfg = arch.FB()
-	case "ff":
-		cfg = arch.FF()
-	case "baseline":
-		cfg = arch.Baseline()
-	case "single":
-		cfg = arch.SingleJTC()
-	default:
-		return fmt.Errorf("unknown config %q", *configName)
+	if *list {
+		sim.ListKnown(out)
+		return nil
 	}
-
-	var nets []nn.Network
-	if *network == "all" {
-		nets = nn.Benchmarks()
-	} else {
-		net, ok := nn.ByName(*network)
-		if !ok {
-			return fmt.Errorf("unknown network %q", *network)
+	if *dumpConfig {
+		cfg, err := sim.ResolveConfig(*configName, *configFile)
+		if err != nil {
+			return err
 		}
-		nets = []nn.Network{net}
+		data, err := arch.ConfigJSON(cfg)
+		if err != nil {
+			return err
+		}
+		_, err = out.Write(data)
+		return err
 	}
-
-	if *asJSON {
-		reports := make([]arch.Report, 0, len(nets))
-		for _, net := range nets {
-			reports = append(reports, arch.Evaluate(cfg, net))
-		}
-		enc := json.NewEncoder(out)
-		enc.SetIndent("", "  ")
-		return enc.Encode(reports)
-	}
-
-	area := arch.ComputeArea(cfg)
-	fmt.Fprintf(out, "config %s: %d RFCUs, T=%d, %d wavelengths, M=%d, buffer=%v, reuses=%d\n",
-		cfg.Name, cfg.NRFCU, cfg.T, cfg.NLambda, cfg.M, cfg.Buffer, cfg.Reuses)
-	fmt.Fprintf(out, "area: %.1f mm² total (%.1f photonic, %.1f SRAM+buffers, %.1f converters+logic)\n\n",
-		phys.M2ToMM2(area.Total()), phys.M2ToMM2(area.Photonic()),
-		phys.M2ToMM2(area.SRAM+area.DataBuffer), phys.M2ToMM2(area.Converters+area.CMOSLogic))
-
-	for _, net := range nets {
-		r := arch.Evaluate(cfg, net)
-		p := r.Power
-		total := p.Total()
-		if *withDRAM {
-			total = p.TotalWithDRAM()
-		}
-		fmt.Fprintf(out, "%s (%.2f GMACs, %d conv layers)\n", net.Name, net.TotalMACs()/1e9, net.LayerCount())
-		fmt.Fprintf(out, "  latency %.3f ms   FPS %.0f   power %.2f W   FPS/W %.1f   FPS/mm² %.1f\n",
-			r.Latency*1e3, r.FPS, total, r.FPS/total, r.FPSPerMM2)
-		fmt.Fprintf(out, "  power: inDAC %.2f  wDAC %.2f  ADC %.2f  laser %.2f  MRR %.3f  SRAM %.2f  buffers %.2f  CMOS %.2f  (DRAM %.2f)\n",
-			p.InputDAC, p.WeightDAC, p.ADC, p.Laser, p.MRR,
-			p.ActivationSRAM+p.WeightSRAM+p.SRAMLeakage, p.DataBuffers, p.CMOS, p.DRAM)
-		if *profile > 0 {
-			top := arch.TopConsumers(arch.EvaluateLayers(cfg, net), "cycles", *profile)
-			for _, lp := range top {
-				fmt.Fprintf(out, "  hot layer %-18s %5.1f%% of cycles  %5.1f%% of energy (%v, %d regions)\n",
-					lp.Layer.Name, 100*lp.ShareOfCycles, 100*lp.ShareOfEnergy,
-					lp.Plan.Geometry.Strategy, lp.Plan.Regions)
-			}
-		}
-	}
-	return nil
+	return sim.Run(sim.Options{
+		Preset:     *configName,
+		ConfigFile: *configFile,
+		Network:    *network,
+		WithDRAM:   *withDRAM,
+		Profile:    *profile,
+		JSON:       *asJSON,
+	}, out)
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "refocus-sim: %v\n", err)
-		os.Exit(1)
-	}
+	sim.Main("refocus-sim", run)
 }

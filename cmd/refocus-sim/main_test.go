@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -58,5 +60,81 @@ func TestRunJSON(t *testing.T) {
 	}
 	if fps, ok := reports[0]["FPS"].(float64); !ok || fps <= 0 {
 		t.Error("JSON report missing FPS")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ReFOCUS-FB", "fbws", "ResNet-50", "networks:"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+}
+
+func TestRunDumpConfigRoundTrips(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-config", "fb", "-dump-config"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	dumped := b.String()
+	if !strings.Contains(dumped, `"Name": "ReFOCUS-FB"`) || !strings.Contains(dumped, `"Buffer": "feedback"`) {
+		t.Fatalf("dump missing expected fields:\n%s", dumped)
+	}
+	// The dump is itself a valid -config-file input.
+	path := filepath.Join(t.TempDir(), "dumped.json")
+	if err := os.WriteFile(path, []byte(dumped), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-config-file", path, "-network", "ResNet-18"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ReFOCUS-FB") {
+		t.Error("dumped config did not evaluate")
+	}
+}
+
+func TestRunConfigFileOverlay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "point.json")
+	if err := os.WriteFile(path, []byte(`{"Base": "fb", "Name": "FB-M32", "M": 32}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{"-config-file", path, "-network", "ResNet-18"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "config FB-M32") || !strings.Contains(b.String(), "M=32") {
+		t.Errorf("overlay config not in effect:\n%s", b.String())
+	}
+}
+
+func TestRunConfigFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, data string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := map[string]string{
+		"malformed JSON":          write("bad.json", `{"Base": `),
+		"unknown field":           write("typo.json", `{"Base": "fb", "NRFCUU": 20}`),
+		"incomplete design point": write("partial.json", `{"Name": "partial", "NRFCU": 16}`),
+		"feedback without reuses": write("noreuse.json", `{"Base": "fb", "Reuses": 0}`),
+	}
+	for name, path := range cases {
+		var b strings.Builder
+		if err := run([]string{"-config-file", path}, &b); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	var b strings.Builder
+	if err := run([]string{"-config-file", filepath.Join(dir, "absent.json")}, &b); err == nil {
+		t.Error("missing config file accepted")
 	}
 }

@@ -9,19 +9,24 @@
 //
 // Usage:
 //
-//	refocus-sweep -sweep m|reuse|lambda|rfcu|alpha [-buffer fb|ff] [-parallel N]
+//	refocus-sweep -sweep m|reuse|lambda|rfcu|alpha [-buffer fb|ff]
+//	              [-config-file point.json] [-parallel N] [-list]
+//
+// The swept base design is a registry preset (-buffer accepts any preset
+// name or alias) or a JSON design point (-config-file); -list prints the
+// known presets and networks.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
-	"os"
 
 	"refocus/internal/arch"
 	"refocus/internal/buffers"
 	"refocus/internal/nn"
 	"refocus/internal/phys"
+	"refocus/internal/sim"
 )
 
 // metrics is one design point's geomean summary row.
@@ -31,8 +36,11 @@ type metrics struct {
 
 // evalGrid evaluates all sweep configurations in parallel and reduces each
 // to its geomean metric row, preserving input order.
-func evalGrid(cfgs []arch.SystemConfig, nets []nn.Network) []metrics {
-	grid := arch.EvaluateGrid(cfgs, nets)
+func evalGrid(cfgs []arch.SystemConfig, nets []nn.Network) ([]metrics, error) {
+	grid, err := arch.EvaluateGrid(cfgs, nets)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]metrics, len(cfgs))
 	for i, rs := range grid {
 		out[i] = metrics{
@@ -41,22 +49,31 @@ func evalGrid(cfgs []arch.SystemConfig, nets []nn.Network) []metrics {
 			pap:    arch.GeoMean(rs, arch.MetricPAP),
 		}
 	}
-	return out
+	return out, nil
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("refocus-sweep", flag.ContinueOnError)
 	sweep := fs.String("sweep", "m", "dimension: m, reuse, lambda, rfcu, alpha")
-	buffer := fs.String("buffer", "fb", "buffer design for m/rfcu sweeps: fb or ff")
+	buffer := fs.String("buffer", "fb", "base design preset for the sweep (see -list)")
+	configFile := fs.String("config-file", "", "JSON design-point file as the sweep base (overrides -buffer)")
 	parallel := fs.Int("parallel", 0, "evaluation workers (0 = REFOCUS_PARALLEL or GOMAXPROCS)")
+	list := fs.Bool("list", false, "print known presets and benchmark networks, then exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *list {
+		sim.ListKnown(out)
+		return nil
+	}
 	arch.SetParallelism(*parallel)
 
-	base := arch.FB()
-	if *buffer == "ff" {
-		base = arch.FF()
+	base, err := sim.ResolveConfig(*buffer, *configFile)
+	if err != nil {
+		return err
+	}
+	if err := base.Validate(); err != nil {
+		return err
 	}
 	nets := nn.Table4Networks()
 
@@ -67,10 +84,16 @@ func run(args []string, out io.Writer) error {
 		for i, m := range ms {
 			cfg := base
 			cfg.M = m
-			cfg.NRFCU = arch.MaxRFCUsForBudget(base, m, 150*phys.MM2)
+			cfg.NRFCU, err = arch.MaxRFCUsForBudget(base, m, 150*phys.MM2)
+			if err != nil {
+				return err
+			}
 			cfgs[i] = cfg
 		}
-		rows := evalGrid(cfgs, nets)
+		rows, err := evalGrid(cfgs, nets)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintln(out, "M    N_RFCU  FPS/W   FPS/mm²  PAP")
 		for i, m := range ms {
 			fmt.Fprintf(out, "%-4d %-7d %-7.0f %-8.1f %.3g\n", m, cfgs[i].NRFCU, rows[i].fpsw, rows[i].fpsmm2, rows[i].pap)
@@ -83,11 +106,17 @@ func run(args []string, out io.Writer) error {
 			cfg.Reuses = r
 			cfgs[i] = cfg
 		}
-		rows := evalGrid(cfgs, nets)
+		rows, err := evalGrid(cfgs, nets)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintln(out, "R    α=1/(R+1)  rel laser power  dynamic range  FPS/W")
 		c := phys.DefaultComponents()
 		for i, r := range reuses {
-			fb := buffers.NewFeedbackBuffer(buffers.OptimalFeedbackAlpha(r), 16, c)
+			fb, err := buffers.NewFeedbackBuffer(buffers.OptimalFeedbackAlpha(r), 16, c)
+			if err != nil {
+				return err
+			}
 			fmt.Fprintf(out, "%-4d %-10.4f %-16.2f %-14.2f %.0f\n",
 				r, buffers.OptimalFeedbackAlpha(r), fb.RelativeLaserPower(r), fb.DynamicRange(r), rows[i].fpsw)
 		}
@@ -99,10 +128,17 @@ func run(args []string, out io.Writer) error {
 			cfg.NLambda = l
 			cfgs[i] = cfg
 		}
-		rows := evalGrid(cfgs, nets)
+		rows, err := evalGrid(cfgs, nets)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintln(out, "Nλ   area(mm²)  FPS/W   FPS/mm²")
 		for i, l := range lambdas {
-			fmt.Fprintf(out, "%-4d %-10.1f %-7.0f %.1f\n", l, phys.M2ToMM2(arch.ComputeArea(cfgs[i]).Total()), rows[i].fpsw, rows[i].fpsmm2)
+			area, err := arch.ComputeArea(cfgs[i])
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%-4d %-10.1f %-7.0f %.1f\n", l, phys.M2ToMM2(area.Total()), rows[i].fpsw, rows[i].fpsmm2)
 		}
 	case "rfcu":
 		ns := []int{4, 8, 12, 16, 20, 24}
@@ -112,16 +148,26 @@ func run(args []string, out io.Writer) error {
 			cfg.NRFCU = n
 			cfgs[i] = cfg
 		}
-		rows := evalGrid(cfgs, nets)
+		rows, err := evalGrid(cfgs, nets)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintln(out, "N    photonic(mm²)  FPS/W   FPS/mm²  PAP")
 		for i, n := range ns {
-			fmt.Fprintf(out, "%-4d %-14.1f %-7.0f %-8.1f %.3g\n", n, phys.M2ToMM2(arch.ComputeArea(cfgs[i]).Photonic()), rows[i].fpsw, rows[i].fpsmm2, rows[i].pap)
+			area, err := arch.ComputeArea(cfgs[i])
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%-4d %-14.1f %-7.0f %-8.1f %.3g\n", n, phys.M2ToMM2(area.Photonic()), rows[i].fpsw, rows[i].fpsmm2, rows[i].pap)
 		}
 	case "alpha":
 		fmt.Fprintln(out, "α      rel laser power (R=15)  dynamic range")
 		c := phys.DefaultComponents()
 		for _, a := range []float64{0.03125, 0.0625, 0.125, 0.25, 0.5} {
-			fb := buffers.NewFeedbackBuffer(a, 16, c)
+			fb, err := buffers.NewFeedbackBuffer(a, 16, c)
+			if err != nil {
+				return err
+			}
 			fmt.Fprintf(out, "%-6.4f %-23.4g %.4g\n", a, fb.RelativeLaserPower(15), fb.DynamicRange(15))
 		}
 	default:
@@ -131,8 +177,5 @@ func run(args []string, out io.Writer) error {
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "refocus-sweep: %v\n", err)
-		os.Exit(1)
-	}
+	sim.Main("refocus-sweep", run)
 }

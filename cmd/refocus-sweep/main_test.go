@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -28,5 +30,43 @@ func TestSweepRejectsUnknown(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-sweep", "temperature"}, &b); err == nil {
 		t.Error("unknown sweep accepted")
+	}
+}
+
+func TestSweepList(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "ReFOCUS-FB") || !strings.Contains(b.String(), "networks:") {
+		t.Errorf("-list output incomplete:\n%s", b.String())
+	}
+}
+
+func TestSweepConfigFileBase(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(`{"Base": "fb", "Name": "FB-λ3", "NLambda": 3}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{"-sweep", "rfcu", "-config-file", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(b.String(), "\n"); lines < 4 {
+		t.Errorf("config-file sweep produced only %d lines", lines)
+	}
+}
+
+func TestSweepRejectsBadInputs(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-buffer", "tpu"}, &b); err == nil {
+		t.Error("unknown base preset accepted")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"Base": "fb", "Reuses": 0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config-file", path}, &b); err == nil {
+		t.Error("invalid design point accepted")
 	}
 }

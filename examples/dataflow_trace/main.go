@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"refocus/internal/dataflow"
 	"refocus/internal/nn"
@@ -24,7 +25,10 @@ func main() {
 		KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 1,
 	}
 
-	p := dataflow.PlanLayer(layer, cfg)
+	p, err := dataflow.PlanLayer(layer, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("layer %s: %dx%dx%d -> %d filters, %dx%d kernel\n",
 		layer.Name, layer.InC, layer.InH, layer.InW, layer.OutC, layer.KH, layer.KW)
 	fmt.Printf("tiling: %v, %d regions/image, %d accumulation passes/region, %d valid outputs/region\n",
@@ -65,12 +69,18 @@ func main() {
 		}
 	}
 
-	ev := dataflow.LayerEvents(layer, cfg)
+	ev, err := dataflow.LayerEvents(layer, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nlayer totals: %.0f cycles, %.0f input DAC writes, %.0f weight DAC writes, %.0f ADC reads\n",
 		ev.Cycles, ev.InputDACWrites, ev.WeightDACWrites, ev.ADCReads)
 	noReuse := cfg
 	noReuse.Reuses = 0
-	ev0 := dataflow.LayerEvents(layer, noReuse)
+	ev0, err := dataflow.LayerEvents(layer, noReuse)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("without the optical buffer the same layer needs %.0f input DAC writes (%.1fx more)\n",
 		ev0.InputDACWrites, ev0.InputDACWrites/ev.InputDACWrites)
 }

@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"refocus/internal/arch"
 	"refocus/internal/buffers"
@@ -35,7 +36,10 @@ func main() {
 	c := phys.DefaultComponents()
 	fmt.Println("R    rel laser power  dynamic range  fits 8-bit ADC?")
 	for _, rr := range []int{1, 3, 7, 15, 31, 63} {
-		b := buffers.NewFeedbackBuffer(buffers.OptimalFeedbackAlpha(rr), 16, c)
+		b, err := buffers.NewFeedbackBuffer(buffers.OptimalFeedbackAlpha(rr), 16, c)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fits := "yes"
 		if b.DynamicRange(rr) >= c.PhotodetectorDynamicRangeLevels {
 			fits = "NO"
@@ -47,6 +51,9 @@ func main() {
 		fmt.Printf("%-4d %-16.2f %-14.2f %s%s\n", rr, b.RelativeLaserPower(rr), b.DynamicRange(rr), fits, marker)
 	}
 	fmt.Println("\nwith the naive α=0.5, R=15 would need 6.0e3× laser power and 4.8e4 dynamic range — infeasible:")
-	naive := buffers.NewFeedbackBuffer(0.5, 16, c)
+	naive, err := buffers.NewFeedbackBuffer(0.5, 16, c)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("α=0.5, R=15: laser %.3g×, dynamic range %.3g\n", naive.RelativeLaserPower(15), naive.DynamicRange(15))
 }

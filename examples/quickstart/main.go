@@ -1,27 +1,39 @@
-// Quickstart: build the two ReFOCUS variants and the PhotoFourier-style
-// baseline, run ResNet-18 inference through the performance model, and
-// print the headline metrics — the 30-second tour of the public API.
+// Quickstart: resolve design points from the preset registry, run
+// ResNet-18 inference through the performance model, and print the
+// headline metrics — the 30-second tour of the public API, including the
+// checked config lifecycle (resolve → validate → evaluate).
 package main
 
 import (
 	"fmt"
+	"log"
 
 	"refocus/internal/arch"
-	"refocus/internal/nn"
 	"refocus/internal/phys"
+	"refocus/internal/sim"
 )
 
 func main() {
-	net, _ := nn.ByName("ResNet-18")
+	nets, err := sim.ResolveNetworks("ResNet-18")
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := nets[0]
 	fmt.Printf("workload: %s — %.2f GMACs across %d conv layers\n\n",
 		net.Name, net.TotalMACs()/1e9, net.LayerCount())
 
-	configs := []arch.SystemConfig{arch.Baseline(), arch.FF(), arch.FB()}
 	fmt.Printf("%-18s %10s %10s %10s %12s %12s\n",
 		"system", "FPS", "power(W)", "FPS/W", "FPS/mm²", "area(mm²)")
 	var base arch.Report
-	for i, cfg := range configs {
-		r := arch.Evaluate(cfg, net)
+	for i, preset := range []string{"baseline", "ff", "fb"} {
+		cfg, err := arch.PresetByName(preset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := arch.Evaluate(cfg, net)
+		if err != nil {
+			log.Fatal(err)
+		}
 		if i == 0 {
 			base = r
 		}
@@ -30,8 +42,20 @@ func main() {
 			phys.M2ToMM2(r.Area.Total()))
 	}
 
-	fb := arch.Evaluate(arch.FB(), net)
+	fb := arch.MustEvaluate(arch.FB(), net) // presets are valid by construction
 	fmt.Printf("\nReFOCUS-FB vs baseline on %s: %.2f× FPS, %.2f× FPS/W, %.2f× FPS/mm²\n",
 		net.Name, fb.FPS/base.FPS, fb.FPSPerWatt/base.FPSPerWatt, fb.FPSPerMM2/base.FPSPerMM2)
 	fmt.Println("(paper headline across five CNNs: 2× FPS, 2.2× FPS/W, 1.36× FPS/mm²)")
+
+	// A design point is plain data: serialize one, tweak it, evaluate the
+	// variant through the same checked pipeline the CLI tools use.
+	custom := arch.FB()
+	custom.Name = "ReFOCUS-FB-M32"
+	custom.M = 32
+	if err := custom.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	r := arch.MustEvaluate(custom, net)
+	fmt.Printf("\ncustom design point %s (32-cycle delay): %.0f FPS, %.1f FPS/W\n",
+		custom.Name, r.FPS, r.FPSPerWatt)
 }

@@ -2,6 +2,7 @@ package arch
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"refocus/internal/nn"
@@ -21,7 +22,7 @@ func within(t *testing.T, name string, got, want, tol float64) {
 // 171.1 mm² with 135.7 mm² of photonics; lenses (58.5) and delay lines
 // (41.0) are the two largest photonic contributors; SRAM+buffers ≈12.4 mm².
 func TestFigure9Area(t *testing.T) {
-	a := ComputeArea(FB())
+	a := MustComputeArea(FB())
 	within(t, "total area (mm²)", phys.M2ToMM2(a.Total()), 171.1, 0.03)
 	within(t, "photonic area (mm²)", phys.M2ToMM2(a.Photonic()), 135.7, 0.03)
 	within(t, "delay line area (mm²)", phys.M2ToMM2(a.DelayLine), 41.0, 0.01)
@@ -31,7 +32,7 @@ func TestFigure9Area(t *testing.T) {
 		t.Error("lenses should be the largest photonic area contributor")
 	}
 	// FF and FB share the same area (paper: "both versions ... same area").
-	if ff := ComputeArea(FF()); math.Abs(ff.Total()-a.Total()) > 0.01*a.Total() {
+	if ff := MustComputeArea(FF()); math.Abs(ff.Total()-a.Total()) > 0.01*a.Total() {
 		t.Errorf("FF area %.4g differs from FB %.4g by more than 1%%", ff.Total(), a.Total())
 	}
 }
@@ -40,9 +41,9 @@ func TestFigure9Area(t *testing.T) {
 // ≈15.7 W average over the five CNNs with ≈90.7 mm² of photonics (paper §3).
 func TestBaselineMatchesSection3(t *testing.T) {
 	cfg := Baseline()
-	reports := EvaluateAll(cfg, nn.Benchmarks())
+	reports := MustEvaluateAll(cfg, nn.Benchmarks())
 	within(t, "baseline mean power (W)", MeanPower(reports), 15.7, 0.15)
-	within(t, "baseline photonic area (mm²)", phys.M2ToMM2(ComputeArea(cfg).Photonic()), 90.7, 0.05)
+	within(t, "baseline photonic area (mm²)", phys.M2ToMM2(MustComputeArea(cfg).Photonic()), 90.7, 0.05)
 	// Figure 3(a): DAC and SRAM dominate the baseline.
 	b := MeanBreakdown(reports)
 	if b.DAC() < b.ADC || b.DAC() < b.CMOS {
@@ -56,14 +57,14 @@ func TestBaselineMatchesSection3(t *testing.T) {
 // TestSingleJTCConverterDominated: Figure 3(a)'s other bar — without any
 // optimization, ADCs+DACs consume most of a single JTC's power.
 func TestSingleJTCConverterDominated(t *testing.T) {
-	reports := EvaluateAll(SingleJTC(), nn.Benchmarks())
+	reports := MustEvaluateAll(SingleJTC(), nn.Benchmarks())
 	b := MeanBreakdown(reports)
 	if share := b.Converters() / b.Total(); share < 0.6 {
 		t.Errorf("single-JTC converter share = %.2f, expected dominant (paper: >85%%)", share)
 	}
 	// And its ADC energy per inference exceeds the temporally-accumulated
 	// baseline's (per unit work): compare ADC fraction.
-	bl := MeanBreakdown(EvaluateAll(Baseline(), nn.Benchmarks()))
+	bl := MeanBreakdown(MustEvaluateAll(Baseline(), nn.Benchmarks()))
 	if b.ADC/b.Total() <= bl.ADC/bl.Total() {
 		t.Error("temporal accumulation should shrink the ADC share vs the single JTC")
 	}
@@ -73,8 +74,8 @@ func TestSingleJTCConverterDominated(t *testing.T) {
 // ≈14.0 W and ReFOCUS-FB ≈10.8 W averaged over the five CNNs, with the
 // paper's DAC split: weight DACs ≈90% of FB DAC power, ≈53% of FF's.
 func TestFigure8Power(t *testing.T) {
-	ff := MeanBreakdown(EvaluateAll(FF(), nn.Benchmarks()))
-	fb := MeanBreakdown(EvaluateAll(FB(), nn.Benchmarks()))
+	ff := MeanBreakdown(MustEvaluateAll(FF(), nn.Benchmarks()))
+	fb := MeanBreakdown(MustEvaluateAll(FB(), nn.Benchmarks()))
 	within(t, "ReFOCUS-FF mean power (W)", ff.Total(), 14.0, 0.15)
 	within(t, "ReFOCUS-FB mean power (W)", fb.Total(), 10.8, 0.15)
 	within(t, "FB weight-DAC share of DAC power", fb.WeightDAC/fb.DAC(), 0.90, 0.05)
@@ -97,9 +98,9 @@ func TestFigure8Power(t *testing.T) {
 // 1/EDP, as geometric means over the five CNNs.
 func TestFigure11Ratios(t *testing.T) {
 	nets := nn.Benchmarks()
-	base := EvaluateAll(Baseline(), nets)
-	fb := EvaluateAll(FB(), nets)
-	ff := EvaluateAll(FF(), nets)
+	base := MustEvaluateAll(Baseline(), nets)
+	fb := MustEvaluateAll(FB(), nets)
+	ff := MustEvaluateAll(FF(), nets)
 
 	fps := GeoMean(fb, MetricFPS) / GeoMean(base, MetricFPS)
 	if fps < 1.7 || fps > 2.2 {
@@ -139,7 +140,10 @@ func TestTable4RFCUBudget(t *testing.T) {
 	base := FF()
 	budget := 150 * phys.MM2
 	for _, m := range []int{1, 2, 4, 8, 16, 32} {
-		got := MaxRFCUsForBudget(base, m, budget)
+		got, err := MaxRFCUsForBudget(base, m, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if d := got - want[m]; d < -1 || d > 1 {
 			t.Errorf("M=%d: %d RFCUs fit, paper says %d (±1)", m, got, want[m])
 		}
@@ -149,7 +153,7 @@ func TestTable4RFCUBudget(t *testing.T) {
 // TestDRAMDominatesFB reproduces §7.3: profiled with HBM2 energy, DRAM can
 // exceed 50% of ReFOCUS-FB's total power.
 func TestDRAMDominatesFB(t *testing.T) {
-	b := MeanBreakdown(EvaluateAll(FB(), nn.Benchmarks()))
+	b := MeanBreakdown(MustEvaluateAll(FB(), nn.Benchmarks()))
 	if share := b.DRAM / b.TotalWithDRAM(); share < 0.5 {
 		t.Errorf("FB DRAM share = %.2f, paper says >50%%", share)
 	}
@@ -157,7 +161,7 @@ func TestDRAMDominatesFB(t *testing.T) {
 
 // TestCensusCounts sanity-checks the component inventory.
 func TestCensusCounts(t *testing.T) {
-	cs := TakeCensus(FB())
+	cs := censusOf(FB())
 	if cs.InputDACs != 512 {
 		t.Errorf("input DACs = %d, want 512 (256 waveguides × 2λ)", cs.InputDACs)
 	}
@@ -173,10 +177,10 @@ func TestCensusCounts(t *testing.T) {
 	if cs.SwitchMRRs != 256 {
 		t.Errorf("switch MRRs = %d, want 256 (feedback gates)", cs.SwitchMRRs)
 	}
-	if ff := TakeCensus(FF()); ff.SwitchMRRs != 0 {
+	if ff := censusOf(FF()); ff.SwitchMRRs != 0 {
 		t.Error("feedforward buffer needs no switch MRRs")
 	}
-	if bl := TakeCensus(Baseline()); bl.DelayLines != 0 {
+	if bl := censusOf(Baseline()); bl.DelayLines != 0 {
 		t.Error("baseline has no delay lines")
 	}
 }
@@ -198,8 +202,8 @@ func TestLaserFactors(t *testing.T) {
 // TestEvaluateDeterministic: the model is a pure function of its inputs.
 func TestEvaluateDeterministic(t *testing.T) {
 	net, _ := nn.ByName("ResNet-34")
-	a := Evaluate(FB(), net)
-	b := Evaluate(FB(), net)
+	a := MustEvaluate(FB(), net)
+	b := MustEvaluate(FB(), net)
 	if a != b {
 		t.Error("Evaluate is not deterministic")
 	}
@@ -209,7 +213,7 @@ func TestEvaluateDeterministic(t *testing.T) {
 // PAP = FPS/W · FPS/mm².
 func TestEnergyLatencyConsistency(t *testing.T) {
 	net, _ := nn.ByName("VGG-16")
-	r := Evaluate(FF(), net)
+	r := MustEvaluate(FF(), net)
 	if relErr(r.Energy, r.Power.Total()*r.Latency) > 1e-9 {
 		t.Error("energy != power × latency")
 	}
@@ -224,22 +228,50 @@ func TestEnergyLatencyConsistency(t *testing.T) {
 	}
 }
 
-// TestValidationPanics: malformed configs are rejected.
-func TestValidationPanics(t *testing.T) {
+// TestValidationErrors: malformed configs are rejected with descriptive,
+// package-prefixed errors, and the errors surface through Evaluate.
+func TestValidationErrors(t *testing.T) {
 	bad := FB()
 	bad.Reuses = 0
-	func() {
-		defer func() { recover() }()
-		bad.Validate()
-		t.Error("feedback with zero reuses should panic")
-	}()
+	if err := bad.Validate(); err == nil {
+		t.Error("feedback with zero reuses should fail validation")
+	} else if !strings.Contains(err.Error(), "arch: ") {
+		t.Errorf("error %q lacks package prefix", err)
+	}
 	bad2 := FF()
 	bad2.ActivationSRAMBytes = 0
-	func() {
-		defer func() { recover() }()
-		bad2.Validate()
-		t.Error("zero SRAM should panic")
-	}()
+	if err := bad2.Validate(); err == nil {
+		t.Error("zero SRAM should fail validation")
+	}
+	bad3 := FB()
+	bad3.WeightSharing = &WeightSharingConfig{CompressionRatio: 0.5}
+	if err := bad3.Validate(); err == nil {
+		t.Error("compression ratio below 1 should fail validation")
+	}
+	bad4 := FB()
+	bad4.Buffer = BufferKind(42)
+	if err := bad4.Validate(); err == nil {
+		t.Error("unknown buffer kind should fail validation")
+	}
+	net, _ := nn.ByName("ResNet-18")
+	if _, err := Evaluate(bad, net); err == nil {
+		t.Error("Evaluate should reject an invalid config")
+	}
+	if _, err := EvaluateAll(bad, []nn.Network{net}); err == nil {
+		t.Error("EvaluateAll should reject an invalid config")
+	}
+	if _, err := ComputeArea(bad); err == nil {
+		t.Error("ComputeArea should reject an invalid config")
+	}
+	if _, err := TakeCensus(bad); err == nil {
+		t.Error("TakeCensus should reject an invalid config")
+	}
+	if _, err := EvaluateLayers(bad, net); err == nil {
+		t.Error("EvaluateLayers should reject an invalid config")
+	}
+	if _, err := MaxRFCUsForBudget(bad, 16, 1); err == nil {
+		t.Error("MaxRFCUsForBudget should reject an invalid base config")
+	}
 }
 
 func BenchmarkEvaluateFB(b *testing.B) {
@@ -248,7 +280,7 @@ func BenchmarkEvaluateFB(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Evaluate(cfg, net)
+		MustEvaluate(cfg, net)
 	}
 }
 
@@ -259,8 +291,8 @@ func BenchmarkEvaluateFB(b *testing.B) {
 // computed analytically.
 func TestWeightSharingThroughModel(t *testing.T) {
 	net, _ := nn.ByName("ResNet-34")
-	base := Evaluate(FB(), net)
-	ws := Evaluate(FBWS(), net)
+	base := MustEvaluate(FB(), net)
+	ws := MustEvaluate(FBWS(), net)
 
 	if r := base.Power.WeightDAC / ws.Power.WeightDAC; relErr(r, 1/0.85) > 1e-9 {
 		t.Errorf("weight-DAC power ratio = %g, want %g", r, 1/0.85)
@@ -293,10 +325,10 @@ func TestWeightSharingThroughModel(t *testing.T) {
 // per-image latency — the batching lever §7.3's weight-DAC concern implies.
 func TestBatchingLiftsEfficiency(t *testing.T) {
 	net, _ := nn.ByName("ResNet-34")
-	b1 := Evaluate(FB(), net)
+	b1 := MustEvaluate(FB(), net)
 	cfg := FB()
 	cfg.Batch = 8
-	b8 := Evaluate(cfg, net)
+	b8 := MustEvaluate(cfg, net)
 	if b8.Latency != b1.Latency {
 		t.Errorf("per-image latency changed: %g vs %g", b8.Latency, b1.Latency)
 	}

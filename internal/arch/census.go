@@ -20,8 +20,15 @@ type Census struct {
 }
 
 // TakeCensus counts components for a configuration.
-func TakeCensus(c SystemConfig) Census {
-	c.Validate()
+func TakeCensus(c SystemConfig) (Census, error) {
+	if err := c.Validate(); err != nil {
+		return Census{}, err
+	}
+	return censusOf(c), nil
+}
+
+// censusOf counts components for an already-validated configuration.
+func censusOf(c SystemConfig) Census {
 	census := Census{
 		InputDACs:  c.T * c.NLambda,
 		InputMRRs:  c.T * c.NLambda,
@@ -75,9 +82,27 @@ func (a AreaBreakdown) Total() float64 {
 }
 
 // ComputeArea assembles the area breakdown for a configuration.
-func ComputeArea(c SystemConfig) AreaBreakdown {
-	c.Validate()
-	cs := TakeCensus(c)
+func ComputeArea(c SystemConfig) (AreaBreakdown, error) {
+	if err := c.Validate(); err != nil {
+		return AreaBreakdown{}, err
+	}
+	return areaOf(c), nil
+}
+
+// MustComputeArea is ComputeArea for known-valid configurations (the
+// presets and their sweep variants); an error is an internal invariant
+// violation.
+func MustComputeArea(c SystemConfig) AreaBreakdown {
+	a, err := ComputeArea(c)
+	if err != nil {
+		panic("arch: internal: " + err.Error())
+	}
+	return a
+}
+
+// areaOf assembles the breakdown for an already-validated configuration.
+func areaOf(c SystemConfig) AreaBreakdown {
+	cs := censusOf(c)
 	ct := c.Components
 	var a AreaBreakdown
 	a.Lens = float64(cs.Lenses) * ct.LensArea
@@ -91,8 +116,8 @@ func ComputeArea(c SystemConfig) AreaBreakdown {
 	a.Converters = c.CMOS.ConverterArea(cs.InputDACs+cs.WeightDACs, cs.ADCs)
 	a.CMOSLogic = c.CMOS.LogicArea(c.NRFCU)
 
-	a.SRAM = memory.NewSRAM("activation", c.ActivationSRAMBytes, 32).Area() +
-		float64(c.NRFCU)*memory.NewSRAM("weight", c.WeightSRAMBytesPerRFCU, 32).Area()
+	a.SRAM = memory.MustSRAM("activation", c.ActivationSRAMBytes, 32).Area() +
+		float64(c.NRFCU)*memory.MustSRAM("weight", c.WeightSRAMBytesPerRFCU, 32).Area()
 	if c.UseDataBuffers {
 		plan := bufferPlan(c)
 		a.DataBuffer = plan.InputBuffer(true).Area() +
@@ -101,29 +126,39 @@ func ComputeArea(c SystemConfig) AreaBreakdown {
 	return a
 }
 
-// bufferPlan sizes the data buffers for the configuration using the
-// worst-case benchmark parameters (N_F = N_C = 512 per §5.3.3; ResNet-50's
-// 2048-filter layers stripe across output-buffer refills).
+// bufferPlan sizes the data buffers for an already-validated configuration
+// using the worst-case benchmark parameters (N_F = N_C = 512 per §5.3.3;
+// ResNet-50's 2048-filter layers stripe across output-buffer refills).
 func bufferPlan(c SystemConfig) memory.BufferPlan {
 	reuses := c.reuses()
 	if reuses < 1 {
 		reuses = 1 // a bufferless config still sizes a nominal plan
 	}
-	return memory.PlanBuffers(c.BufferChoice, c.T, c.M, c.NLambda, 512, 512, c.NRFCU, reuses)
+	plan, err := memory.PlanBuffers(c.BufferChoice, c.T, c.M, c.NLambda, 512, 512, c.NRFCU, reuses)
+	if err != nil {
+		panic("arch: internal: " + err.Error())
+	}
+	return plan
 }
 
 // MaxRFCUsForBudget returns the largest RFCU count whose *photonic* area
 // fits the budget (the paper's 150 mm² design rule, §5.4.1), for a given
 // delay length M. The SRAM/CMOS area is excluded, as in the paper.
-func MaxRFCUsForBudget(base SystemConfig, m int, budget float64) int {
+func MaxRFCUsForBudget(base SystemConfig, m int, budget float64) (int, error) {
+	probe := base
+	probe.M = m
+	probe.NRFCU = 1
+	if err := probe.Validate(); err != nil {
+		return 0, err
+	}
 	n := 0
 	for try := 1; try <= 64; try++ {
 		cfg := base
 		cfg.NRFCU = try
 		cfg.M = m
-		if ComputeArea(cfg).Photonic() <= budget {
+		if areaOf(cfg).Photonic() <= budget {
 			n = try
 		}
 	}
-	return n
+	return n, nil
 }

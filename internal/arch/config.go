@@ -94,6 +94,8 @@ type SystemConfig struct {
 }
 
 // reuses returns the effective optical reuse count for the dataflow model.
+// The buffer kind is checked by Validate; an unknown kind here is an
+// internal invariant violation.
 func (c SystemConfig) reuses() int {
 	switch c.Buffer {
 	case NoBuffer:
@@ -103,23 +105,24 @@ func (c SystemConfig) reuses() int {
 	case Feedback:
 		return c.Reuses
 	default:
-		panic(fmt.Sprintf("arch: unknown buffer kind %d", c.Buffer))
+		panic(fmt.Sprintf("arch: internal: unknown buffer kind %d", int(c.Buffer)))
 	}
 }
 
 // LaserPowerFactor returns the average laser power relative to a
 // bufferless system (paper Table 5 / §5.4.1) for the input-side laser.
+// It requires a configuration that passes Validate.
 func (c SystemConfig) LaserPowerFactor() float64 {
 	switch c.Buffer {
 	case NoBuffer:
 		return 1
 	case Feedforward:
-		return buffers.NewFeedforwardBuffer(0, c.M, c.Components).RelativeLaserPower()
+		return buffers.MustFeedforwardBuffer(0, c.M, c.Components).RelativeLaserPower()
 	case Feedback:
-		b := buffers.NewFeedbackBuffer(buffers.OptimalFeedbackAlpha(c.Reuses), c.M, c.Components)
+		b := buffers.MustFeedbackBuffer(buffers.OptimalFeedbackAlpha(c.Reuses), c.M, c.Components)
 		return b.RelativeLaserPower(c.Reuses)
 	default:
-		panic(fmt.Sprintf("arch: unknown buffer kind %d", c.Buffer))
+		panic(fmt.Sprintf("arch: internal: unknown buffer kind %d", int(c.Buffer)))
 	}
 }
 
@@ -137,15 +140,53 @@ func (c SystemConfig) DataflowConfig() dataflow.Config {
 	}
 }
 
-// Validate panics on inconsistent configurations.
-func (c SystemConfig) Validate() {
-	c.DataflowConfig().Validate()
-	if c.ActivationSRAMBytes <= 0 || c.WeightSRAMBytesPerRFCU <= 0 {
-		panic("arch: SRAM sizes must be positive")
+// Validate reports inconsistent configurations. Every construction path —
+// presets, JSON design points, programmatic configs — funnels through it
+// before evaluation, so the evaluator itself never has to reject input.
+func (c SystemConfig) Validate() error {
+	switch c.Buffer {
+	case NoBuffer, Feedforward, Feedback:
+	default:
+		return fmt.Errorf("arch: %s: unknown buffer kind %d", c.label(), int(c.Buffer))
 	}
 	if c.Buffer == Feedback && c.Reuses < 1 {
-		panic("arch: feedback buffer needs Reuses >= 1")
+		return fmt.Errorf("arch: %s: feedback buffer needs Reuses >= 1, got %d", c.label(), c.Reuses)
 	}
+	if err := c.DataflowConfig().Validate(); err != nil {
+		return fmt.Errorf("arch: %s: %w", c.label(), err)
+	}
+	if c.ActivationSRAMBytes <= 0 {
+		return fmt.Errorf("arch: %s: ActivationSRAMBytes %d, must be positive", c.label(), c.ActivationSRAMBytes)
+	}
+	if c.WeightSRAMBytesPerRFCU <= 0 {
+		return fmt.Errorf("arch: %s: WeightSRAMBytesPerRFCU %d, must be positive", c.label(), c.WeightSRAMBytesPerRFCU)
+	}
+	if err := c.BufferChoice.Validate(); err != nil {
+		return fmt.Errorf("arch: %s: %w", c.label(), err)
+	}
+	if c.Components.ClockFrequency <= 0 {
+		return fmt.Errorf("arch: %s: Components.ClockFrequency %g, must be positive", c.label(), c.Components.ClockFrequency)
+	}
+	if c.Components.TemporalAccumulationCycles <= 0 {
+		return fmt.Errorf("arch: %s: Components.TemporalAccumulationCycles %d, must be positive", c.label(), c.Components.TemporalAccumulationCycles)
+	}
+	if ws := c.WeightSharing; ws != nil {
+		if ws.CompressionRatio < 1 {
+			return fmt.Errorf("arch: %s: WeightSharing.CompressionRatio %g, must be >= 1", c.label(), ws.CompressionRatio)
+		}
+		if ws.WeightDACReduction < 0 || ws.WeightDACReduction >= 1 {
+			return fmt.Errorf("arch: %s: WeightSharing.WeightDACReduction %g outside [0,1)", c.label(), ws.WeightDACReduction)
+		}
+	}
+	return nil
+}
+
+// label names the config in error messages.
+func (c SystemConfig) label() string {
+	if c.Name == "" {
+		return "unnamed config"
+	}
+	return "config " + c.Name
 }
 
 func defaults(name string) SystemConfig {

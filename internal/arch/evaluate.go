@@ -1,6 +1,7 @@
 package arch
 
 import (
+	"fmt"
 	"math"
 	"os"
 	"runtime"
@@ -77,19 +78,24 @@ type Report struct {
 }
 
 // Evaluate runs the bottom-up model for one network on one configuration.
-func Evaluate(cfg SystemConfig, net nn.Network) Report {
-	cfg.Validate()
+// It validates both inputs and reports — rather than panics on — malformed
+// configs and layer/config mismatches.
+func Evaluate(cfg SystemConfig, net nn.Network) (Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return Report{}, err
+	}
 	df := cfg.DataflowConfig()
 	df.InputsFromDRAM = true
-	ev := dataflow.NetworkEvents(net, df)
+	ev, err := dataflow.NetworkEvents(net, df)
+	if err != nil {
+		return Report{}, fmt.Errorf("arch: evaluating %s on %s: %w", net.Name, cfg.label(), err)
+	}
 	ct := cfg.Components
 
 	if ws := cfg.WeightSharing; ws != nil {
-		if ws.CompressionRatio < 1 || ws.WeightDACReduction < 0 || ws.WeightDACReduction >= 1 {
-			panic("arch: invalid weight-sharing parameters")
-		}
-		// Channel reordering skips same-codeword kernel rewrites; the
-		// codebook representation shrinks weight SRAM and DRAM traffic.
+		// Parameters were range-checked by Validate. Channel reordering
+		// skips same-codeword kernel rewrites; the codebook representation
+		// shrinks weight SRAM and DRAM traffic.
 		ev.WeightDACWrites *= 1 - ws.WeightDACReduction
 		ev.WeightSRAMReads /= ws.CompressionRatio
 		weightBytes := float64(net.TotalWeightBytes())
@@ -103,8 +109,10 @@ func Evaluate(cfg SystemConfig, net nn.Network) Report {
 	eADC := ct.ADCPower / ct.ADCFrequency()
 	eMRR := ct.MRRPower / ct.ClockFrequency
 
-	actSRAM := memory.NewSRAM("activation", cfg.ActivationSRAMBytes, 32)
-	weightSRAM := memory.NewSRAM("weight", cfg.WeightSRAMBytesPerRFCU, 32)
+	// The config passed Validate, so SRAM sizes and buffer-plan inputs are
+	// known-positive — Must* here cannot fire on user input.
+	actSRAM := memory.MustSRAM("activation", cfg.ActivationSRAMBytes, 32)
+	weightSRAM := memory.MustSRAM("weight", cfg.WeightSRAMBytesPerRFCU, 32)
 	plan := bufferPlan(cfg)
 	inBuf := plan.InputBuffer(true)
 	outBuf := plan.OutputBuffer(true)
@@ -119,7 +127,7 @@ func Evaluate(cfg SystemConfig, net nn.Network) Report {
 	p.ADC = ev.ADCReads * eADC / latency
 	p.MRR = ev.MRRActiveCycles * eMRR / latency
 
-	cs := TakeCensus(cfg)
+	cs := censusOf(cfg)
 	p.Laser = ct.LaserMinPowerPerWaveguide *
 		(float64(cs.InputDACs)*cfg.LaserPowerFactor() + float64(cs.WeightDACs))
 	if cfg.EONonlinearity {
@@ -146,7 +154,7 @@ func Evaluate(cfg SystemConfig, net nn.Network) Report {
 
 	p.DRAM = cfg.DRAM.AccessEnergy(ev.DRAMReads) / latency
 
-	area := ComputeArea(cfg)
+	area := areaOf(cfg)
 	r := Report{
 		Config:     cfg.Name,
 		Network:    net.Name,
@@ -161,6 +169,17 @@ func Evaluate(cfg SystemConfig, net nn.Network) Report {
 	r.FPSPerMM2 = r.FPS / (area.Total() / 1e-6) // per mm²
 	r.PAP = r.FPSPerWatt * r.FPSPerMM2
 	r.InvEDP = 1 / (r.Energy * latency)
+	return r, nil
+}
+
+// MustEvaluate is Evaluate for configurations known valid by construction
+// (the presets, sensitivity perturbations of them); an error is an internal
+// invariant violation. The paper-regeneration code and examples use it.
+func MustEvaluate(cfg SystemConfig, net nn.Network) Report {
+	r, err := Evaluate(cfg, net)
+	if err != nil {
+		panic("arch: internal: " + err.Error())
+	}
 	return r
 }
 
@@ -228,28 +247,62 @@ func parallelFor(n int, body func(i int)) {
 // EvaluateAll evaluates every network on the configuration. Networks are
 // independent design points, so they fan out across Parallelism() workers;
 // the result order (and every value in it — Evaluate is deterministic)
-// matches the serial loop exactly.
-func EvaluateAll(cfg SystemConfig, nets []nn.Network) []Report {
+// matches the serial loop exactly. The first error (in input order, also
+// deterministic) aborts the result.
+func EvaluateAll(cfg SystemConfig, nets []nn.Network) ([]Report, error) {
 	out := make([]Report, len(nets))
+	errs := make([]error, len(nets))
 	parallelFor(len(nets), func(i int) {
-		out[i] = Evaluate(cfg, nets[i])
+		out[i], errs[i] = Evaluate(cfg, nets[i])
 	})
-	return out
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// MustEvaluateAll is EvaluateAll for known-valid configurations; see
+// MustEvaluate.
+func MustEvaluateAll(cfg SystemConfig, nets []nn.Network) []Report {
+	rs, err := EvaluateAll(cfg, nets)
+	if err != nil {
+		panic("arch: internal: " + err.Error())
+	}
+	return rs
+}
+
+// MustEvaluateGrid is EvaluateGrid for inputs already validated by the
+// caller; a failure is an internal invariant violation.
+func MustEvaluateGrid(cfgs []SystemConfig, nets []nn.Network) [][]Report {
+	grid, err := EvaluateGrid(cfgs, nets)
+	if err != nil {
+		panic("arch: internal: " + err.Error())
+	}
+	return grid
 }
 
 // EvaluateGrid evaluates many configurations — a sweep's design points —
 // against the same networks, fanning the (config, network) product out
-// across Parallelism() workers. out[i] corresponds to cfgs[i] in order.
-func EvaluateGrid(cfgs []SystemConfig, nets []nn.Network) [][]Report {
+// across Parallelism() workers. out[i] corresponds to cfgs[i] in order;
+// the first error in input order aborts the result.
+func EvaluateGrid(cfgs []SystemConfig, nets []nn.Network) ([][]Report, error) {
 	out := make([][]Report, len(cfgs))
 	for i := range out {
 		out[i] = make([]Report, len(nets))
 	}
 	k := len(nets)
+	errs := make([]error, len(cfgs)*k)
 	parallelFor(len(cfgs)*k, func(i int) {
-		out[i/k][i%k] = Evaluate(cfgs[i/k], nets[i%k])
+		out[i/k][i%k], errs[i] = Evaluate(cfgs[i/k], nets[i%k])
 	})
-	return out
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // Metric extracts a scalar from a report for aggregation.

@@ -1,0 +1,62 @@
+package arch
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// The JSON codec makes a SystemConfig a serializable design point: every
+// field (including the nested phys.ComponentTable, cmos.Model, memory.DRAM,
+// Calibration and WeightSharingConfig) round-trips losslessly, and the two
+// enumerations travel as strings so files stay readable and stable across
+// constant reordering. See DESIGN.md §7 for the schema and error model.
+
+// MarshalJSON encodes the buffer kind as its String name.
+func (b BufferKind) MarshalJSON() ([]byte, error) {
+	switch b {
+	case NoBuffer, Feedforward, Feedback:
+		return []byte(`"` + b.String() + `"`), nil
+	default:
+		return nil, fmt.Errorf("arch: unknown buffer kind %d", int(b))
+	}
+}
+
+// UnmarshalJSON accepts the string names emitted by MarshalJSON.
+func (b *BufferKind) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"none"`:
+		*b = NoBuffer
+	case `"feedforward"`:
+		*b = Feedforward
+	case `"feedback"`:
+		*b = Feedback
+	default:
+		return fmt.Errorf("arch: unknown buffer kind %s (want \"none\", \"feedforward\" or \"feedback\")", data)
+	}
+	return nil
+}
+
+// ConfigJSON serializes a design point with stable indentation — the
+// canonical on-disk form (refocus-sim -dump-config emits it).
+func ConfigJSON(c SystemConfig) ([]byte, error) {
+	out, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("arch: encoding %s: %w", c.label(), err)
+	}
+	return append(out, '\n'), nil
+}
+
+// ParseConfig decodes a serialized design point strictly: unknown fields
+// are rejected so schema typos surface as errors instead of silently
+// falling back to defaults. The result is NOT validated — callers overlay
+// overrides first, then run Validate (the internal/sim pipeline does both).
+func ParseConfig(data []byte) (SystemConfig, error) {
+	var c SystemConfig
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return SystemConfig{}, fmt.Errorf("arch: parsing config: %w", err)
+	}
+	return c, nil
+}

@@ -1,0 +1,156 @@
+package arch
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"refocus/internal/nn"
+)
+
+// TestPresetJSONRoundTrip: every registry preset survives
+// marshal → unmarshal with no loss — a SystemConfig really is plain data.
+func TestPresetJSONRoundTrip(t *testing.T) {
+	for _, p := range Presets() {
+		cfg := p.Build()
+		data, err := ConfigJSON(cfg)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", p.Name, err)
+		}
+		back, err := ParseConfig(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", p.Name, err)
+		}
+		if !reflect.DeepEqual(cfg, back) {
+			t.Errorf("%s: round trip changed the config:\nbefore %+v\nafter  %+v", p.Name, cfg, back)
+		}
+		// And a second encode is byte-identical — the on-disk form is stable.
+		again, err := ConfigJSON(back)
+		if err != nil {
+			t.Fatalf("%s: re-encode: %v", p.Name, err)
+		}
+		if string(data) != string(again) {
+			t.Errorf("%s: re-encoded JSON differs from first encoding", p.Name)
+		}
+	}
+}
+
+// TestBufferKindJSONStrings: the enum travels as a readable string and
+// rejects unknown values in both directions.
+func TestBufferKindJSONStrings(t *testing.T) {
+	want := map[BufferKind]string{NoBuffer: `"none"`, Feedforward: `"feedforward"`, Feedback: `"feedback"`}
+	for k, s := range want {
+		data, err := json.Marshal(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != s {
+			t.Errorf("kind %v marshals to %s, want %s", k, data, s)
+		}
+		var back BufferKind
+		if err := json.Unmarshal([]byte(s), &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != k {
+			t.Errorf("%s unmarshals to %v, want %v", s, back, k)
+		}
+	}
+	if _, err := json.Marshal(BufferKind(9)); err == nil {
+		t.Error("unknown buffer kind marshalled without error")
+	}
+	var k BufferKind
+	if err := json.Unmarshal([]byte(`"ring"`), &k); err == nil {
+		t.Error("unknown buffer-kind string accepted")
+	}
+}
+
+// TestParseConfigStrict: typo'd fields are errors, not silent defaults.
+func TestParseConfigStrict(t *testing.T) {
+	if _, err := ParseConfig([]byte(`{"NRFCUU": 16}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ParseConfig([]byte(`{"NRFCU": `)); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	cfg, err := ParseConfig([]byte(`{"Name": "partial", "NRFCU": 4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "partial" || cfg.NRFCU != 4 {
+		t.Errorf("partial parse lost fields: %+v", cfg)
+	}
+}
+
+// TestPresetRegistry: lookups resolve canonical names and aliases
+// case-insensitively, and unknown names list the vocabulary.
+func TestPresetRegistry(t *testing.T) {
+	for _, key := range []string{"fb", "FB", "ReFOCUS-FB", "refocus-fb"} {
+		cfg, err := PresetByName(key)
+		if err != nil {
+			t.Fatalf("%q: %v", key, err)
+		}
+		if cfg.Name != "ReFOCUS-FB" {
+			t.Errorf("%q resolved to %q", key, cfg.Name)
+		}
+	}
+	_, err := PresetByName("nope")
+	if err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if !strings.Contains(err.Error(), "fb") {
+		t.Errorf("error %q should list known names", err)
+	}
+	// Every preset validates and has a distinct canonical name.
+	seen := map[string]bool{}
+	for _, p := range Presets() {
+		if seen[p.Name] {
+			t.Errorf("duplicate preset name %q", p.Name)
+		}
+		seen[p.Name] = true
+		if err := p.Build().Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", p.Name, err)
+		}
+		if p.Build().Name != p.Name {
+			t.Errorf("preset %s builds a config named %q", p.Name, p.Build().Name)
+		}
+	}
+}
+
+// TestGoldenResNet50Reports: each preset's ResNet-50 report matches the
+// pre-refactor numbers bit-for-bit (testdata/golden-resnet50.json was
+// generated before the config-as-data refactor; default Go float64 JSON
+// encoding is shortest-round-trip, so unmarshal → compare is exact).
+func TestGoldenResNet50Reports(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "golden-resnet50.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var golden map[string]Report
+	if err := json.Unmarshal(data, &golden); err != nil {
+		t.Fatal(err)
+	}
+	net, ok := nn.ByName("ResNet-50")
+	if !ok {
+		t.Fatal("ResNet-50 missing")
+	}
+	for _, p := range Presets() {
+		want, ok := golden[p.Name]
+		if !ok {
+			t.Errorf("golden file lacks preset %s", p.Name)
+			continue
+		}
+		got, err := Evaluate(p.Build(), net)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if got != want {
+			t.Errorf("%s: report drifted from pre-refactor golden values:\ngot  %+v\nwant %+v", p.Name, got, want)
+		}
+	}
+	if len(golden) != len(Presets()) {
+		t.Errorf("golden file has %d entries, registry has %d presets", len(golden), len(Presets()))
+	}
+}

@@ -24,18 +24,26 @@ type LayerProfile struct {
 
 // EvaluateLayers profiles every layer of the network on the configuration.
 // Profiles are returned in network order; shares include layer repeats.
-func EvaluateLayers(cfg SystemConfig, net nn.Network) []LayerProfile {
-	cfg.Validate()
+func EvaluateLayers(cfg SystemConfig, net nn.Network) ([]LayerProfile, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	df := cfg.DataflowConfig()
 	profiles := make([]LayerProfile, 0, len(net.Layers))
 	var totalCycles, totalEnergy float64
 	for _, l := range net.Layers {
-		ev := dataflow.LayerEvents(l, df)
+		ev, err := dataflow.LayerEvents(l, df)
+		if err != nil {
+			return nil, fmt.Errorf("arch: profiling %s on %s: %w", net.Name, cfg.label(), err)
+		}
 		single := nn.Network{Name: l.Name, Layers: []nn.ConvLayer{layerOnce(l)}}
-		r := Evaluate(cfg, single)
+		r, err := Evaluate(cfg, single)
+		if err != nil {
+			return nil, err
+		}
 		p := LayerProfile{
 			Layer:   l,
-			Plan:    dataflow.PlanLayer(l, df),
+			Plan:    dataflow.MustPlanLayer(l, df),
 			Events:  ev,
 			Repeat:  l.Repeat,
 			Latency: r.Latency,
@@ -49,7 +57,17 @@ func EvaluateLayers(cfg SystemConfig, net nn.Network) []LayerProfile {
 		profiles[i].ShareOfCycles = profiles[i].Events.Cycles * float64(profiles[i].Repeat) / totalCycles
 		profiles[i].ShareOfEnergy = profiles[i].Energy * float64(profiles[i].Repeat) / totalEnergy
 	}
-	return profiles
+	return profiles, nil
+}
+
+// MustEvaluateLayers is EvaluateLayers for inputs already validated by the
+// caller; a failure is an internal invariant violation.
+func MustEvaluateLayers(cfg SystemConfig, net nn.Network) []LayerProfile {
+	ps, err := EvaluateLayers(cfg, net)
+	if err != nil {
+		panic("arch: internal: " + err.Error())
+	}
+	return ps
 }
 
 func layerOnce(l nn.ConvLayer) nn.ConvLayer {

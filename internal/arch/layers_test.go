@@ -12,7 +12,7 @@ import (
 func TestEvaluateLayersSharesSum(t *testing.T) {
 	net, _ := nn.ByName("ResNet-34")
 	cfg := FB()
-	profiles := EvaluateLayers(cfg, net)
+	profiles := MustEvaluateLayers(cfg, net)
 	if len(profiles) != len(net.Layers) {
 		t.Fatalf("%d profiles for %d layers", len(profiles), len(net.Layers))
 	}
@@ -25,7 +25,7 @@ func TestEvaluateLayersSharesSum(t *testing.T) {
 	if math.Abs(cycles-1) > 1e-9 || math.Abs(energy-1) > 1e-9 {
 		t.Errorf("shares sum to %g / %g, want 1 / 1", cycles, energy)
 	}
-	whole := Evaluate(cfg, net)
+	whole := MustEvaluate(cfg, net)
 	if math.Abs(latency-whole.Latency) > 1e-12 {
 		t.Errorf("per-layer latency sum %g != network latency %g", latency, whole.Latency)
 	}
@@ -35,7 +35,7 @@ func TestEvaluateLayersSharesSum(t *testing.T) {
 // early layers dominate its cycle budget.
 func TestTopConsumersOrdering(t *testing.T) {
 	net, _ := nn.ByName("VGG-16")
-	profiles := EvaluateLayers(FB(), net)
+	profiles := MustEvaluateLayers(FB(), net)
 	top := TopConsumers(profiles, "cycles", 3)
 	if len(top) != 3 {
 		t.Fatalf("top = %d entries", len(top))
@@ -71,7 +71,7 @@ func TestTopConsumersValidation(t *testing.T) {
 // ReFOCUS's weakest benchmark in Figures 11-13.
 func TestPointwiseLayersAreThroughputBound(t *testing.T) {
 	net, _ := nn.ByName("ResNet-50")
-	profiles := EvaluateLayers(FB(), net)
+	profiles := MustEvaluateLayers(FB(), net)
 	var ptCyc, convCyc float64
 	var ptN, convN int
 	for _, p := range profiles {

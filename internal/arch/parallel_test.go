@@ -20,14 +20,14 @@ func TestEvaluateAllParallelMatchesSerial(t *testing.T) {
 	for i, cfg := range cfgs {
 		want[i] = make([]Report, len(nets))
 		for j, n := range nets {
-			want[i][j] = Evaluate(cfg, n)
+			want[i][j] = MustEvaluate(cfg, n)
 		}
 	}
 
 	for _, workers := range []int{2, 4, 8} {
 		SetParallelism(workers)
 		for i, cfg := range cfgs {
-			got := EvaluateAll(cfg, nets)
+			got := MustEvaluateAll(cfg, nets)
 			for j := range got {
 				if got[j] != want[i][j] {
 					t.Fatalf("workers=%d cfg=%s net=%s: parallel report differs from serial",
@@ -35,7 +35,7 @@ func TestEvaluateAllParallelMatchesSerial(t *testing.T) {
 				}
 			}
 		}
-		grid := EvaluateGrid(cfgs, nets)
+		grid := MustEvaluateGrid(cfgs, nets)
 		for i := range grid {
 			for j := range grid[i] {
 				if grid[i][j] != want[i][j] {

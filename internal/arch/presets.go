@@ -1,0 +1,88 @@
+package arch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Preset is one named entry of the design-point registry: the paper's
+// systems plus any variant worth referring to by name instead of a JSON
+// file. Build returns a fresh config each call so callers may mutate the
+// result freely.
+type Preset struct {
+	// Name is the canonical config name (what SystemConfig.Name carries).
+	Name string
+	// Aliases are short lookup keys ("fb", "ff", ...).
+	Aliases []string
+	// Description is the one-line summary -list prints.
+	Description string
+	// Build constructs the design point.
+	Build func() SystemConfig
+}
+
+// Presets returns the registry of named design points in presentation
+// order (the paper's progression from unoptimized to fully optimized).
+func Presets() []Preset {
+	return []Preset{
+		{
+			Name:        "single-JTC",
+			Aliases:     []string{"single"},
+			Description: "unoptimized single-JTC system of Figure 3(a): 1 unit, no accumulation, no buffer",
+			Build:       SingleJTC,
+		},
+		{
+			Name:        "ReFOCUS-baseline",
+			Aliases:     []string{"baseline"},
+			Description: "PhotoFourier-NG-style baseline (§3): 16 JTCs, 16-cycle accumulation, no optical buffer",
+			Build:       Baseline,
+		},
+		{
+			Name:        "ReFOCUS-FF",
+			Aliases:     []string{"ff"},
+			Description: "feedforward optical buffer (§5.1): one reuse, 2 wavelengths, SRAM data buffers",
+			Build:       FF,
+		},
+		{
+			Name:        "ReFOCUS-FB",
+			Aliases:     []string{"fb"},
+			Description: "feedback optical buffer (§5.1): 15 reuses at α=1/16, 2 wavelengths, SRAM data buffers",
+			Build:       FB,
+		},
+		{
+			Name:        "ReFOCUS-FB+WS",
+			Aliases:     []string{"fbws", "fb+ws"},
+			Description: "ReFOCUS-FB with the §7.3 weight-sharing software stack (codebooks + channel reordering)",
+			Build:       FBWS,
+		},
+	}
+}
+
+// PresetNames returns every canonical preset name plus aliases, sorted —
+// the vocabulary error messages and -list expose.
+func PresetNames() []string {
+	var names []string
+	for _, p := range Presets() {
+		names = append(names, p.Name)
+		names = append(names, p.Aliases...)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PresetByName resolves a design point by canonical name or alias,
+// case-insensitively. The returned config is a fresh copy.
+func PresetByName(name string) (SystemConfig, error) {
+	key := strings.ToLower(name)
+	for _, p := range Presets() {
+		if strings.ToLower(p.Name) == key {
+			return p.Build(), nil
+		}
+		for _, a := range p.Aliases {
+			if a == key {
+				return p.Build(), nil
+			}
+		}
+	}
+	return SystemConfig{}, fmt.Errorf("arch: unknown preset %q (known: %s)", name, strings.Join(PresetNames(), ", "))
+}

@@ -27,7 +27,7 @@ func TestPhotoFourierIsBaselineArch(t *testing.T) {
 // 5.6–24.5× FPS/W advantage over every digital system.
 func TestFigure12Spread(t *testing.T) {
 	net, _ := nn.ByName("ResNet-50")
-	rf := arch.Evaluate(arch.FB(), net)
+	rf := arch.MustEvaluate(arch.FB(), net)
 	minRatio, maxRatio := 1e30, 0.0
 	for _, p := range Figure12Digital() {
 		if p.FPSPerWatt <= 0 || p.FPS <= 0 {
@@ -68,7 +68,7 @@ func TestFigure13Margins(t *testing.T) {
 		if !ok {
 			t.Fatalf("unknown network %q", p.Network)
 		}
-		rf := arch.Evaluate(arch.FB(), net)
+		rf := arch.MustEvaluate(arch.FB(), net)
 		if rf.FPSPerWatt <= p.FPSPerWatt {
 			t.Errorf("%s on %s: published %.0f FPS/W not below ReFOCUS %.0f", p.Accelerator, p.Network, p.FPSPerWatt, rf.FPSPerWatt)
 		}
@@ -108,8 +108,8 @@ func TestForNetwork(t *testing.T) {
 // — and ReFOCUS — avoid.
 func TestEONonlinearityCost(t *testing.T) {
 	nets := nn.Benchmarks()
-	ng := arch.MeanBreakdown(arch.EvaluateAll(PhotoFourier(), nets))
-	eo := arch.MeanBreakdown(arch.EvaluateAll(PhotoFourierEO(), nets))
+	ng := arch.MeanBreakdown(arch.MustEvaluateAll(PhotoFourier(), nets))
+	eo := arch.MeanBreakdown(arch.MustEvaluateAll(PhotoFourierEO(), nets))
 	extra := eo.Total() - ng.Total()
 	if extra < 1 || extra > 6 {
 		t.Errorf("EO nonlinearity costs %.2f W extra; expected a few watts", extra)
@@ -118,8 +118,8 @@ func TestEONonlinearityCost(t *testing.T) {
 		t.Error("the EO stage should add modulator power")
 	}
 	// The passive choice is a straight efficiency win at equal FPS.
-	ngR := arch.EvaluateAll(PhotoFourier(), nets)
-	eoR := arch.EvaluateAll(PhotoFourierEO(), nets)
+	ngR := arch.MustEvaluateAll(PhotoFourier(), nets)
+	eoR := arch.MustEvaluateAll(PhotoFourierEO(), nets)
 	if arch.GeoMean(eoR, arch.MetricFPS) != arch.GeoMean(ngR, arch.MetricFPS) {
 		t.Error("nonlinearity choice must not change throughput")
 	}

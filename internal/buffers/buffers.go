@@ -29,22 +29,33 @@ type FeedbackBuffer struct {
 
 // NewFeedbackBuffer returns a feedback buffer with the given split ratio
 // and delay.
-func NewFeedbackBuffer(alpha float64, delayCycles int, c phys.ComponentTable) FeedbackBuffer {
+func NewFeedbackBuffer(alpha float64, delayCycles int, c phys.ComponentTable) (FeedbackBuffer, error) {
 	if alpha <= 0 || alpha >= 1 {
-		panic(fmt.Sprintf("buffers: feedback split ratio %g outside (0,1)", alpha))
+		return FeedbackBuffer{}, fmt.Errorf("buffers: feedback split ratio %g outside (0,1)", alpha)
 	}
 	if delayCycles < 1 {
-		panic("buffers: delay must be at least one cycle")
+		return FeedbackBuffer{}, fmt.Errorf("buffers: delay %d cycles, must be at least one", delayCycles)
 	}
-	return FeedbackBuffer{Alpha: alpha, DelayCycles: delayCycles, Components: c}
+	return FeedbackBuffer{Alpha: alpha, DelayCycles: delayCycles, Components: c}, nil
+}
+
+// MustFeedbackBuffer is NewFeedbackBuffer for statically known-good
+// parameters; a failure is an internal invariant violation.
+func MustFeedbackBuffer(alpha float64, delayCycles int, c phys.ComponentTable) FeedbackBuffer {
+	b, err := NewFeedbackBuffer(alpha, delayCycles, c)
+	if err != nil {
+		panic("buffers: internal: " + err.Error())
+	}
+	return b
 }
 
 // OptimalFeedbackAlpha returns α = 1/(R+1), the split ratio that equalizes
 // the laser-power overhead and dynamic range at their joint minimum for R
-// reuses (paper §5.4.2).
+// reuses (paper §5.4.2). Callers must pass R >= 1 (checked by the buffer
+// and system-config validators); smaller values panic.
 func OptimalFeedbackAlpha(reuses int) float64 {
 	if reuses < 1 {
-		panic("buffers: need at least one reuse")
+		panic("buffers: OptimalFeedbackAlpha needs at least one reuse")
 	}
 	return 1 / float64(reuses+1)
 }
@@ -119,16 +130,26 @@ type FeedforwardBuffer struct {
 
 // NewFeedforwardBuffer returns a feedforward buffer. Passing alpha <= 0
 // selects the balanced split of Eq. (4) automatically.
-func NewFeedforwardBuffer(alpha float64, delayCycles int, c phys.ComponentTable) FeedforwardBuffer {
+func NewFeedforwardBuffer(alpha float64, delayCycles int, c phys.ComponentTable) (FeedforwardBuffer, error) {
 	if delayCycles < 1 {
-		panic("buffers: delay must be at least one cycle")
+		return FeedforwardBuffer{}, fmt.Errorf("buffers: delay %d cycles, must be at least one", delayCycles)
 	}
 	b := FeedforwardBuffer{Alpha: alpha, DelayCycles: delayCycles, Components: c}
 	if alpha <= 0 {
 		b.Alpha = b.BalancedAlpha()
 	}
 	if b.Alpha >= 1 {
-		panic(fmt.Sprintf("buffers: feedforward split ratio %g outside (0,1)", b.Alpha))
+		return FeedforwardBuffer{}, fmt.Errorf("buffers: feedforward split ratio %g outside (0,1)", b.Alpha)
+	}
+	return b, nil
+}
+
+// MustFeedforwardBuffer is NewFeedforwardBuffer for statically known-good
+// parameters; a failure is an internal invariant violation.
+func MustFeedforwardBuffer(alpha float64, delayCycles int, c phys.ComponentTable) FeedforwardBuffer {
+	b, err := NewFeedforwardBuffer(alpha, delayCycles, c)
+	if err != nil {
+		panic("buffers: internal: " + err.Error())
 	}
 	return b
 }
@@ -178,14 +199,20 @@ type Table5Row struct {
 // Table 5 for the given reuse counts, with either the optimal α=1/(R+1)
 // (optimal=true) or the naive α=0.5. delayCycles is the delay line length
 // (16 in ReFOCUS).
-func Table5(c phys.ComponentTable, reuses []int, delayCycles int, optimal bool) []Table5Row {
+func Table5(c phys.ComponentTable, reuses []int, delayCycles int, optimal bool) ([]Table5Row, error) {
 	rows := make([]Table5Row, 0, len(reuses))
 	for _, r := range reuses {
+		if r < 1 {
+			return nil, fmt.Errorf("buffers: Table 5 reuse count %d, need at least one", r)
+		}
 		alpha := 0.5
 		if optimal {
 			alpha = OptimalFeedbackAlpha(r)
 		}
-		b := NewFeedbackBuffer(alpha, delayCycles, c)
+		b, err := NewFeedbackBuffer(alpha, delayCycles, c)
+		if err != nil {
+			return nil, err
+		}
 		rows = append(rows, Table5Row{
 			Reuses:             r,
 			Alpha:              alpha,
@@ -193,7 +220,7 @@ func Table5(c phys.ComponentTable, reuses []int, delayCycles int, optimal bool) 
 			DynamicRange:       b.DynamicRange(r),
 		})
 	}
-	return rows
+	return rows, nil
 }
 
 // FeedbackSim is the cycle-accurate field simulation of the feedback

@@ -29,7 +29,7 @@ func TestOptimalFeedbackAlpha(t *testing.T) {
 
 // TestEquation2RoundTrip verifies Eq. (2): X_i = (1-l_d)(1-α)·X_{i-1}.
 func TestEquation2RoundTrip(t *testing.T) {
-	b := NewFeedbackBuffer(0.25, 16, comp())
+	b := MustFeedbackBuffer(0.25, 16, comp())
 	r := b.RoundTripFactor()
 	want := (1 - b.DelayLineLossFraction()) * 0.75
 	if math.Abs(r-want) > 1e-12 {
@@ -47,7 +47,10 @@ func TestEquation2RoundTrip(t *testing.T) {
 // relative laser power and dynamic range are equal and stay modest.
 func TestTable5OptimalAlpha(t *testing.T) {
 	want := map[int]float64{1: 2.05, 3: 2.56, 7: 3.05, 15: 3.87, 31: 5.96, 63: 13.7}
-	rows := Table5(comp(), []int{1, 3, 7, 15, 31, 63}, 16, true)
+	rows, err := Table5(comp(), []int{1, 3, 7, 15, 31, 63}, 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, row := range rows {
 		w := want[row.Reuses]
 		if relErr(row.RelativeLaserPower, w) > 0.02 {
@@ -69,7 +72,10 @@ func TestTable5OptimalAlpha(t *testing.T) {
 func TestTable5NaiveAlpha(t *testing.T) {
 	wantLP := map[int]float64{1: 2.05, 3: 4.32, 7: 38.4, 15: 6.0e3, 31: 3.0e8, 63: 1.5e18}
 	wantDR := map[int]float64{1: 2.05, 3: 8.64, 7: 153, 15: 4.8e4, 31: 4.8e9, 63: 4.7e19}
-	rows := Table5(comp(), []int{1, 3, 7, 15, 31, 63}, 16, false)
+	rows, err := Table5(comp(), []int{1, 3, 7, 15, 31, 63}, 16, false)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, row := range rows {
 		// The paper reports 2 significant figures; the exponential R=63
 		// entries amplify its rounding, so allow 5%.
@@ -87,11 +93,11 @@ func TestTable5NaiveAlpha(t *testing.T) {
 // the naive α=0.5 at R=15 (4.8e4) would not fit — the §5.4.2 argument.
 func TestReFOCUSFBChoiceFitsADC(t *testing.T) {
 	c := comp()
-	opt := NewFeedbackBuffer(OptimalFeedbackAlpha(15), 16, c)
+	opt := MustFeedbackBuffer(OptimalFeedbackAlpha(15), 16, c)
 	if dr := opt.DynamicRange(15); dr >= c.PhotodetectorDynamicRangeLevels {
 		t.Errorf("optimal-α dynamic range %g does not fit %g ADC levels", dr, c.PhotodetectorDynamicRangeLevels)
 	}
-	naive := NewFeedbackBuffer(0.5, 16, c)
+	naive := MustFeedbackBuffer(0.5, 16, c)
 	if dr := naive.DynamicRange(15); dr <= c.PhotodetectorDynamicRangeLevels {
 		t.Errorf("naive-α dynamic range %g unexpectedly fits the ADC", dr)
 	}
@@ -100,7 +106,7 @@ func TestReFOCUSFBChoiceFitsADC(t *testing.T) {
 // TestWeightScaleCompensatesDecay: scheduler weight scaling exactly undoes
 // the per-iteration signal decay (§4.1.1).
 func TestWeightScaleCompensatesDecay(t *testing.T) {
-	b := NewFeedbackBuffer(OptimalFeedbackAlpha(15), 16, comp())
+	b := MustFeedbackBuffer(OptimalFeedbackAlpha(15), 16, comp())
 	for i := 0; i <= 15; i++ {
 		product := b.SignalPowerAtIteration(i) * b.WeightScaleForIteration(i)
 		if math.Abs(product-1) > 1e-12 {
@@ -113,7 +119,7 @@ func TestWeightScaleCompensatesDecay(t *testing.T) {
 // the direct and delayed powers are identical, eliminating rescaling.
 func TestEquation4BalancedSplit(t *testing.T) {
 	for _, m := range []int{1, 4, 16, 64} {
-		b := NewFeedforwardBuffer(0, m, comp())
+		b := MustFeedforwardBuffer(0, m, comp())
 		ld := b.DelayLineLossFraction()
 		wantAlpha := (1 - ld) / (2 - ld)
 		if math.Abs(b.Alpha-wantAlpha) > 1e-12 {
@@ -134,7 +140,7 @@ func TestEquation4BalancedSplit(t *testing.T) {
 // stays within a few percent of 1 — the paper's "negligible impact" claim
 // for reasonable delay lengths.
 func TestFeedforwardLaserOverheadSmall(t *testing.T) {
-	b := NewFeedforwardBuffer(0, 16, comp())
+	b := MustFeedforwardBuffer(0, 16, comp())
 	lp := b.RelativeLaserPower()
 	if lp < 1 || lp > 1.05 {
 		t.Errorf("FF relative laser power %g, want within [1, 1.05]", lp)
@@ -150,7 +156,7 @@ func TestFeedforwardLaserOverheadSmall(t *testing.T) {
 func TestFeedbackSimMatchesEquation3(t *testing.T) {
 	c := comp()
 	const m, reuses = 4, 5
-	b := NewFeedbackBuffer(OptimalFeedbackAlpha(reuses), m, c)
+	b := MustFeedbackBuffer(OptimalFeedbackAlpha(reuses), m, c)
 	sim := NewFeedbackSim(b, 8)
 
 	inject := optics.Laser{PowerPerWaveguide: 1}.Emit(8)
@@ -187,7 +193,7 @@ func TestFeedbackSimMatchesEquation3(t *testing.T) {
 // corruption the paper's switch exists to prevent.
 func TestFeedbackSimSwitchPreventsCorruption(t *testing.T) {
 	c := comp()
-	b := NewFeedbackBuffer(0.5, 2, c)
+	b := MustFeedbackBuffer(0.5, 2, c)
 	mk := func(switchOnDuringInject bool) float64 {
 		sim := NewFeedbackSim(b, 4)
 		inject := optics.Laser{PowerPerWaveguide: 1}.Emit(4)
@@ -211,7 +217,7 @@ func TestFeedbackSimSwitchPreventsCorruption(t *testing.T) {
 // original and the delayed copy at identical power, M cycles apart.
 func TestFeedforwardSimEqualArrivals(t *testing.T) {
 	const m = 4
-	b := NewFeedforwardBuffer(0, m, comp())
+	b := MustFeedforwardBuffer(0, m, comp())
 	sim := NewFeedforwardSim(b, 8)
 	inject := optics.Laser{PowerPerWaveguide: 1}.Emit(8)
 	dark := optics.NewField(8)
@@ -239,7 +245,7 @@ func TestFeedbackLaserPowerMonotonicInReuses(t *testing.T) {
 	c := comp()
 	prev := 0.0
 	for _, r := range []int{1, 3, 7, 15, 31} {
-		b := NewFeedbackBuffer(OptimalFeedbackAlpha(r), 16, c)
+		b := MustFeedbackBuffer(OptimalFeedbackAlpha(r), 16, c)
 		lp := b.RelativeLaserPower(r)
 		if lp <= prev {
 			t.Errorf("R=%d: laser power %g not increasing (prev %g)", r, lp, prev)
@@ -258,9 +264,9 @@ func TestOptimalAlphaIsOptimal(t *testing.T) {
 	c := comp()
 	f := func(rawR uint8) bool {
 		r := int(rawR)%30 + 1
-		opt := NewFeedbackBuffer(OptimalFeedbackAlpha(r), 16, c).RelativeLaserPower(r)
+		opt := MustFeedbackBuffer(OptimalFeedbackAlpha(r), 16, c).RelativeLaserPower(r)
 		for a := 0.02; a < 0.99; a += 0.02 {
-			if NewFeedbackBuffer(a, 16, c).RelativeLaserPower(r) < opt-1e-9 {
+			if MustFeedbackBuffer(a, 16, c).RelativeLaserPower(r) < opt-1e-9 {
 				return false
 			}
 		}
@@ -274,11 +280,11 @@ func TestOptimalAlphaIsOptimal(t *testing.T) {
 func TestBufferValidation(t *testing.T) {
 	c := comp()
 	for i, fn := range []func(){
-		func() { NewFeedbackBuffer(0, 16, c) },
-		func() { NewFeedbackBuffer(1, 16, c) },
-		func() { NewFeedbackBuffer(0.5, 0, c) },
-		func() { NewFeedforwardBuffer(1.5, 16, c) },
-		func() { NewFeedforwardBuffer(0, 0, c) },
+		func() { MustFeedbackBuffer(0, 16, c) },
+		func() { MustFeedbackBuffer(1, 16, c) },
+		func() { MustFeedbackBuffer(0.5, 0, c) },
+		func() { MustFeedforwardBuffer(1.5, 16, c) },
+		func() { MustFeedforwardBuffer(0, 0, c) },
 		func() { OptimalFeedbackAlpha(0) },
 	} {
 		func() {

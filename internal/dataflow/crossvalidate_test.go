@@ -30,7 +30,7 @@ func TestAnalyticalModelMatchesFunctionalEngine(t *testing.T) {
 	}
 	cfg := Config{NRFCU: 1, T: 256, WeightWaveguides: 25, NLambda: 1, M: 16, Reuses: 0, UseDataBuffers: true}
 	for _, l := range layers {
-		ev := LayerEvents(l, cfg)
+		ev := MustLayerEvents(l, cfg)
 
 		ecfg := jtc.DefaultEngineConfig()
 		ecfg.Quant = jtc.QuantConfig{}
@@ -57,7 +57,7 @@ func TestAnalyticalModelMatchesFunctionalEngine(t *testing.T) {
 	// The pointwise divergence: engine work is exactly half the model's
 	// conservative charge.
 	pw := nn.ConvLayer{Name: "1x1", InC: 2, InH: 10, InW: 10, OutC: 2, KH: 1, KW: 1, Stride: 1, Pad: 0, Repeat: 1}
-	ev := LayerEvents(pw, cfg)
+	ev := MustLayerEvents(pw, cfg)
 	ecfg := jtc.DefaultEngineConfig()
 	ecfg.Quant = jtc.QuantConfig{}
 	e := jtc.NewEngine(ecfg)

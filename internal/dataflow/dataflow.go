@@ -52,11 +52,25 @@ type Config struct {
 	Batch int
 }
 
-// Validate panics on nonsensical configurations.
-func (c Config) Validate() {
-	if c.NRFCU < 1 || c.T < 8 || c.WeightWaveguides < 1 || c.NLambda < 1 || c.M < 1 || c.Reuses < 0 || c.Batch < 0 {
-		panic(fmt.Sprintf("dataflow: invalid config %+v", c))
+// Validate reports nonsensical configurations, naming the offending field.
+func (c Config) Validate() error {
+	switch {
+	case c.NRFCU < 1:
+		return fmt.Errorf("dataflow: NRFCU %d, need at least 1", c.NRFCU)
+	case c.T < 8:
+		return fmt.Errorf("dataflow: T %d, need at least 8 input waveguides", c.T)
+	case c.WeightWaveguides < 1:
+		return fmt.Errorf("dataflow: WeightWaveguides %d, need at least 1", c.WeightWaveguides)
+	case c.NLambda < 1:
+		return fmt.Errorf("dataflow: NLambda %d, need at least 1 wavelength", c.NLambda)
+	case c.M < 1:
+		return fmt.Errorf("dataflow: M %d, need at least 1 accumulation cycle", c.M)
+	case c.Reuses < 0:
+		return fmt.Errorf("dataflow: negative reuse count %d", c.Reuses)
+	case c.Batch < 0:
+		return fmt.Errorf("dataflow: negative batch size %d", c.Batch)
 	}
+	return nil
 }
 
 // batch returns the effective batch size (zero value means 1).
@@ -148,16 +162,20 @@ type LayerPlan struct {
 }
 
 // PlanLayer computes the mapping of one conv layer onto the configuration.
-func PlanLayer(l nn.ConvLayer, cfg Config) LayerPlan {
-	cfg.Validate()
-	l.Validate()
+func PlanLayer(l nn.ConvLayer, cfg Config) (LayerPlan, error) {
+	if err := cfg.Validate(); err != nil {
+		return LayerPlan{}, err
+	}
+	if err := l.Validate(); err != nil {
+		return LayerPlan{}, err
+	}
 	h := l.InH + 2*l.Pad
 	w := l.InW + 2*l.Pad
 	g := jtc.PlanTiling(h, w, l.KH, l.KW, cfg.T)
 
 	rowsPerGroup := cfg.WeightWaveguides / l.KW
 	if rowsPerGroup < 1 {
-		panic(fmt.Sprintf("dataflow: kernel width %d exceeds %d weight waveguides", l.KW, cfg.WeightWaveguides))
+		return LayerPlan{}, fmt.Errorf("dataflow: layer %s kernel width %d exceeds %d weight waveguides", l.Name, l.KW, cfg.WeightWaveguides)
 	}
 	weightGroups := 1
 	if g.KernelRowsPerPass*l.KW > cfg.WeightWaveguides {
@@ -182,7 +200,7 @@ func PlanLayer(l nn.ConvLayer, cfg Config) LayerPlan {
 
 	channelsSerial := ceilDiv(l.InC, cfg.NLambda)
 	filterRounds := ceilDiv(l.OutC, cfg.NRFCU) * 2 // ×2: pseudo-negative
-	return LayerPlan{
+	p := LayerPlan{
 		Layer:                l,
 		Geometry:             g,
 		WeightGroups:         weightGroups,
@@ -194,11 +212,25 @@ func PlanLayer(l nn.ConvLayer, cfg Config) LayerPlan {
 		WindowsPerRegion:     ceilDiv(kernelSweep*channelsSerial, cfg.M),
 		FreshRounds:          ceilDiv(filterRounds, cfg.Reuses+1),
 	}
+	return p, nil
+}
+
+// MustPlanLayer is PlanLayer for layer/config pairs already validated by
+// the caller; a failure is an internal invariant violation.
+func MustPlanLayer(l nn.ConvLayer, cfg Config) LayerPlan {
+	p, err := PlanLayer(l, cfg)
+	if err != nil {
+		panic("dataflow: internal: " + err.Error())
+	}
+	return p
 }
 
 // LayerEvents produces the event counts for one instance of a layer.
-func LayerEvents(l nn.ConvLayer, cfg Config) Events {
-	p := PlanLayer(l, cfg)
+func LayerEvents(l nn.ConvLayer, cfg Config) (Events, error) {
+	p, err := PlanLayer(l, cfg)
+	if err != nil {
+		return Events{}, err
+	}
 	g := p.Geometry
 	var e Events
 
@@ -281,23 +313,46 @@ func LayerEvents(l nn.ConvLayer, cfg Config) Events {
 	if cfg.Reuses > 0 {
 		e.MRRActiveCycles += e.InputDACWrites / float64(cfg.Reuses+1)
 	}
+	return e, nil
+}
+
+// MustLayerEvents is LayerEvents for layer/config pairs already validated
+// by the caller; a failure is an internal invariant violation.
+func MustLayerEvents(l nn.ConvLayer, cfg Config) Events {
+	e, err := LayerEvents(l, cfg)
+	if err != nil {
+		panic("dataflow: internal: " + err.Error())
+	}
 	return e
 }
 
 // NetworkEvents sums event counts across all layers (times repeats) of a
 // network. The first layer is charged DRAM input traffic when the config
 // asks for it.
-func NetworkEvents(net nn.Network, cfg Config) Events {
+func NetworkEvents(net nn.Network, cfg Config) (Events, error) {
 	var total Events
 	for i, l := range net.Layers {
 		layerCfg := cfg
 		layerCfg.InputsFromDRAM = cfg.InputsFromDRAM && i == 0
-		e := LayerEvents(l, layerCfg)
+		e, err := LayerEvents(l, layerCfg)
+		if err != nil {
+			return Events{}, err
+		}
 		for r := 0; r < l.Repeat; r++ {
 			total.Add(e)
 		}
 	}
-	return total
+	return total, nil
+}
+
+// MustNetworkEvents is NetworkEvents for network/config pairs already
+// validated by the caller; a failure is an internal invariant violation.
+func MustNetworkEvents(net nn.Network, cfg Config) Events {
+	e, err := NetworkEvents(net, cfg)
+	if err != nil {
+		panic("dataflow: internal: " + err.Error())
+	}
+	return e
 }
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,6 +1,7 @@
 package dataflow
 
 import (
+	"strings"
 	"testing"
 
 	"refocus/internal/nn"
@@ -36,9 +37,9 @@ func testLayer() nn.ConvLayer {
 func TestOpticalReuseCutsInputDAC(t *testing.T) {
 	l := testLayer()
 	cfg := refocusConfig()
-	with := LayerEvents(l, cfg)
+	with := MustLayerEvents(l, cfg)
 	cfg.Reuses = 0
-	without := LayerEvents(l, cfg)
+	without := MustLayerEvents(l, cfg)
 	ratio := without.InputDACWrites / with.InputDACWrites
 	if ratio != 16 {
 		t.Errorf("input DAC reduction = %g, want 16 (R+1)", ratio)
@@ -54,9 +55,9 @@ func TestOpticalReuseCutsInputDAC(t *testing.T) {
 func TestWDMHalvesCycles(t *testing.T) {
 	l := testLayer()
 	cfg := refocusConfig()
-	two := LayerEvents(l, cfg)
+	two := MustLayerEvents(l, cfg)
 	cfg.NLambda = 1
-	one := LayerEvents(l, cfg)
+	one := MustLayerEvents(l, cfg)
 	if r := one.Cycles / two.Cycles; r != 2 {
 		t.Errorf("WDM cycle reduction = %g, want 2", r)
 	}
@@ -77,9 +78,9 @@ func TestTemporalAccumulationCutsADC(t *testing.T) {
 	l := testLayer()
 	cfg := refocusConfig()
 	cfg.M = 4
-	m4 := LayerEvents(l, cfg)
+	m4 := MustLayerEvents(l, cfg)
 	cfg.M = 16
-	m16 := LayerEvents(l, cfg)
+	m16 := MustLayerEvents(l, cfg)
 	if r := m4.ADCReads / m16.ADCReads; r != 4 {
 		t.Errorf("ADC reduction from M=4→16 is %g, want 4", r)
 	}
@@ -92,9 +93,9 @@ func TestDataBuffersRedirectTraffic(t *testing.T) {
 	l := testLayer()
 	cfg := refocusConfig()
 	cfg.Reuses = 0 // isolate the buffer effect
-	with := LayerEvents(l, cfg)
+	with := MustLayerEvents(l, cfg)
 	cfg.UseDataBuffers = false
-	without := LayerEvents(l, cfg)
+	without := MustLayerEvents(l, cfg)
 
 	if with.ActSRAMReads >= without.ActSRAMReads {
 		t.Errorf("buffers did not cut SRAM reads: %g vs %g", with.ActSRAMReads, without.ActSRAMReads)
@@ -116,11 +117,11 @@ func TestDataBuffersRedirectTraffic(t *testing.T) {
 // structurally known zero padding).
 func TestPseudoNegativeDoubling(t *testing.T) {
 	l := testLayer()
-	p := PlanLayer(l, refocusConfig())
+	p := MustPlanLayer(l, refocusConfig())
 	if p.FilterRounds != 2*ceilDiv(l.OutC, 16) {
 		t.Errorf("filter rounds = %d, want %d", p.FilterRounds, 2*ceilDiv(l.OutC, 16))
 	}
-	e := LayerEvents(l, refocusConfig())
+	e := MustLayerEvents(l, refocusConfig())
 	perVisit := e.WeightDACWrites / (float64(l.InC) * float64(p.Regions) * float64(l.OutC))
 	if perVisit != 18 {
 		t.Errorf("weight writes per (filter,channel,region) = %g, want 18 (2 rounds × 3×3)", perVisit)
@@ -137,7 +138,7 @@ func TestLargeKernelDecomposition(t *testing.T) {
 	// 13×13 plane, 11×11 kernel: row stride 23, 11 rows fit → full tiling
 	// with 121 weight values per pass → 6 groups of ≤2 rows.
 	lFull := nn.ConvLayer{Name: "full11", InC: 4, InH: 13, InW: 13, OutC: 16, KH: 11, KW: 11, Stride: 1, Pad: 0, Repeat: 1}
-	pFull := PlanLayer(lFull, cfg)
+	pFull := MustPlanLayer(lFull, cfg)
 	if pFull.WeightGroups != 6 {
 		t.Errorf("full-tiling 11×11 weight groups = %d, want 6", pFull.WeightGroups)
 	}
@@ -145,14 +146,14 @@ func TestLargeKernelDecomposition(t *testing.T) {
 	// each pass loads only 7 weight values; the 7-row kernel sweep covers
 	// the rest.
 	stem := nn.ConvLayer{Name: "stem", InC: 3, InH: 224, InW: 224, OutC: 64, KH: 7, KW: 7, Stride: 2, Pad: 3, Repeat: 1}
-	pStem := PlanLayer(stem, cfg)
+	pStem := MustPlanLayer(stem, cfg)
 	if pStem.WeightGroups != 1 {
 		t.Errorf("stem weight groups = %d, want 1 (partial tiling sweeps rows)", pStem.WeightGroups)
 	}
 	if pStem.KernelSweep != 7 {
 		t.Errorf("stem kernel sweep = %d, want 7", pStem.KernelSweep)
 	}
-	small := PlanLayer(testLayer(), cfg)
+	small := MustPlanLayer(testLayer(), cfg)
 	if small.WeightGroups != 1 || small.KernelSweep != 1 {
 		t.Errorf("3×3 layer: groups %d sweep %d, want 1/1", small.WeightGroups, small.KernelSweep)
 	}
@@ -163,7 +164,7 @@ func TestLargeKernelDecomposition(t *testing.T) {
 func TestFreshRoundsCeiling(t *testing.T) {
 	l := testLayer()
 	l.OutC = 16 // one filter round ×2 for pseudo-negative = 2 rounds
-	p := PlanLayer(l, refocusConfig())
+	p := MustPlanLayer(l, refocusConfig())
 	if p.FreshRounds != 1 {
 		t.Errorf("fresh rounds = %d, want 1", p.FreshRounds)
 	}
@@ -175,9 +176,9 @@ func TestFreshRoundsCeiling(t *testing.T) {
 func TestEventsScalePerFilter(t *testing.T) {
 	cfg := refocusConfig()
 	l := testLayer()
-	e1 := LayerEvents(l, cfg)
+	e1 := MustLayerEvents(l, cfg)
 	l.OutC *= 2
-	e2 := LayerEvents(l, cfg)
+	e2 := MustLayerEvents(l, cfg)
 	if r := e2.Cycles / e1.Cycles; r != 2 {
 		t.Errorf("cycles scale = %g, want 2", r)
 	}
@@ -199,10 +200,10 @@ func TestNetworkEventsAccumulate(t *testing.T) {
 		testLayer(),
 		{Name: "r", InC: 64, InH: 14, InW: 14, OutC: 64, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 3},
 	}}
-	total := NetworkEvents(net, cfg)
+	total := MustNetworkEvents(net, cfg)
 	var manual Events
-	manual.Add(LayerEvents(net.Layers[0], cfg))
-	single := LayerEvents(net.Layers[1], cfg)
+	manual.Add(MustLayerEvents(net.Layers[0], cfg))
+	single := MustLayerEvents(net.Layers[1], cfg)
 	for i := 0; i < 3; i++ {
 		manual.Add(single)
 	}
@@ -217,9 +218,9 @@ func TestFirstLayerDRAMCharge(t *testing.T) {
 	cfg := refocusConfig()
 	cfg.InputsFromDRAM = true
 	net := nn.Network{Name: "two", Layers: []nn.ConvLayer{testLayer(), testLayer()}}
-	with := NetworkEvents(net, cfg)
+	with := MustNetworkEvents(net, cfg)
 	cfg.InputsFromDRAM = false
-	without := NetworkEvents(net, cfg)
+	without := MustNetworkEvents(net, cfg)
 	diff := with.DRAMReads - without.DRAMReads
 	if diff != float64(testLayer().InputBytes()) {
 		t.Errorf("DRAM input charge = %g, want %d (one layer's input)", diff, testLayer().InputBytes())
@@ -231,8 +232,8 @@ func TestFirstLayerDRAMCharge(t *testing.T) {
 // than the baseline while spending no more cycles per wavelength.
 func TestRefocusBeatsBaselineOnConversions(t *testing.T) {
 	net, _ := nn.ByName("ResNet-34")
-	rf := NetworkEvents(net, refocusConfig())
-	bl := NetworkEvents(net, baselineConfig())
+	rf := MustNetworkEvents(net, refocusConfig())
+	bl := MustNetworkEvents(net, baselineConfig())
 	if rf.InputDACWrites >= bl.InputDACWrites {
 		t.Errorf("ReFOCUS input DAC %g not below baseline %g", rf.InputDACWrites, bl.InputDACWrites)
 	}
@@ -253,11 +254,28 @@ func TestConfigValidation(t *testing.T) {
 		{NRFCU: 1, T: 256, WeightWaveguides: 25, NLambda: 1, M: 0},
 	}
 	for i, cfg := range bad {
-		func() {
-			defer func() { recover() }()
-			cfg.Validate()
-			t.Errorf("case %d: expected panic", i)
-		}()
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		} else if !strings.HasPrefix(err.Error(), "dataflow: ") {
+			t.Errorf("case %d: error %q lacks package prefix", i, err)
+		}
+	}
+	// Errors also surface through the planning entry points.
+	if _, err := PlanLayer(testLayer(), Config{}); err == nil {
+		t.Error("PlanLayer accepted the zero config")
+	}
+	if _, err := LayerEvents(testLayer(), Config{}); err == nil {
+		t.Error("LayerEvents accepted the zero config")
+	}
+	if _, err := NetworkEvents(nn.Network{Name: "n", Layers: []nn.ConvLayer{testLayer()}}, Config{}); err == nil {
+		t.Error("NetworkEvents accepted the zero config")
+	}
+	// Oversized kernels are a layer/config mismatch, not a bad config.
+	wide := testLayer()
+	wide.KW = 40
+	wide.KH = 1
+	if _, err := PlanLayer(wide, refocusConfig()); err == nil {
+		t.Error("PlanLayer accepted a kernel wider than the weight waveguides")
 	}
 }
 
@@ -267,7 +285,7 @@ func TestConfigValidation(t *testing.T) {
 func TestAllBenchmarksPlannable(t *testing.T) {
 	for _, net := range nn.Benchmarks() {
 		for _, cfg := range []Config{refocusConfig(), baselineConfig()} {
-			e := NetworkEvents(net, cfg)
+			e := MustNetworkEvents(net, cfg)
 			if e.Cycles <= 0 || e.InputDACWrites <= 0 || e.WeightDACWrites <= 0 || e.ADCReads <= 0 {
 				t.Errorf("%s: non-positive events %+v", net.Name, e)
 			}
@@ -281,7 +299,7 @@ func BenchmarkNetworkEventsResNet50(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		NetworkEvents(net, cfg)
+		MustNetworkEvents(net, cfg)
 	}
 }
 
@@ -291,9 +309,9 @@ func BenchmarkNetworkEventsResNet50(b *testing.B) {
 func TestBatchAmortizesWeights(t *testing.T) {
 	l := testLayer()
 	cfg := refocusConfig()
-	b1 := LayerEvents(l, cfg)
+	b1 := MustLayerEvents(l, cfg)
 	cfg.Batch = 8
-	b8 := LayerEvents(l, cfg)
+	b8 := MustLayerEvents(l, cfg)
 	if r := b1.WeightDACWrites / b8.WeightDACWrites; r != 8 {
 		t.Errorf("weight DAC amortization = %g, want 8", r)
 	}

@@ -39,14 +39,24 @@ type SRAM struct {
 }
 
 // NewSRAM validates and returns an SRAM model.
-func NewSRAM(name string, capacityBytes, wordBytes int) SRAM {
+func NewSRAM(name string, capacityBytes, wordBytes int) (SRAM, error) {
 	if capacityBytes <= 0 {
-		panic(fmt.Sprintf("memory: non-positive capacity %d", capacityBytes))
+		return SRAM{}, fmt.Errorf("memory: %s SRAM: non-positive capacity %d", name, capacityBytes)
 	}
 	if wordBytes <= 0 {
-		panic(fmt.Sprintf("memory: non-positive word width %d", wordBytes))
+		return SRAM{}, fmt.Errorf("memory: %s SRAM: non-positive word width %d", name, wordBytes)
 	}
-	return SRAM{Name: name, CapacityBytes: capacityBytes, WordBytes: wordBytes}
+	return SRAM{Name: name, CapacityBytes: capacityBytes, WordBytes: wordBytes}, nil
+}
+
+// MustSRAM is NewSRAM for call sites whose parameters were already
+// validated (a failure there is an internal invariant violation).
+func MustSRAM(name string, capacityBytes, wordBytes int) SRAM {
+	s, err := NewSRAM(name, capacityBytes, wordBytes)
+	if err != nil {
+		panic("memory: internal: " + err.Error())
+	}
+	return s
 }
 
 // AccessEnergyPerByte returns the read/write energy per byte in joules.
@@ -103,6 +113,36 @@ func (c DataflowChoice) String() string {
 	}
 }
 
+// Validate reports an out-of-range choice.
+func (c DataflowChoice) Validate() error {
+	if c != FilterMajor && c != ChannelMajor {
+		return fmt.Errorf("memory: unknown dataflow choice %d", int(c))
+	}
+	return nil
+}
+
+// MarshalJSON encodes the choice as its string name so serialized design
+// points stay readable and stable across constant reordering.
+func (c DataflowChoice) MarshalJSON() ([]byte, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return []byte(`"` + c.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the string names emitted by MarshalJSON.
+func (c *DataflowChoice) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"filter-major"`:
+		*c = FilterMajor
+	case `"channel-major"`:
+		*c = ChannelMajor
+	default:
+		return fmt.Errorf("memory: unknown dataflow choice %s (want \"filter-major\" or \"channel-major\")", data)
+	}
+	return nil
+}
+
 // BufferPlan captures the input/output data-buffer sizing of §5.3.3.
 type BufferPlan struct {
 	Choice DataflowChoice
@@ -121,9 +161,10 @@ type BufferPlan struct {
 // wavelength count, N_F/N_C the maximum filters/channels per layer of the
 // target networks, and R the optical reuse count. All quantities are in
 // bytes at 8-bit precision.
-func PlanBuffers(choice DataflowChoice, t, m, nLambda, nFilters, nChannels, nRFCU, reuses int) BufferPlan {
+func PlanBuffers(choice DataflowChoice, t, m, nLambda, nFilters, nChannels, nRFCU, reuses int) (BufferPlan, error) {
 	if t <= 0 || m <= 0 || nLambda <= 0 || nFilters <= 0 || nChannels <= 0 || nRFCU <= 0 || reuses < 0 {
-		panic("memory: buffer plan parameters must be positive")
+		return BufferPlan{}, fmt.Errorf("memory: buffer plan parameters must be positive (T=%d M=%d Nλ=%d N_F=%d N_C=%d N_RFCU=%d R=%d)",
+			t, m, nLambda, nFilters, nChannels, nRFCU, reuses)
 	}
 	p := BufferPlan{Choice: choice}
 	switch choice {
@@ -134,9 +175,12 @@ func PlanBuffers(choice DataflowChoice, t, m, nLambda, nFilters, nChannels, nRFC
 		p.InputBufferBytes = t * nChannels * nLambda
 		p.OutputBufferBytesPerRFCU = t * (reuses + 1)
 	default:
-		panic(fmt.Sprintf("memory: unknown dataflow choice %d", choice))
+		return BufferPlan{}, choice.Validate()
 	}
-	return p
+	if p.OutputBufferBytesPerRFCU <= 0 {
+		return BufferPlan{}, fmt.Errorf("memory: %v plan yields empty output buffer (N_F=%d < N_RFCU=%d)", choice, nFilters, nRFCU)
+	}
+	return p, nil
 }
 
 // InputBuffer returns the SRAM model for the plan's shared input buffer.
@@ -147,7 +191,7 @@ func (p BufferPlan) InputBuffer(pingPong bool) SRAM {
 	if pingPong {
 		c *= 2
 	}
-	return NewSRAM("input buffer", c, 1)
+	return MustSRAM("input buffer", c, 1)
 }
 
 // OutputBuffer returns the SRAM model for one RFCU's output buffer.
@@ -156,5 +200,5 @@ func (p BufferPlan) OutputBuffer(pingPong bool) SRAM {
 	if pingPong {
 		c *= 2
 	}
-	return NewSRAM("output buffer", c, 1)
+	return MustSRAM("output buffer", c, 1)
 }

@@ -9,8 +9,8 @@ import (
 )
 
 func TestActivationVsWeightSRAMEnergyRatio(t *testing.T) {
-	activation := NewSRAM("activation", 4*phys.MB, 32)
-	weight := NewSRAM("weight", 512*phys.KB, 32)
+	activation := MustSRAM("activation", 4*phys.MB, 32)
+	weight := MustSRAM("weight", 512*phys.KB, 32)
 	ratio := activation.AccessEnergyPerByte() / weight.AccessEnergyPerByte()
 	// Paper §5.2: the 4 MB activation SRAM has >4× the access energy of a
 	// 512 KB weight SRAM.
@@ -23,8 +23,8 @@ func TestActivationVsWeightSRAMEnergyRatio(t *testing.T) {
 }
 
 func TestBuffersCheaperThanSRAM(t *testing.T) {
-	activation := NewSRAM("activation", 4*phys.MB, 32)
-	buffer := NewSRAM("input buffer", 8*phys.KB, 32)
+	activation := MustSRAM("activation", 4*phys.MB, 32)
+	buffer := MustSRAM("input buffer", 8*phys.KB, 32)
 	if buffer.AccessEnergyPerByte() >= activation.AccessEnergyPerByte()/10 {
 		t.Errorf("an 8 KB buffer should cost <10%% of the 4 MB SRAM per byte: %g vs %g",
 			buffer.AccessEnergyPerByte(), activation.AccessEnergyPerByte())
@@ -35,11 +35,11 @@ func TestBuffersCheaperThanSRAM(t *testing.T) {
 // activation SRAM + 16×512 KB weight SRAM + data buffers) occupies about
 // 12.4 mm² (paper Figure 9).
 func TestSRAMAreaMatchesFigure9(t *testing.T) {
-	total := NewSRAM("activation", 4*phys.MB, 32).Area()
+	total := MustSRAM("activation", 4*phys.MB, 32).Area()
 	for i := 0; i < 16; i++ {
-		total += NewSRAM("weight", 512*phys.KB, 32).Area()
+		total += MustSRAM("weight", 512*phys.KB, 32).Area()
 	}
-	plan := PlanBuffers(FilterMajor, 256, 16, 2, 512, 512, 16, 1)
+	plan := mustPlan(t, FilterMajor, 256, 16, 2, 512, 512, 16, 1)
 	total += plan.InputBuffer(true).Area()
 	for i := 0; i < 16; i++ {
 		total += plan.OutputBuffer(true).Area()
@@ -57,8 +57,8 @@ func TestSRAMEnergyMonotonicInCapacity(t *testing.T) {
 		if ca > cb {
 			ca, cb = cb, ca
 		}
-		sa := NewSRAM("a", ca, 32)
-		sb := NewSRAM("b", cb, 32)
+		sa := MustSRAM("a", ca, 32)
+		sb := MustSRAM("b", cb, 32)
 		return sa.AccessEnergyPerByte() <= sb.AccessEnergyPerByte()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
@@ -67,35 +67,35 @@ func TestSRAMEnergyMonotonicInCapacity(t *testing.T) {
 }
 
 func TestSRAMAccessEnergyLinear(t *testing.T) {
-	s := NewSRAM("s", 64*phys.KB, 32)
+	s := MustSRAM("s", 64*phys.KB, 32)
 	if d := s.AccessEnergy(1000) - 1000*s.AccessEnergyPerByte(); math.Abs(d) > 1e-24 {
 		t.Error("AccessEnergy not linear in bytes")
 	}
 }
 
 func TestSRAMLeakageScales(t *testing.T) {
-	small := NewSRAM("s", 1*phys.MB, 32)
-	big := NewSRAM("b", 4*phys.MB, 32)
+	small := MustSRAM("s", 1*phys.MB, 32)
+	big := MustSRAM("b", 4*phys.MB, 32)
 	if r := big.LeakagePower() / small.LeakagePower(); math.Abs(r-4) > 1e-9 {
 		t.Errorf("leakage ratio %g, want 4", r)
 	}
 	// Leakage of the whole 12 MB complement stays well under 100 mW —
 	// negligible against the 10-16 W system (so the paper can omit it).
-	if p := NewSRAM("all", 12*phys.MB, 32).LeakagePower(); p > 0.1 {
+	if p := MustSRAM("all", 12*phys.MB, 32).LeakagePower(); p > 0.1 {
 		t.Errorf("12 MB leakage %g W too high", p)
 	}
 }
 
 func TestPlanBuffersFormulas(t *testing.T) {
 	// ReFOCUS parameters: T=256, M=16, Nλ=2, NF=512, NC=512, 16 RFCUs.
-	p1 := PlanBuffers(FilterMajor, 256, 16, 2, 512, 512, 16, 15)
+	p1 := mustPlan(t, FilterMajor, 256, 16, 2, 512, 512, 16, 15)
 	if p1.InputBufferBytes != 256*16*2 {
 		t.Errorf("choice (1) B_in = %d, want %d", p1.InputBufferBytes, 256*16*2)
 	}
 	if p1.OutputBufferBytesPerRFCU != 256*512/16 {
 		t.Errorf("choice (1) B_out = %d, want %d", p1.OutputBufferBytesPerRFCU, 256*512/16)
 	}
-	p2 := PlanBuffers(ChannelMajor, 256, 16, 2, 512, 512, 16, 15)
+	p2 := mustPlan(t, ChannelMajor, 256, 16, 2, 512, 512, 16, 15)
 	if p2.InputBufferBytes != 256*512*2 {
 		t.Errorf("choice (2) B_in = %d, want %d", p2.InputBufferBytes, 256*512*2)
 	}
@@ -108,8 +108,8 @@ func TestPlanBuffersFormulas(t *testing.T) {
 // the input buffer — accessed every cycle — must stay small and fast;
 // choice (2)'s input buffer is far larger for realistic channel counts.
 func TestFilterMajorHasSmallerInputBuffer(t *testing.T) {
-	p1 := PlanBuffers(FilterMajor, 256, 16, 2, 512, 512, 16, 15)
-	p2 := PlanBuffers(ChannelMajor, 256, 16, 2, 512, 512, 16, 15)
+	p1 := mustPlan(t, FilterMajor, 256, 16, 2, 512, 512, 16, 15)
+	p2 := mustPlan(t, ChannelMajor, 256, 16, 2, 512, 512, 16, 15)
 	if p1.InputBufferBytes >= p2.InputBufferBytes {
 		t.Errorf("choice (1) input buffer %d should be smaller than choice (2) %d",
 			p1.InputBufferBytes, p2.InputBufferBytes)
@@ -123,7 +123,7 @@ func TestFilterMajorHasSmallerInputBuffer(t *testing.T) {
 }
 
 func TestPingPongDoubles(t *testing.T) {
-	p := PlanBuffers(FilterMajor, 256, 16, 2, 512, 512, 16, 1)
+	p := mustPlan(t, FilterMajor, 256, 16, 2, 512, 512, 16, 1)
 	if p.InputBuffer(true).CapacityBytes != 2*p.InputBuffer(false).CapacityBytes {
 		t.Error("ping-pong should double the buffer capacity")
 	}
@@ -138,24 +138,37 @@ func TestDefaultHBM2(t *testing.T) {
 	}
 	// DRAM must dwarf even the big activation SRAM per byte — the §7.3
 	// observation that DRAM dominates once on-chip access is optimized.
-	sram := NewSRAM("activation", 4*phys.MB, 32)
+	sram := MustSRAM("activation", 4*phys.MB, 32)
 	if d.EnergyPerByte < 10*sram.AccessEnergyPerByte() {
 		t.Errorf("HBM2 per-byte energy %g should be >10× activation SRAM %g",
 			d.EnergyPerByte, sram.AccessEnergyPerByte())
 	}
 }
 
-func TestValidationPanics(t *testing.T) {
-	for i, fn := range []func(){
-		func() { NewSRAM("bad", 0, 32) },
-		func() { NewSRAM("bad", 1024, 0) },
-		func() { PlanBuffers(FilterMajor, 0, 16, 2, 512, 512, 16, 1) },
-		func() { PlanBuffers(DataflowChoice(9), 256, 16, 2, 512, 512, 16, 1) },
-	} {
-		func() {
-			defer func() { recover() }()
-			fn()
-			t.Errorf("case %d: expected panic", i)
-		}()
+// mustPlan unwraps PlanBuffers for known-good test parameters.
+func mustPlan(t *testing.T, choice DataflowChoice, args ...int) BufferPlan {
+	t.Helper()
+	p, err := PlanBuffers(choice, args[0], args[1], args[2], args[3], args[4], args[5], args[6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := NewSRAM("bad", 0, 32); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewSRAM("bad", 1024, 0); err == nil {
+		t.Error("zero word width accepted")
+	}
+	if _, err := PlanBuffers(FilterMajor, 0, 16, 2, 512, 512, 16, 1); err == nil {
+		t.Error("zero tile size accepted")
+	}
+	if _, err := PlanBuffers(DataflowChoice(9), 256, 16, 2, 512, 512, 16, 1); err == nil {
+		t.Error("unknown dataflow choice accepted")
+	}
+	if _, err := PlanBuffers(FilterMajor, 8, 16, 2, 1, 512, 16, 1); err == nil {
+		t.Error("empty output buffer (N_F < N_RFCU) accepted")
 	}
 }

@@ -49,14 +49,15 @@ func (l ConvLayer) InputBytes() int { return l.InC * l.InH * l.InW }
 // OutputBytes returns the 8-bit output activation footprint.
 func (l ConvLayer) OutputBytes() int { return l.OutC * l.OutH() * l.OutW() }
 
-// Validate panics on an inconsistent shape.
-func (l ConvLayer) Validate() {
+// Validate reports an inconsistent shape.
+func (l ConvLayer) Validate() error {
 	if l.InC <= 0 || l.OutC <= 0 || l.KH <= 0 || l.KW <= 0 || l.Stride <= 0 || l.Pad < 0 || l.Repeat <= 0 {
-		panic(fmt.Sprintf("nn: invalid layer %+v", l))
+		return fmt.Errorf("nn: invalid layer %+v", l)
 	}
 	if l.InH+2*l.Pad < l.KH || l.InW+2*l.Pad < l.KW {
-		panic(fmt.Sprintf("nn: kernel exceeds padded input in layer %s", l.Name))
+		return fmt.Errorf("nn: kernel exceeds padded input in layer %s", l.Name)
 	}
+	return nil
 }
 
 // Network is a named list of conv layers.
@@ -65,11 +66,14 @@ type Network struct {
 	Layers []ConvLayer
 }
 
-// Validate panics if any layer is inconsistent.
-func (n Network) Validate() {
+// Validate reports the first inconsistent layer, if any.
+func (n Network) Validate() error {
 	for _, l := range n.Layers {
-		l.Validate()
+		if err := l.Validate(); err != nil {
+			return fmt.Errorf("network %s: %w", n.Name, err)
+		}
 	}
+	return nil
 }
 
 // TotalMACs returns the network's conv MACs (counting repeats).

@@ -15,7 +15,7 @@ func AlexNet() Network {
 		{Name: "conv4", InC: 384, InH: 13, InW: 13, OutC: 256, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 1},
 		{Name: "conv5", InC: 256, InH: 13, InW: 13, OutC: 256, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 1},
 	}}
-	n.Validate()
+	mustValid(n)
 	return n
 }
 
@@ -32,7 +32,7 @@ func VGG16() Network {
 		{Name: "conv4_x", InC: 512, InH: 28, InW: 28, OutC: 512, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 2},
 		{Name: "conv5_x", InC: 512, InH: 14, InW: 14, OutC: 512, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 3},
 	}}
-	n.Validate()
+	mustValid(n)
 	return n
 }
 
@@ -51,7 +51,7 @@ func ResNet18() Network {
 		{Name: "layer4.0.down", InC: 256, InH: 14, InW: 14, OutC: 512, KH: 1, KW: 1, Stride: 2, Pad: 0, Repeat: 1},
 		{Name: "layer4", InC: 512, InH: 7, InW: 7, OutC: 512, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 3},
 	}}
-	n.Validate()
+	mustValid(n)
 	return n
 }
 
@@ -70,7 +70,7 @@ func ResNet34() Network {
 		{Name: "layer4.0.down", InC: 256, InH: 14, InW: 14, OutC: 512, KH: 1, KW: 1, Stride: 2, Pad: 0, Repeat: 1},
 		{Name: "layer4", InC: 512, InH: 7, InW: 7, OutC: 512, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 5},
 	}}
-	n.Validate()
+	mustValid(n)
 	return n
 }
 
@@ -111,8 +111,16 @@ func ResNet50() Network {
 		}
 	}
 	n := Network{Name: "ResNet-50", Layers: layers}
-	n.Validate()
+	mustValid(n)
 	return n
+}
+
+// mustValid guards the built-in shape tables above: they are compile-time
+// constants, so a validation failure is a bug in this file, not user input.
+func mustValid(n Network) {
+	if err := n.Validate(); err != nil {
+		panic("nn: built-in " + err.Error())
+	}
 }
 
 // Benchmarks returns the paper's five evaluation networks in its order.

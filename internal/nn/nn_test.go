@@ -138,12 +138,18 @@ func TestMaxFiltersChannels(t *testing.T) {
 }
 
 func TestValidateRejectsBadLayer(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for zero-channel layer")
-		}
-	}()
-	ConvLayer{InC: 0, InH: 8, InW: 8, OutC: 1, KH: 1, KW: 1, Stride: 1, Repeat: 1}.Validate()
+	bad := ConvLayer{InC: 0, InH: 8, InW: 8, OutC: 1, KH: 1, KW: 1, Stride: 1, Repeat: 1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for zero-channel layer")
+	}
+	net := Network{Name: "bad", Layers: []ConvLayer{bad}}
+	if err := net.Validate(); err == nil {
+		t.Fatal("expected network validation to reject a bad layer")
+	}
+	good := ConvLayer{Name: "g", InC: 1, InH: 8, InW: 8, OutC: 1, KH: 1, KW: 1, Stride: 1, Repeat: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid layer rejected: %v", err)
+	}
 }
 
 // TestSmallNetJTCMatchesReference: a full small CNN (convs, ReLU, pooling,

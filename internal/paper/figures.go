@@ -24,13 +24,13 @@ type Figure3Result struct {
 // Figure3 evaluates both §3 systems on the five-CNN average.
 func Figure3() Figure3Result {
 	nets := nn.Benchmarks()
-	single := arch.MeanBreakdown(arch.EvaluateAll(arch.SingleJTC(), nets))
-	bl := arch.MeanBreakdown(arch.EvaluateAll(arch.Baseline(), nets))
+	single := arch.MeanBreakdown(arch.MustEvaluateAll(arch.SingleJTC(), nets))
+	bl := arch.MeanBreakdown(arch.MustEvaluateAll(arch.Baseline(), nets))
 	return Figure3Result{
 		SingleJTC:          single,
 		Baseline:           bl,
 		BaselineTotalPower: bl.Total(),
-		BaselineArea:       arch.ComputeArea(arch.Baseline()),
+		BaselineArea:       arch.MustComputeArea(arch.Baseline()),
 	}
 }
 
@@ -102,8 +102,8 @@ type Figure8Result struct {
 // Figure8 evaluates both ReFOCUS versions on the five-CNN average.
 func Figure8() Figure8Result {
 	nets := nn.Benchmarks()
-	ff := arch.MeanBreakdown(arch.EvaluateAll(arch.FF(), nets))
-	fb := arch.MeanBreakdown(arch.EvaluateAll(arch.FB(), nets))
+	ff := arch.MeanBreakdown(arch.MustEvaluateAll(arch.FF(), nets))
+	fb := arch.MeanBreakdown(arch.MustEvaluateAll(arch.FB(), nets))
 	return Figure8Result{FF: ff, FB: fb, FFTotal: ff.Total(), FBTotal: fb.Total()}
 }
 
@@ -135,7 +135,7 @@ type Figure9Result struct {
 }
 
 // Figure9 computes the FB/FF chip area (identical for both).
-func Figure9() Figure9Result { return Figure9Result{Area: arch.ComputeArea(arch.FB())} }
+func Figure9() Figure9Result { return Figure9Result{Area: arch.MustComputeArea(arch.FB())} }
 
 // Table renders the exhibit.
 func (r Figure9Result) Table() Table {
@@ -194,7 +194,7 @@ func Figure10() Figure10Result {
 	res := Figure10Result{ConverterRatio: 0}
 	var baseEff float64
 	for i, cfg := range configs {
-		r := arch.Evaluate(cfg, net)
+		r := arch.MustEvaluate(cfg, net)
 		if i == 0 {
 			baseEff = r.FPSPerWatt
 		}
@@ -203,8 +203,8 @@ func Figure10() Figure10Result {
 	}
 	// Converter energy per inference: baseline vs the full FB system
 	// (the paper's "1.72× smaller" comparison at equal throughput).
-	rb := arch.Evaluate(base, net)
-	rf := arch.Evaluate(sb, net)
+	rb := arch.MustEvaluate(base, net)
+	rf := arch.MustEvaluate(sb, net)
 	convBase := rb.Power.Converters() * rb.Latency
 	convFB := rf.Power.Converters() * rf.Latency
 	res.ConverterRatio = convBase / convFB
@@ -236,9 +236,9 @@ type Figure11Result struct {
 // Figure11 computes the headline comparison.
 func Figure11() Figure11Result {
 	nets := nn.Benchmarks()
-	pf := arch.EvaluateAll(baseline.PhotoFourier(), nets)
-	ff := arch.EvaluateAll(arch.FF(), nets)
-	fb := arch.EvaluateAll(arch.FB(), nets)
+	pf := arch.MustEvaluateAll(baseline.PhotoFourier(), nets)
+	ff := arch.MustEvaluateAll(arch.FF(), nets)
+	fb := arch.MustEvaluateAll(arch.FB(), nets)
 	metrics := []struct {
 		name string
 		m    arch.Metric
@@ -295,7 +295,7 @@ func Figure12() Figure12Result {
 	net, _ := nn.ByName("ResNet-50")
 	rows := []baseline.Published{}
 	for _, cfg := range []arch.SystemConfig{arch.FF(), arch.FB()} {
-		r := arch.Evaluate(cfg, net)
+		r := arch.MustEvaluate(cfg, net)
 		rows = append(rows, baseline.Published{
 			Accelerator: cfg.Name, Network: net.Name,
 			FPS: r.FPS, FPSPerWatt: r.FPSPerWatt, Source: "this simulator",
@@ -330,7 +330,7 @@ func Figure13() Figure13Result {
 	for _, name := range []string{"AlexNet", "VGG-16", "ResNet-18"} {
 		net, _ := nn.ByName(name)
 		for _, cfg := range []arch.SystemConfig{arch.FF(), arch.FB()} {
-			r := arch.Evaluate(cfg, net)
+			r := arch.MustEvaluate(cfg, net)
 			rows = append(rows, baseline.Published{
 				Accelerator: cfg.Name, Network: name,
 				FPS: r.FPS, FPSPerWatt: r.FPSPerWatt, Source: "this simulator",
@@ -378,7 +378,7 @@ func Section73(seed int64) Section73Result {
 	// §7.3).
 	var dramShare, weightShareOfDRAM float64
 	for _, net := range nn.Benchmarks() {
-		r := arch.Evaluate(arch.FB(), net)
+		r := arch.MustEvaluate(arch.FB(), net)
 		if share := r.Power.DRAM / r.Power.TotalWithDRAM(); share > dramShare {
 			dramShare = share
 			weightShareOfDRAM = float64(net.TotalWeightBytes()) /
@@ -396,7 +396,7 @@ func Section73(seed int64) Section73Result {
 	// (§7.3); a ρ reduction of weight-DAC power lifts FPS/W by
 	// 1/(1-0.31ρ)-1.
 	nets := nn.Benchmarks()
-	ffB := arch.MeanBreakdown(arch.EvaluateAll(arch.FF(), nets))
+	ffB := arch.MeanBreakdown(arch.MustEvaluateAll(arch.FF(), nets))
 	wShare := ffB.WeightDAC / ffB.Total()
 	gain := 1/(1-wShare*res.Reduction) - 1
 

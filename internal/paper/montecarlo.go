@@ -47,7 +47,7 @@ func MonteCarlo(trials int, sigma float64, seed int64) MonteCarloResult {
 		bl := arch.Baseline()
 		perturb(&fb, f)
 		perturb(&bl, f)
-		gain := arch.Evaluate(fb, net).FPSPerWatt / arch.Evaluate(bl, net).FPSPerWatt
+		gain := arch.MustEvaluate(fb, net).FPSPerWatt / arch.MustEvaluate(bl, net).FPSPerWatt
 		res.Gains = append(res.Gains, gain)
 	}
 	sorted := append([]float64(nil), res.Gains...)

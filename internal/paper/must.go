@@ -1,0 +1,12 @@
+package paper
+
+// mustVal unwraps an (value, error) pair from a model call whose inputs are
+// the fixed paper presets; a failure there is an internal invariant
+// violation, not user input, so the regeneration code panics rather than
+// threading errors through every exhibit.
+func mustVal[T any](v T, err error) T {
+	if err != nil {
+		panic("paper: internal: " + err.Error())
+	}
+	return v
+}

@@ -26,10 +26,10 @@ func Section533() Section533Result {
 	for i, choice := range []memory.DataflowChoice{memory.FilterMajor, memory.ChannelMajor} {
 		cfg := arch.FF()
 		cfg.BufferChoice = choice
-		plan := memory.PlanBuffers(choice, cfg.T, cfg.M, cfg.NLambda, 512, 512, cfg.NRFCU, 1)
+		plan := mustVal(memory.PlanBuffers(choice, cfg.T, cfg.M, cfg.NLambda, 512, 512, cfg.NRFCU, 1))
 		res.InputBufferBytes[i] = plan.InputBufferBytes
 		res.OutputBufferBytes[i] = plan.OutputBufferBytesPerRFCU
-		reports := arch.EvaluateAll(cfg, nets)
+		reports := arch.MustEvaluateAll(cfg, nets)
 		b := arch.MeanBreakdown(reports)
 		res.BufferPower[i] = b.DataBuffers
 		res.TotalPower[i] = b.Total()

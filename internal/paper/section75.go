@@ -33,16 +33,16 @@ func Section75() Section75Result {
 	r.DelayAreaRatio = strip.DelayLineAreaPerCycle / slow.DelayLineAreaPerCycle
 
 	base := arch.FF()
-	r.RFCUsStrip = arch.MaxRFCUsForBudget(base, 16, 150*phys.MM2)
+	r.RFCUsStrip = mustVal(arch.MaxRFCUsForBudget(base, 16, 150*phys.MM2))
 	slowCfg := base
 	slowCfg.Components = slow
-	r.RFCUsSlow = arch.MaxRFCUsForBudget(slowCfg, 16, 150*phys.MM2)
+	r.RFCUsSlow = mustVal(arch.MaxRFCUsForBudget(slowCfg, 16, 150*phys.MM2))
 
-	r.FFLaserStrip = buffers.NewFeedforwardBuffer(0, 16, strip).RelativeLaserPower()
-	r.FFLaserSlow = buffers.NewFeedforwardBuffer(0, 16, slow).RelativeLaserPower()
+	r.FFLaserStrip = buffers.MustFeedforwardBuffer(0, 16, strip).RelativeLaserPower()
+	r.FFLaserSlow = buffers.MustFeedforwardBuffer(0, 16, slow).RelativeLaserPower()
 
-	fbStrip := buffers.NewFeedbackBuffer(buffers.OptimalFeedbackAlpha(15), 16, strip)
-	fbSlow := buffers.NewFeedbackBuffer(buffers.OptimalFeedbackAlpha(15), 16, slow)
+	fbStrip := buffers.MustFeedbackBuffer(buffers.OptimalFeedbackAlpha(15), 16, strip)
+	fbSlow := buffers.MustFeedbackBuffer(buffers.OptimalFeedbackAlpha(15), 16, slow)
 	r.FBLaserStrip = fbStrip.RelativeLaserPower(15)
 	r.FBLaserSlow = fbSlow.RelativeLaserPower(15)
 	r.FBDynamicRangeSlow = fbSlow.DynamicRange(15)
@@ -77,5 +77,5 @@ func (r Section75Result) Table() Table {
 
 func buffersDynamicRangeStrip() float64 {
 	c := phys.DefaultComponents()
-	return buffers.NewFeedbackBuffer(buffers.OptimalFeedbackAlpha(15), 16, c).DynamicRange(15)
+	return buffers.MustFeedbackBuffer(buffers.OptimalFeedbackAlpha(15), 16, c).DynamicRange(15)
 }

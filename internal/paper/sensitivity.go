@@ -32,7 +32,7 @@ func Sensitivity() SensitivityResult {
 		bl := arch.Baseline()
 		mutate(&fb)
 		mutate(&bl)
-		return arch.Evaluate(fb, net).FPSPerWatt / arch.Evaluate(bl, net).FPSPerWatt
+		return arch.MustEvaluate(fb, net).FPSPerWatt / arch.MustEvaluate(bl, net).FPSPerWatt
 	}
 	for _, f := range factors {
 		f := f

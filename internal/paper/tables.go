@@ -83,10 +83,10 @@ func Table2() Table2Result {
 	one.NLambda = 1
 	two := arch.FF()
 	nets := nn.Benchmarks()
-	a1 := phys.M2ToMM2(arch.ComputeArea(one).Total())
-	a2 := phys.M2ToMM2(arch.ComputeArea(two).Total())
-	g1 := arch.GeoMean(arch.EvaluateAll(one, nets), arch.MetricFPSPerMM2)
-	g2 := arch.GeoMean(arch.EvaluateAll(two, nets), arch.MetricFPSPerMM2)
+	a1 := phys.M2ToMM2(arch.MustComputeArea(one).Total())
+	a2 := phys.M2ToMM2(arch.MustComputeArea(two).Total())
+	g1 := arch.GeoMean(arch.MustEvaluateAll(one, nets), arch.MetricFPSPerMM2)
+	g2 := arch.GeoMean(arch.MustEvaluateAll(two, nets), arch.MetricFPSPerMM2)
 	return Table2Result{
 		AreaOneLambda: a1,
 		AreaTwoLambda: a2,
@@ -147,11 +147,11 @@ func Table4(buffer arch.BufferKind) Table4Result {
 	for _, m := range []int{1, 2, 4, 8, 16, 32} {
 		cfg := base
 		cfg.M = m
-		cfg.NRFCU = arch.MaxRFCUsForBudget(base, m, budget)
+		cfg.NRFCU = mustVal(arch.MaxRFCUsForBudget(base, m, budget))
 		// The feedback design reuses at most as many times as filter
 		// rounds allow; R is capped by the paper at 15 and must stay
 		// meaningful for short delay lines too.
-		reports := arch.EvaluateAll(cfg, nets)
+		reports := arch.MustEvaluateAll(cfg, nets)
 		rows = append(rows, Table4Row{
 			M:         m,
 			NRFCU:     cfg.NRFCU,
@@ -206,8 +206,8 @@ func Table5() Table5Result {
 	c := phys.DefaultComponents()
 	reuses := []int{1, 3, 7, 15, 31, 63}
 	return Table5Result{
-		Optimal: buffers.Table5(c, reuses, 16, true),
-		Naive:   buffers.Table5(c, reuses, 16, false),
+		Optimal: mustVal(buffers.Table5(c, reuses, 16, true)),
+		Naive:   mustVal(buffers.Table5(c, reuses, 16, false)),
 	}
 }
 

@@ -95,7 +95,7 @@ func (p *Program) Cycles() int { return len(p.Instructions) }
 // whenever an optical buffer is active, since the spiral's latency is
 // fixed in silicon.
 func Compile(layer nn.ConvLayer, cfg dataflow.Config) *Program {
-	plan := dataflow.PlanLayer(layer, cfg)
+	plan := dataflow.MustPlanLayer(layer, cfg)
 	p := &Program{Layer: layer, Config: cfg, Plan: plan}
 
 	reuseGroup := cfg.Reuses + 1
@@ -103,7 +103,7 @@ func Compile(layer nn.ConvLayer, cfg dataflow.Config) *Program {
 
 	var fb buffers.FeedbackBuffer
 	if cfg.Reuses > 1 {
-		fb = buffers.NewFeedbackBuffer(buffers.OptimalFeedbackAlpha(cfg.Reuses), cfg.M, phys.DefaultComponents())
+		fb = buffers.MustFeedbackBuffer(buffers.OptimalFeedbackAlpha(cfg.Reuses), cfg.M, phys.DefaultComponents())
 	}
 
 	cycle := 0
@@ -189,7 +189,7 @@ func Validate(p *Program) (Stats, error) {
 	var fb buffers.FeedbackBuffer
 	haveFB := cfg.Reuses > 1
 	if haveFB {
-		fb = buffers.NewFeedbackBuffer(buffers.OptimalFeedbackAlpha(cfg.Reuses), cfg.M, phys.DefaultComponents())
+		fb = buffers.MustFeedbackBuffer(buffers.OptimalFeedbackAlpha(cfg.Reuses), cfg.M, phys.DefaultComponents())
 	}
 
 	window := 0
@@ -276,7 +276,10 @@ func Validate(p *Program) (Stats, error) {
 // the program length minus alignment padding, and the readout count must
 // match the ADC accounting per active RFCU wavelength-group.
 func CrossCheck(p *Program) error {
-	ev := dataflow.LayerEvents(p.Layer, p.Config)
+	ev, err := dataflow.LayerEvents(p.Layer, p.Config)
+	if err != nil {
+		return fmt.Errorf("sched: cross-check: %w", err)
+	}
 	analytical := ev.Cycles
 	actual := float64(p.Cycles() - p.PaddingCycles)
 	if analytical != actual {

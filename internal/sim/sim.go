@@ -1,0 +1,206 @@
+// Package sim is the shared run pipeline behind the refocus command-line
+// tools and examples: resolve a design point (named preset or JSON config
+// file) and a benchmark set, apply overrides, validate, evaluate, and
+// render the reports as text or JSON. The binaries keep only flag parsing;
+// everything that used to be duplicated name-switch glue lives here, so a
+// future serving layer can reuse the exact same lifecycle for requests.
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"refocus/internal/arch"
+	"refocus/internal/nn"
+	"refocus/internal/phys"
+)
+
+// Options selects what to evaluate and how to render it.
+type Options struct {
+	// Preset names a registry design point (arch.PresetByName). Ignored
+	// when ConfigFile is set.
+	Preset string
+	// ConfigFile is a JSON design point (see LoadConfigFile for the
+	// schema, including the optional "Base" preset overlay).
+	ConfigFile string
+	// Network is a benchmark name (nn.ByName) or "all".
+	Network string
+	// Override mutates the resolved config before validation (flag
+	// overrides like -batch land here). Optional.
+	Override func(*arch.SystemConfig)
+	// WithDRAM includes DRAM power in the printed totals (§7.3 view).
+	WithDRAM bool
+	// Profile also prints the top-N layer consumers when positive.
+	Profile int
+	// JSON renders machine-readable reports instead of text.
+	JSON bool
+}
+
+// ResolveConfig returns the design point the options name: the config
+// file when set (strict JSON, optionally overlaid on a "Base" preset),
+// otherwise the named preset. The result is not yet validated — Run
+// validates after overrides are applied.
+func ResolveConfig(preset, configFile string) (arch.SystemConfig, error) {
+	if configFile != "" {
+		return LoadConfigFile(configFile)
+	}
+	return arch.PresetByName(preset)
+}
+
+// configFileSchema is the on-disk form: every arch.SystemConfig field plus
+// an optional Base naming the preset the file's fields overlay. A file
+// without Base must therefore spell out a complete design point.
+type configFileSchema struct {
+	Base string
+	arch.SystemConfig
+}
+
+// LoadConfigFile reads a JSON design point. Unknown fields are rejected;
+// fields absent from the file keep the Base preset's values (or Go zero
+// values without a Base, which validation will then reject with a field
+// name rather than a crash).
+func LoadConfigFile(path string) (arch.SystemConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return arch.SystemConfig{}, fmt.Errorf("sim: %w", err)
+	}
+	return LoadConfig(data)
+}
+
+// LoadConfig parses the JSON design-point schema of LoadConfigFile.
+func LoadConfig(data []byte) (arch.SystemConfig, error) {
+	var base struct{ Base string }
+	if err := json.Unmarshal(data, &base); err != nil {
+		return arch.SystemConfig{}, fmt.Errorf("sim: parsing config: %w", err)
+	}
+	file := configFileSchema{}
+	if base.Base != "" {
+		cfg, err := arch.PresetByName(base.Base)
+		if err != nil {
+			return arch.SystemConfig{}, fmt.Errorf("sim: config Base: %w", err)
+		}
+		file.SystemConfig = cfg
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&file); err != nil {
+		return arch.SystemConfig{}, fmt.Errorf("sim: parsing config: %w", err)
+	}
+	return file.SystemConfig, nil
+}
+
+// ResolveNetworks returns the benchmark set a -network argument names:
+// one network, or all five for "all".
+func ResolveNetworks(name string) ([]nn.Network, error) {
+	if name == "all" {
+		return nn.Benchmarks(), nil
+	}
+	net, ok := nn.ByName(name)
+	if !ok {
+		known := make([]string, 0, 5)
+		for _, n := range nn.Benchmarks() {
+			known = append(known, n.Name)
+		}
+		return nil, fmt.Errorf("sim: unknown network %q (known: %s, or \"all\")", name, strings.Join(known, ", "))
+	}
+	return []nn.Network{net}, nil
+}
+
+// Run executes the full pipeline: resolve → override → validate →
+// evaluate → render. Every failure comes back as an error carrying the
+// offending field or name; nothing panics on user input.
+func Run(opts Options, out io.Writer) error {
+	cfg, err := ResolveConfig(opts.Preset, opts.ConfigFile)
+	if err != nil {
+		return err
+	}
+	if opts.Override != nil {
+		opts.Override(&cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	nets, err := ResolveNetworks(opts.Network)
+	if err != nil {
+		return err
+	}
+	reports, err := arch.EvaluateAll(cfg, nets)
+	if err != nil {
+		return err
+	}
+	if opts.JSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(reports)
+	}
+	return renderText(cfg, nets, reports, opts, out)
+}
+
+// renderText prints the human-readable report refocus-sim historically
+// emitted: a config header, then per-network power/performance lines.
+func renderText(cfg arch.SystemConfig, nets []nn.Network, reports []arch.Report, opts Options, out io.Writer) error {
+	area := arch.MustComputeArea(cfg) // cfg validated by Run
+	fmt.Fprintf(out, "config %s: %d RFCUs, T=%d, %d wavelengths, M=%d, buffer=%v, reuses=%d\n",
+		cfg.Name, cfg.NRFCU, cfg.T, cfg.NLambda, cfg.M, cfg.Buffer, cfg.Reuses)
+	fmt.Fprintf(out, "area: %.1f mm² total (%.1f photonic, %.1f SRAM+buffers, %.1f converters+logic)\n\n",
+		phys.M2ToMM2(area.Total()), phys.M2ToMM2(area.Photonic()),
+		phys.M2ToMM2(area.SRAM+area.DataBuffer), phys.M2ToMM2(area.Converters+area.CMOSLogic))
+
+	for i, net := range nets {
+		r := reports[i]
+		p := r.Power
+		total := p.Total()
+		if opts.WithDRAM {
+			total = p.TotalWithDRAM()
+		}
+		fmt.Fprintf(out, "%s (%.2f GMACs, %d conv layers)\n", net.Name, net.TotalMACs()/1e9, net.LayerCount())
+		fmt.Fprintf(out, "  latency %.3f ms   FPS %.0f   power %.2f W   FPS/W %.1f   FPS/mm² %.1f\n",
+			r.Latency*1e3, r.FPS, total, r.FPS/total, r.FPSPerMM2)
+		fmt.Fprintf(out, "  power: inDAC %.2f  wDAC %.2f  ADC %.2f  laser %.2f  MRR %.3f  SRAM %.2f  buffers %.2f  CMOS %.2f  (DRAM %.2f)\n",
+			p.InputDAC, p.WeightDAC, p.ADC, p.Laser, p.MRR,
+			p.ActivationSRAM+p.WeightSRAM+p.SRAMLeakage, p.DataBuffers, p.CMOS, p.DRAM)
+		if opts.Profile > 0 {
+			profiles, err := arch.EvaluateLayers(cfg, net)
+			if err != nil {
+				return err
+			}
+			for _, lp := range arch.TopConsumers(profiles, "cycles", opts.Profile) {
+				fmt.Fprintf(out, "  hot layer %-18s %5.1f%% of cycles  %5.1f%% of energy (%v, %d regions)\n",
+					lp.Layer.Name, 100*lp.ShareOfCycles, 100*lp.ShareOfEnergy,
+					lp.Plan.Geometry.Strategy, lp.Plan.Regions)
+			}
+		}
+	}
+	return nil
+}
+
+// ListKnown prints the preset registry and benchmark networks — the
+// vocabulary of -config/-network — one entry per line.
+func ListKnown(out io.Writer) {
+	fmt.Fprintln(out, "presets:")
+	for _, p := range arch.Presets() {
+		alias := ""
+		if len(p.Aliases) > 0 {
+			alias = " (" + strings.Join(p.Aliases, ", ") + ")"
+		}
+		fmt.Fprintf(out, "  %-18s%s  %s\n", p.Name, alias, p.Description)
+	}
+	fmt.Fprintln(out, "networks:")
+	for _, n := range nn.Benchmarks() {
+		fmt.Fprintf(out, "  %-10s %2d conv layers  %6.2f GMACs\n", n.Name, n.LayerCount(), n.TotalMACs()/1e9)
+	}
+	fmt.Fprintln(out, "  all        every benchmark network")
+}
+
+// Main wraps a tool's run function with the uniform error convention the
+// three refocus binaries share: errors go to stderr prefixed by the tool
+// name, and the process exits nonzero.
+func Main(tool string, run func(args []string, out io.Writer) error) {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+		os.Exit(1)
+	}
+}
