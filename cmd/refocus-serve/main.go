@@ -1,0 +1,60 @@
+// Command refocus-serve runs the concurrent evaluation service: an HTTP
+// JSON API in front of the internal/sim pipeline with a bounded worker
+// pool and an LRU result cache (see internal/serve and DESIGN.md §8).
+//
+// Usage:
+//
+//	refocus-serve [-addr :8080] [-workers 4] [-cache-size 4096]
+//	              [-timeout 30s] [-max-body 1048576]
+//
+// The process serves until SIGINT/SIGTERM, then drains in-flight
+// requests and exits cleanly.
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/evaluate \
+//	     -d '{"Preset": "fb", "Network": "ResNet-50"}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"refocus/internal/serve"
+)
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("refocus-serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	workers := fs.Int("workers", 4, "max concurrent design-point evaluations")
+	cacheSize := fs.Int("cache-size", 4096, "result-cache capacity in (config, network) reports")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request evaluation timeout, including queue time")
+	maxBody := fs.Int64("max-body", 1<<20, "max request body bytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("refocus-serve: unexpected arguments %v", fs.Args())
+	}
+	cfg := serve.Config{
+		Workers:        *workers,
+		CacheSize:      *cacheSize,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+	}
+	return serve.ListenAndServe(ctx, cfg, *addr, out)
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "refocus-serve: %v\n", err)
+		os.Exit(1)
+	}
+}

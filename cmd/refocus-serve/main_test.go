@@ -1,0 +1,70 @@
+package main
+
+import (
+	"context"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncWriter guards a strings.Builder so the test can read the log while
+// the server goroutine is still writing it.
+type syncWriter struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	ctx := context.Background()
+	if err := run(ctx, []string{"-bogus"}, io.Discard); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run(ctx, []string{"extra-arg"}, io.Discard); err == nil {
+		t.Error("positional argument accepted")
+	}
+	if err := run(ctx, []string{"-addr", "256.0.0.1:bogus"}, io.Discard); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}
+
+func TestRunServesUntilCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncWriter{}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2", "-cache-size", "16"}, out)
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && !strings.Contains(out.String(), "listening on ") {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(out.String(), "listening on ") {
+		t.Fatalf("server never started: %q", out.String())
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v on graceful shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after cancel")
+	}
+}

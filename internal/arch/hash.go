@@ -1,0 +1,38 @@
+package arch
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Stable config hashing: two SystemConfig values that describe the same
+// design point — regardless of how they were constructed (preset, JSON
+// file with any field ordering, programmatic mutation) — hash to the same
+// digest. The serving layer keys its result cache on this, so the hash
+// must be a pure function of the config's value, never of its encoding.
+
+// CanonicalConfigJSON returns the compact canonical encoding of a design
+// point. Struct fields marshal in declaration order and the enumerations
+// marshal as their string names, so the bytes are deterministic for a
+// given config value; incoming JSON field ordering cannot leak through
+// because callers hash the parsed struct, not the wire bytes.
+func CanonicalConfigJSON(c SystemConfig) ([]byte, error) {
+	out, err := json.Marshal(c)
+	if err != nil {
+		return nil, fmt.Errorf("arch: canonical encoding of %s: %w", c.label(), err)
+	}
+	return out, nil
+}
+
+// ConfigHash returns the SHA-256 hex digest of the canonical encoding —
+// the stable identity of a design point for caching and deduplication.
+func ConfigHash(c SystemConfig) (string, error) {
+	data, err := CanonicalConfigJSON(c)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,71 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfigHashDeterministic(t *testing.T) {
+	a, err := ConfigHash(FB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ConfigHash(FB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same design point hashed differently: %s vs %s", a, b)
+	}
+	if len(a) != 64 || strings.ToLower(a) != a {
+		t.Errorf("hash is not lowercase sha256 hex: %q", a)
+	}
+}
+
+func TestConfigHashSeparatesDesignPoints(t *testing.T) {
+	seen := map[string]string{}
+	for _, p := range Presets() {
+		h, err := ConfigHash(p.Build())
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if prev, dup := seen[h]; dup {
+			t.Errorf("presets %s and %s collide on %s", prev, p.Name, h)
+		}
+		seen[h] = p.Name
+	}
+
+	base := FB()
+	mutated := FB()
+	mutated.M = 32
+	hBase, _ := ConfigHash(base)
+	hMut, _ := ConfigHash(mutated)
+	if hBase == hMut {
+		t.Error("changing M did not change the hash")
+	}
+}
+
+func TestConfigHashIgnoresConstructionPath(t *testing.T) {
+	// A preset rebuilt field-by-field must hash identically to the
+	// registry's copy: the hash is a function of the value alone.
+	built := FB()
+	copied := built // value copy through a different variable
+	h1, _ := ConfigHash(built)
+	h2, _ := ConfigHash(copied)
+	if h1 != h2 {
+		t.Error("value copy hashed differently")
+	}
+}
+
+func TestCanonicalConfigJSONCompact(t *testing.T) {
+	data, err := CanonicalConfigJSON(FF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "\n") {
+		t.Error("canonical encoding is not compact")
+	}
+	if !strings.Contains(string(data), `"Buffer":"feedforward"`) {
+		t.Errorf("enumeration not encoded as string name: %s", data)
+	}
+}

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"refocus/internal/arch"
+)
+
+func TestCachePutGet(t *testing.T) {
+	c := newReportCache(4)
+	r := arch.Report{Config: "x", Network: "n", FPS: 42}
+	if _, ok := c.get("k"); ok {
+		t.Error("hit on empty cache")
+	}
+	c.put("k", r)
+	got, ok := c.get("k")
+	if !ok || got != r {
+		t.Errorf("get after put: ok=%v got=%+v", ok, got)
+	}
+	if c.len() != 1 {
+		t.Errorf("len %d, want 1", c.len())
+	}
+}
+
+func TestCacheEvictsLeastRecentlyUsed(t *testing.T) {
+	c := newReportCache(2)
+	c.put("a", arch.Report{Config: "a"})
+	c.put("b", arch.Report{Config: "b"})
+	// Touch "a" so "b" is the LRU entry when "c" arrives.
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	c.put("c", arch.Report{Config: "c"})
+	if _, ok := c.get("b"); ok {
+		t.Error("least recently used entry survived eviction")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("newest entry missing")
+	}
+	if c.len() != 2 {
+		t.Errorf("len %d, want capacity 2", c.len())
+	}
+}
+
+func TestCacheUpdateRefreshesEntry(t *testing.T) {
+	c := newReportCache(2)
+	c.put("a", arch.Report{FPS: 1})
+	c.put("b", arch.Report{FPS: 2})
+	c.put("a", arch.Report{FPS: 3}) // update, not insert
+	if c.len() != 2 {
+		t.Fatalf("update grew the cache to %d", c.len())
+	}
+	got, _ := c.get("a")
+	if got.FPS != 3 {
+		t.Errorf("updated value lost: %+v", got)
+	}
+	// "a" was refreshed, so inserting "d" must evict "b".
+	c.put("d", arch.Report{FPS: 4})
+	if _, ok := c.get("b"); ok {
+		t.Error("refresh did not update recency")
+	}
+}
+
+func TestCacheMinimumCapacity(t *testing.T) {
+	c := newReportCache(0)
+	c.put("a", arch.Report{})
+	c.put("b", arch.Report{})
+	if c.len() != 1 {
+		t.Errorf("zero-capacity cache should clamp to 1, len %d", c.len())
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := newReportCache(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (w+i)%32)
+				c.put(key, arch.Report{FPS: float64(i)})
+				c.get(key)
+				c.len()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.len() > 16 {
+		t.Errorf("cache exceeded capacity: %d", c.len())
+	}
+}

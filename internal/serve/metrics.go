@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds (exclusive) for the
+// per-endpoint latency distribution; a final overflow bucket catches the
+// rest. Decade-spaced expvar-style buckets are plenty for a service whose
+// work item is a millisecond-scale analytical evaluation.
+var latencyBuckets = []struct {
+	limit time.Duration
+	label string
+}{
+	{time.Millisecond, "<1ms"},
+	{10 * time.Millisecond, "<10ms"},
+	{100 * time.Millisecond, "<100ms"},
+	{time.Second, "<1s"},
+	{10 * time.Second, "<10s"},
+}
+
+// overflowLabel names the histogram bucket past the last bound.
+const overflowLabel = ">=10s"
+
+// numLatencyBuckets is len(latencyBuckets) plus the overflow bucket —
+// spelled as a constant so it can size the counter array.
+const numLatencyBuckets = 6
+
+// endpointMetrics accumulates counters for one route. All fields are
+// atomics so handlers never contend on a lock in the hot path.
+type endpointMetrics struct {
+	requests   atomic.Int64
+	errors     atomic.Int64 // responses with status >= 400
+	totalNanos atomic.Int64
+	buckets    [numLatencyBuckets]atomic.Int64
+}
+
+// observe records one completed request.
+func (e *endpointMetrics) observe(d time.Duration, status int) {
+	e.requests.Add(1)
+	if status >= 400 {
+		e.errors.Add(1)
+	}
+	e.totalNanos.Add(int64(d))
+	for i, b := range latencyBuckets {
+		if d < b.limit {
+			e.buckets[i].Add(1)
+			return
+		}
+	}
+	e.buckets[len(latencyBuckets)].Add(1)
+}
+
+// Metrics aggregates service-wide counters: per-endpoint request counts
+// and latency histograms, cache hit/miss totals, the in-flight gauge,
+// and the number of design-point evaluations actually executed (misses
+// that reached the worker pool).
+type Metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+
+	inFlight    atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	evaluations atomic.Int64
+}
+
+// newMetrics returns zeroed metrics.
+func newMetrics() *Metrics {
+	return &Metrics{endpoints: make(map[string]*endpointMetrics)}
+}
+
+// endpoint returns (creating on first use) the counters for one route.
+func (m *Metrics) endpoint(name string) *endpointMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	em, ok := m.endpoints[name]
+	if !ok {
+		em = &endpointMetrics{}
+		m.endpoints[name] = em
+	}
+	return em
+}
+
+// EndpointStats is the externally visible form of one route's counters.
+type EndpointStats struct {
+	// Requests counts completed requests; Errors the subset with a
+	// 4xx/5xx status.
+	Requests int64
+	Errors   int64
+	// MeanLatencyMillis is total handler time divided by Requests.
+	MeanLatencyMillis float64
+	// Latency is the request-count histogram over decade buckets
+	// ("<1ms" … ">=10s").
+	Latency map[string]int64
+}
+
+// CacheStats is the externally visible form of the result cache state.
+type CacheStats struct {
+	Hits, Misses      int64
+	Entries, Capacity int
+}
+
+// Snapshot is the /metrics payload: a consistent-enough point-in-time
+// copy of every counter (individual counters are atomic; the set is not
+// read under one lock, which is fine for monitoring).
+type Snapshot struct {
+	// InFlight is the number of requests currently inside a handler.
+	InFlight int64
+	// Evaluations counts design-point evaluations executed on the worker
+	// pool (cache misses that did real work).
+	Evaluations int64
+	Cache       CacheStats
+	Endpoints   map[string]EndpointStats
+}
+
+// snapshot assembles the /metrics payload.
+func (m *Metrics) snapshot(cache *reportCache) Snapshot {
+	s := Snapshot{
+		InFlight:    m.inFlight.Load(),
+		Evaluations: m.evaluations.Load(),
+		Cache: CacheStats{
+			Hits:     m.cacheHits.Load(),
+			Misses:   m.cacheMisses.Load(),
+			Entries:  cache.len(),
+			Capacity: cache.cap,
+		},
+		Endpoints: make(map[string]EndpointStats),
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, em := range m.endpoints {
+		st := EndpointStats{
+			Requests: em.requests.Load(),
+			Errors:   em.errors.Load(),
+			Latency:  make(map[string]int64, len(latencyBuckets)+1),
+		}
+		if st.Requests > 0 {
+			st.MeanLatencyMillis = float64(em.totalNanos.Load()) / float64(st.Requests) / 1e6
+		}
+		for i, b := range latencyBuckets {
+			st.Latency[b.label] = em.buckets[i].Load()
+		}
+		st.Latency[overflowLabel] = em.buckets[len(latencyBuckets)].Load()
+		s.Endpoints[name] = st
+	}
+	return s
+}

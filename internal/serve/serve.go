@@ -1,0 +1,488 @@
+// Package serve implements refocus-serve: a long-running HTTP JSON API in
+// front of the internal/sim pipeline, playing the role the paper's custom
+// simulator plays for design-space exploration at scale. Design points
+// arrive as preset names or -config-file-schema JSON (plus per-request
+// overrides), are evaluated on a bounded worker pool reusing
+// arch.EvaluateAll's parallelism, and land in an LRU result cache keyed by
+// the canonical config hash + network name, so repeated sweep queries are
+// served without re-evaluation — the electronic analogue of the paper's
+// "reuse what you already computed" theme.
+//
+// Endpoints:
+//
+//	POST /v1/evaluate  one design point, one network or "all"
+//	POST /v1/sweep     batch of design points, fanned out concurrently
+//	GET  /v1/presets   the preset/network vocabulary
+//	GET  /healthz      liveness probe
+//	GET  /metrics      request counts, cache hit/miss, latency histograms
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"refocus/internal/arch"
+	"refocus/internal/nn"
+	"refocus/internal/sim"
+)
+
+// Config tunes the service's concurrency and protection limits. The zero
+// value is usable: New fills unset fields with the defaults below.
+type Config struct {
+	// Workers bounds concurrent design-point evaluations (the worker
+	// pool). Each evaluation internally fans networks out across
+	// arch.Parallelism() cores, so Workers is a request-level bound, not
+	// a core count. Default 4.
+	Workers int
+	// CacheSize is the LRU capacity in (config, network) reports.
+	// Default 4096.
+	CacheSize int
+	// RequestTimeout bounds one request's total evaluation time,
+	// including time spent queued for a worker slot. Default 30s.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request body size; larger bodies get 413.
+	// Default 1 MiB.
+	MaxBodyBytes int64
+}
+
+// withDefaults returns the config with unset fields defaulted.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 4096
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// Server is the evaluation service: handlers, result cache, worker pool
+// and metrics. Create with New; it is safe for concurrent use.
+type Server struct {
+	cfg     Config
+	cache   *reportCache
+	metrics *Metrics
+	slots   chan struct{}
+	mux     *http.ServeMux
+}
+
+// New builds a Server from the config (zero fields defaulted).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   newReportCache(cfg.CacheSize),
+		metrics: newMetrics(),
+		slots:   make(chan struct{}, cfg.Workers),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.Handle("POST /v1/evaluate", s.instrument("/v1/evaluate", s.handleEvaluate))
+	s.mux.Handle("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	s.mux.Handle("GET /v1/presets", s.instrument("/v1/presets", s.handlePresets))
+	s.mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	return s
+}
+
+// Handler returns the service's HTTP handler (all routes).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// MetricsSnapshot returns the current counters — what GET /metrics serves.
+func (s *Server) MetricsSnapshot() Snapshot { return s.metrics.snapshot(s.cache) }
+
+// EvaluateRequest names one design point and benchmark set. Exactly one
+// of Preset or Config must be set; Overrides and Network are optional.
+type EvaluateRequest struct {
+	// Preset is a registry name or alias ("fb", "ReFOCUS-FF", ...).
+	Preset string `json:",omitempty"`
+	// Config is a design point in the -config-file schema: every
+	// arch.SystemConfig field plus an optional "Base" preset the file's
+	// fields overlay. Unknown fields are rejected.
+	Config json.RawMessage `json:",omitempty"`
+	// Overrides is a partial SystemConfig merged onto the resolved
+	// design point before validation — the per-request twin of the
+	// command-line -batch/-M style flags. Unknown fields are rejected.
+	Overrides json.RawMessage `json:",omitempty"`
+	// Network is a benchmark name or "all"; empty means "all".
+	Network string `json:",omitempty"`
+}
+
+// EvaluateResponse is the result of one design-point evaluation.
+type EvaluateResponse struct {
+	// Config is the resolved design point's name; ConfigHash its stable
+	// identity (arch.ConfigHash) — the cache-key prefix.
+	Config     string
+	ConfigHash string
+	// Networks lists the evaluated benchmark names in report order.
+	Networks []string
+	// CacheHits/CacheMisses count how many of this request's
+	// (config, network) pairs were served from the result cache.
+	CacheHits   int
+	CacheMisses int
+	// Reports are the full evaluation reports, one per network.
+	Reports []arch.Report
+}
+
+// SweepRequest is a batch of design points evaluated concurrently.
+type SweepRequest struct {
+	Points []EvaluateRequest
+}
+
+// SweepPointResult is one sweep entry: the response, or an error string
+// for points that failed (a bad point never aborts the batch).
+type SweepPointResult struct {
+	EvaluateResponse
+	Error string `json:",omitempty"`
+}
+
+// SweepResponse carries one result per requested point, in input order.
+type SweepResponse struct {
+	Points []SweepPointResult
+}
+
+// PresetInfo is one /v1/presets vocabulary entry.
+type PresetInfo struct {
+	Name        string
+	Aliases     []string `json:",omitempty"`
+	Description string
+}
+
+// PresetsResponse is the /v1/presets payload: the design-point and
+// benchmark vocabulary a request may name.
+type PresetsResponse struct {
+	Presets  []PresetInfo
+	Networks []string
+}
+
+// ErrorResponse is the structured error payload every non-2xx response
+// carries. Error preserves the pipeline's field-naming messages (e.g.
+// `arch: config X: feedback buffer needs Reuses >= 1, got 0`).
+type ErrorResponse struct {
+	Error  string
+	Status int
+}
+
+// apiError pairs an HTTP status with a cause for writeError.
+type apiError struct {
+	status int
+	err    error
+}
+
+// Error implements the error interface.
+func (e *apiError) Error() string { return e.err.Error() }
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *apiError) Unwrap() error { return e.err }
+
+// badRequest tags an error as a 400.
+func badRequest(err error) error { return &apiError{status: http.StatusBadRequest, err: err} }
+
+// statusOf maps an error to its HTTP status: explicit apiError tags win,
+// context cancellation/timeout becomes 503, oversized bodies 413, and
+// anything else is a 500.
+func statusOf(err error) int {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.status
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// statusWriter records the status a handler wrote so the metrics
+// middleware can classify the response.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader records the status before delegating.
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// instrument wraps a handler with the metrics middleware: in-flight
+// gauge, request/error counters, and the latency histogram.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
+	em := s.metrics.endpoint(name)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.inFlight.Add(1)
+		defer s.metrics.inFlight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		em.observe(time.Since(start), sw.status)
+	})
+}
+
+// writeJSON sends v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // a failed write means the client is gone
+}
+
+// writeError sends the structured error payload for err.
+func writeError(w http.ResponseWriter, err error) {
+	status := statusOf(err)
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), Status: status})
+}
+
+// decodeBody strictly parses the request body into v, enforcing the
+// max-body limit and rejecting unknown fields and trailing garbage.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		return fmt.Errorf("serve: reading body: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest(fmt.Errorf("serve: parsing request: %w", err))
+	}
+	if dec.More() {
+		return badRequest(errors.New("serve: parsing request: trailing data after JSON object"))
+	}
+	return nil
+}
+
+// resolveRequestConfig turns a request into a validated design point:
+// preset or config-file schema, then overrides, then Validate.
+func resolveRequestConfig(req EvaluateRequest) (arch.SystemConfig, error) {
+	var cfg arch.SystemConfig
+	var err error
+	switch {
+	case req.Preset != "" && len(req.Config) > 0:
+		return cfg, errors.New("serve: request names both Preset and Config; pick one")
+	case req.Preset != "":
+		cfg, err = arch.PresetByName(req.Preset)
+	case len(req.Config) > 0:
+		cfg, err = sim.LoadConfig(req.Config)
+	default:
+		return cfg, errors.New("serve: request must name a Preset or carry a Config design point")
+	}
+	if err != nil {
+		return cfg, err
+	}
+	if len(req.Overrides) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(req.Overrides))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&cfg); err != nil {
+			return cfg, fmt.Errorf("serve: applying Overrides: %w", err)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// acquireSlot blocks until a worker slot frees up or the request dies.
+func (s *Server) acquireSlot(ctx context.Context) error {
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: waiting for a worker slot: %w", ctx.Err())
+	}
+}
+
+// releaseSlot returns a slot to the pool.
+func (s *Server) releaseSlot() { <-s.slots }
+
+// evaluatePoint resolves and evaluates one request, serving every
+// (config, network) pair it can from the cache and running the rest on
+// the worker pool in one arch.EvaluateAll fan-out.
+func (s *Server) evaluatePoint(ctx context.Context, req EvaluateRequest) (EvaluateResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return EvaluateResponse{}, err
+	}
+	cfg, err := resolveRequestConfig(req)
+	if err != nil {
+		return EvaluateResponse{}, badRequest(err)
+	}
+	network := req.Network
+	if network == "" {
+		network = "all"
+	}
+	nets, err := sim.ResolveNetworks(network)
+	if err != nil {
+		return EvaluateResponse{}, badRequest(err)
+	}
+	hash, err := arch.ConfigHash(cfg)
+	if err != nil {
+		return EvaluateResponse{}, err
+	}
+
+	resp := EvaluateResponse{
+		Config:     cfg.Name,
+		ConfigHash: hash,
+		Networks:   make([]string, len(nets)),
+		Reports:    make([]arch.Report, len(nets)),
+	}
+	var missing []nn.Network
+	var missingIdx []int
+	for i, net := range nets {
+		resp.Networks[i] = net.Name
+		key := hash + "|" + net.Name
+		if r, ok := s.cache.get(key); ok {
+			resp.Reports[i] = r
+			resp.CacheHits++
+		} else {
+			missing = append(missing, net)
+			missingIdx = append(missingIdx, i)
+			resp.CacheMisses++
+		}
+	}
+	s.metrics.cacheHits.Add(int64(resp.CacheHits))
+	s.metrics.cacheMisses.Add(int64(resp.CacheMisses))
+
+	if len(missing) > 0 {
+		if err := s.acquireSlot(ctx); err != nil {
+			return EvaluateResponse{}, err
+		}
+		reports, err := arch.EvaluateAll(cfg, missing)
+		s.releaseSlot()
+		if err != nil {
+			return EvaluateResponse{}, badRequest(err)
+		}
+		s.metrics.evaluations.Add(int64(len(missing)))
+		for j, r := range reports {
+			resp.Reports[missingIdx[j]] = r
+			s.cache.put(hash+"|"+missing[j].Name, r)
+		}
+	}
+	return resp, nil
+}
+
+// handleEvaluate serves POST /v1/evaluate.
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req EvaluateRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	resp, err := s.evaluatePoint(ctx, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSweep serves POST /v1/sweep: points fan out concurrently (each
+// point's real work still bounded by the worker pool), and per-point
+// failures come back inline instead of aborting the batch.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(req.Points) == 0 {
+		writeError(w, badRequest(errors.New("serve: sweep carries no Points")))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	resp := SweepResponse{Points: make([]SweepPointResult, len(req.Points))}
+	done := make(chan int, len(req.Points))
+	for i := range req.Points {
+		go func(i int) {
+			defer func() { done <- i }()
+			point, err := s.evaluatePoint(ctx, req.Points[i])
+			if err != nil {
+				resp.Points[i].Error = err.Error()
+				return
+			}
+			resp.Points[i].EvaluateResponse = point
+		}(i)
+	}
+	for range req.Points {
+		<-done
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePresets serves GET /v1/presets.
+func (s *Server) handlePresets(w http.ResponseWriter, r *http.Request) {
+	resp := PresetsResponse{}
+	for _, p := range arch.Presets() {
+		resp.Presets = append(resp.Presets, PresetInfo{
+			Name:        p.Name,
+			Aliases:     p.Aliases,
+			Description: p.Description,
+		})
+	}
+	for _, n := range nn.Benchmarks() {
+		resp.Networks = append(resp.Networks, n.Name)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics serves GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}
+
+// ListenAndServe runs the service on addr until ctx is canceled, then
+// drains in-flight requests and returns (graceful shutdown — the SIGTERM
+// path of cmd/refocus-serve). It announces the bound address on out, so
+// addr may use port 0 in tests.
+func ListenAndServe(ctx context.Context, cfg Config, addr string, out io.Writer) error {
+	s := New(cfg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	fmt.Fprintf(out, "refocus-serve listening on http://%s\n", ln.Addr())
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+		drain, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout+time.Second)
+		defer cancel()
+		if err := hs.Shutdown(drain); err != nil {
+			return fmt.Errorf("serve: shutdown: %w", err)
+		}
+		fmt.Fprintln(out, "refocus-serve drained and stopped")
+		return nil
+	}
+}

@@ -109,34 +109,68 @@ func ResolveNetworks(name string) ([]nn.Network, error) {
 	return []nn.Network{net}, nil
 }
 
-// Run executes the full pipeline: resolve → override → validate →
-// evaluate → render. Every failure comes back as an error carrying the
-// offending field or name; nothing panics on user input.
-func Run(opts Options, out io.Writer) error {
+// Result is the structured outcome of one pipeline run: the resolved
+// (and validated) design point, the benchmark set, and one report per
+// network in input order. The serving layer returns these directly;
+// the command-line tools render them.
+type Result struct {
+	Config   arch.SystemConfig
+	Networks []nn.Network
+	Reports  []arch.Report
+}
+
+// Evaluate runs the pipeline up to (but not including) rendering:
+// resolve → override → validate → evaluate. Every failure comes back as
+// an error carrying the offending field or name; nothing panics on user
+// input.
+func Evaluate(opts Options) (Result, error) {
 	cfg, err := ResolveConfig(opts.Preset, opts.ConfigFile)
 	if err != nil {
-		return err
+		return Result{}, err
 	}
 	if opts.Override != nil {
 		opts.Override(&cfg)
 	}
 	if err := cfg.Validate(); err != nil {
-		return err
+		return Result{}, err
 	}
 	nets, err := ResolveNetworks(opts.Network)
 	if err != nil {
-		return err
+		return Result{}, err
 	}
 	reports, err := arch.EvaluateAll(cfg, nets)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Config: cfg, Networks: nets, Reports: reports}, nil
+}
+
+// CacheKey returns the canonical identity of one (design point, network)
+// evaluation: the arch.ConfigHash of the config joined with the network
+// name. Requests that resolve to the same design point — via a preset, a
+// Base overlay, or raw JSON in any field order — share a key, so a result
+// cache keyed on it serves them all from one evaluation.
+func CacheKey(cfg arch.SystemConfig, network string) (string, error) {
+	hash, err := arch.ConfigHash(cfg)
+	if err != nil {
+		return "", err
+	}
+	return hash + "|" + network, nil
+}
+
+// Run executes the full pipeline: resolve → override → validate →
+// evaluate → render. It shares Evaluate's error convention.
+func Run(opts Options, out io.Writer) error {
+	res, err := Evaluate(opts)
 	if err != nil {
 		return err
 	}
 	if opts.JSON {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		return enc.Encode(reports)
+		return enc.Encode(res.Reports)
 	}
-	return renderText(cfg, nets, reports, opts, out)
+	return renderText(res.Config, res.Networks, res.Reports, opts, out)
 }
 
 // renderText prints the human-readable report refocus-sim historically

@@ -158,6 +158,68 @@ func TestRunPipeline(t *testing.T) {
 	}
 }
 
+// TestEvaluateResult: the structured pipeline returns the resolved
+// config and one report per network, matching what Run renders.
+func TestEvaluateResult(t *testing.T) {
+	res, err := Evaluate(Options{Preset: "fb", Network: "all"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config.Name != "ReFOCUS-FB" {
+		t.Errorf("resolved config %q, want ReFOCUS-FB", res.Config.Name)
+	}
+	if len(res.Reports) != len(res.Networks) || len(res.Reports) < 2 {
+		t.Fatalf("got %d reports for %d networks", len(res.Reports), len(res.Networks))
+	}
+	for i, r := range res.Reports {
+		if r.Network != res.Networks[i].Name {
+			t.Errorf("report %d is for %s, want %s", i, r.Network, res.Networks[i].Name)
+		}
+		if r.FPS <= 0 {
+			t.Errorf("report %d has non-positive FPS", i)
+		}
+	}
+	if _, err := Evaluate(Options{Preset: "nope", Network: "all"}); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+// TestCacheKey: the key is stable across construction paths of the same
+// design point, distinguishes networks, and distinguishes design points.
+func TestCacheKey(t *testing.T) {
+	fromPreset, err := CacheKey(arch.FB(), "ResNet-50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same design point expressed as a full serialized config.
+	data, err := arch.ConfigJSON(arch.FB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := LoadConfig(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := CacheKey(reloaded, "ResNet-50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromPreset != fromFile {
+		t.Errorf("same design point keyed differently:\n%s\n%s", fromPreset, fromFile)
+	}
+	otherNet, _ := CacheKey(arch.FB(), "AlexNet")
+	if otherNet == fromPreset {
+		t.Error("different networks share a key")
+	}
+	otherCfg, _ := CacheKey(arch.FF(), "ResNet-50")
+	if otherCfg == fromPreset {
+		t.Error("different design points share a key")
+	}
+	if !strings.HasSuffix(fromPreset, "|ResNet-50") {
+		t.Errorf("key should end with the network name: %s", fromPreset)
+	}
+}
+
 // TestListKnown names every preset, every alias, and every benchmark.
 func TestListKnown(t *testing.T) {
 	var buf bytes.Buffer
