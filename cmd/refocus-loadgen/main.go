@@ -1,0 +1,104 @@
+// Command refocus-loadgen hammers a running refocus-serve instance
+// through the resilient client (internal/serveclient): concurrent
+// workers issue evaluate requests with retry, backoff and a circuit
+// breaker, then the run reports how much resilience machinery it took.
+//
+// Usage:
+//
+//	refocus-loadgen -addr http://127.0.0.1:8080 [-concurrency 8]
+//	                [-requests 50] [-distinct 8] [-preset fb]
+//	                [-network ResNet-18] [-retries 8] [-seed 1]
+//
+// Each worker sends -requests requests, cycling through -distinct
+// design-point variants (distinct names force cache misses, keeping the
+// worker pool busy). The process exits nonzero if any request failed
+// after all retries — against a chaotic or overloaded server, a zero
+// exit means the client hid every transient failure, which is exactly
+// what the CI chaos job asserts.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"refocus/internal/serve"
+	"refocus/internal/serveclient"
+)
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("refocus-loadgen", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "refocus-serve base URL")
+	concurrency := fs.Int("concurrency", 8, "concurrent workers")
+	requests := fs.Int("requests", 50, "requests per worker")
+	distinct := fs.Int("distinct", 8, "distinct design-point variants to cycle through")
+	preset := fs.String("preset", "fb", "base preset for every request")
+	network := fs.String("network", "ResNet-18", "benchmark network per request")
+	retries := fs.Int("retries", 8, "client retries per request")
+	seed := fs.Int64("seed", 1, "client backoff-jitter seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *concurrency < 1 || *requests < 1 || *distinct < 1 {
+		return fmt.Errorf("refocus-loadgen: -concurrency, -requests and -distinct must be >= 1")
+	}
+	client, err := serveclient.New(serveclient.Config{
+		BaseURL:    *addr,
+		MaxRetries: *retries,
+		Seed:       *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	var failed atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < *requests; i++ {
+				variant := fmt.Sprintf(`{"Name": "loadgen-%d"}`, (w**requests+i)%*distinct)
+				req := serve.EvaluateRequest{
+					Preset:    *preset,
+					Network:   *network,
+					Overrides: json.RawMessage(variant),
+				}
+				if _, err := client.Evaluate(ctx, req); err != nil {
+					failed.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := int64(*concurrency) * int64(*requests)
+	st := client.Stats()
+	fmt.Fprintf(out, "loadgen: %d requests in %.2fs against %s\n", total, time.Since(start).Seconds(), *addr)
+	fmt.Fprintf(out, "failed=%d retries=%d shed=%d breaker_opens=%d breaker_rejects=%d\n",
+		failed.Load(), st.Retries, st.Shed, st.BreakerOpens, st.BreakerRejects)
+	if n := failed.Load(); n > 0 {
+		return fmt.Errorf("refocus-loadgen: %d/%d requests failed after retries (first: %v)", n, total, firstErr.Load())
+	}
+	return nil
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "refocus-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+}

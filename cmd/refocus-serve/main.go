@@ -5,10 +5,19 @@
 // Usage:
 //
 //	refocus-serve [-addr :8080] [-workers 4] [-cache-size 4096]
-//	              [-timeout 30s] [-max-body 1048576]
+//	              [-timeout 30s] [-max-body 1048576] [-queue-depth 64]
+//	              [-chaos-fail 0] [-chaos-slow 0] [-chaos-slow-delay 100ms]
+//	              [-chaos-seed 0]
 //
 // The process serves until SIGINT/SIGTERM, then drains in-flight
-// requests and exits cleanly.
+// requests and exits cleanly. -queue-depth bounds the wait line ahead of
+// the worker pool: arrivals past it are shed with 429 + Retry-After
+// instead of queueing without limit. The -chaos-* flags enable the
+// opt-in fault-injection middleware (never on by default): -chaos-fail
+// fails each evaluation request with a marked 503 at that probability,
+// and -chaos-slow holds the worker slot for -chaos-slow-delay at that
+// probability so tests can saturate the pool on demand; -chaos-seed
+// makes the injected coin flips reproducible.
 //
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/evaluate \
@@ -35,6 +44,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	cacheSize := fs.Int("cache-size", 4096, "result-cache capacity in (config, network) reports")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request evaluation timeout, including queue time")
 	maxBody := fs.Int64("max-body", 1<<20, "max request body bytes")
+	queueDepth := fs.Int("queue-depth", 64, "max requests waiting for a worker before shedding with 429")
+	chaosFail := fs.Float64("chaos-fail", 0, "chaos middleware failure-injection probability (0 disables; testing only)")
+	chaosSlow := fs.Float64("chaos-slow", 0, "chaos middleware latency-injection probability (0 disables; testing only)")
+	chaosSlowDelay := fs.Duration("chaos-slow-delay", 100*time.Millisecond, "injected worker-slot hold per slowed evaluation")
+	chaosSeed := fs.Int64("chaos-seed", 0, "seed for the chaos injection sequence")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -46,6 +60,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		CacheSize:      *cacheSize,
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
+		QueueDepth:     *queueDepth,
+		Chaos: serve.ChaosConfig{
+			FailProb:  *chaosFail,
+			SlowProb:  *chaosSlow,
+			SlowDelay: *chaosSlowDelay,
+			Seed:      *chaosSeed,
+		},
 	}
 	return serve.ListenAndServe(ctx, cfg, *addr, out)
 }

@@ -4,12 +4,15 @@
 // Usage:
 //
 //	refocus-sim [-config fb|ff|baseline|single|fbws] [-config-file point.json]
-//	            [-network ResNet-50] [-dram] [-json] [-list] [-dump-config]
+//	            [-network ResNet-50] [-faults-file faults.json]
+//	            [-dram] [-json] [-list] [-dump-config]
 //
 // -config accepts any registry preset name or alias (-list prints them);
 // -config-file evaluates a serialized design point instead, optionally
 // overlaying a "Base" preset. -dump-config prints the resolved config as
 // JSON — the starting point for writing custom design-point files.
+// -faults-file applies a fault set (see internal/faults) and reports the
+// degraded machine's honest numbers, announcing the remapping first.
 package main
 
 import (
@@ -25,6 +28,7 @@ func run(args []string, out io.Writer) error {
 	configName := fs.String("config", "fb", "accelerator preset name or alias (see -list)")
 	configFile := fs.String("config-file", "", "JSON design-point file (overrides -config)")
 	network := fs.String("network", "ResNet-50", "benchmark network (see -list), or 'all'")
+	faultsFile := fs.String("faults-file", "", "JSON fault set; evaluate the degraded machine it leaves behind")
 	withDRAM := fs.Bool("dram", false, "include DRAM power in the total (the paper's §7.3 view)")
 	profile := fs.Int("profile", 0, "also print the top-N layer consumers")
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON reports instead of text")
@@ -56,6 +60,7 @@ func run(args []string, out io.Writer) error {
 		WithDRAM:   *withDRAM,
 		Profile:    *profile,
 		JSON:       *asJSON,
+		FaultsFile: *faultsFile,
 	}, out)
 }
 

@@ -11,19 +11,31 @@
 //
 //	refocus-sweep -sweep m|reuse|lambda|rfcu|alpha [-buffer fb|ff]
 //	              [-config-file point.json] [-parallel N] [-list]
+//	refocus-sweep -faults [-trials 100] [-seed 1] [-fault-rfcu-p 0.05]
+//	              [-fault-lambda-p 0.02] [-fault-loss-db 0.5]
 //
 // The swept base design is a registry preset (-buffer accepts any preset
 // name or alias) or a JSON design point (-config-file); -list prints the
 // known presets and networks.
+//
+// -faults switches to the Monte Carlo yield sweep: each trial samples a
+// fault set (dead RFCUs, failed wavelengths, buffer loss drift), degrades
+// the base design with it, and evaluates the surviving machine. The
+// output is the nominal point, the throughput and energy distributions
+// across trials, the hard-failure yield, and — for feedback-buffer
+// designs — the R-vs-excess-loss resilience curve. The same -seed always
+// reproduces the same trial set, at any -parallel worker count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 
 	"refocus/internal/arch"
 	"refocus/internal/buffers"
+	"refocus/internal/faults"
 	"refocus/internal/nn"
 	"refocus/internal/phys"
 	"refocus/internal/sim"
@@ -52,6 +64,46 @@ func evalGrid(cfgs []arch.SystemConfig, nets []nn.Network) ([]metrics, error) {
 	return out, nil
 }
 
+// runYieldSweep runs the -faults Monte Carlo mode: yield, throughput and
+// energy distributions over sampled fault sets, plus the resilience
+// curve for feedback designs.
+func runYieldSweep(base arch.SystemConfig, nets []nn.Network, model faults.MonteCarloModel, trials int, seed int64, out io.Writer) error {
+	res, err := faults.YieldSweep(context.Background(), base, nets, model, trials, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "yield sweep on %s: %d trials, seed %d\n", base.Name, res.Trials, seed)
+	fmt.Fprintf(out, "fault model: RFCU fail p=%g, wavelength fail p=%g, buffer loss σ=%g dB\n",
+		model.RFCUFailProb, model.WavelengthFailProb, model.BufferLossSigmaDB)
+	survivors := res.Trials - res.Failed
+	fmt.Fprintf(out, "hard failures (no healthy compute path): %d/%d  (yield %.1f%%)\n",
+		res.Failed, res.Trials, 100*float64(survivors)/float64(res.Trials))
+	fmt.Fprintf(out, "nominal (fault-free): geomean FPS %.1f, energy/inference %.3g J\n\n", res.NominalFPS, res.NominalEnergy)
+	if survivors > 0 {
+		fmt.Fprintln(out, "surviving chips        mean      min       p10       median    p90       max")
+		d := res.FPS
+		fmt.Fprintf(out, "geomean FPS            %-9.1f %-9.1f %-9.1f %-9.1f %-9.1f %.1f\n",
+			d.Mean, d.Min, d.P10, d.Median, d.P90, d.Max)
+		e := res.Energy
+		fmt.Fprintf(out, "energy/inference (J)   %-9.3g %-9.3g %-9.3g %-9.3g %-9.3g %.3g\n\n",
+			e.Mean, e.Min, e.P10, e.Median, e.P90, e.Max)
+	}
+	if base.Buffer != arch.Feedback {
+		return nil
+	}
+	pts, err := faults.ResilienceCurve(base, 6, 13)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "resilience: reuse derating vs excess buffer loss")
+	fmt.Fprintln(out, "excess(dB)  R    rel laser power  dynamic range")
+	for _, p := range pts {
+		fmt.Fprintf(out, "%-11.2f %-4d %-16.2f %.2f\n",
+			p.ExcessLossDB, p.EffectiveReuses, p.RelativeLaserPower, p.DynamicRange)
+	}
+	return nil
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("refocus-sweep", flag.ContinueOnError)
 	sweep := fs.String("sweep", "m", "dimension: m, reuse, lambda, rfcu, alpha")
@@ -59,6 +111,12 @@ func run(args []string, out io.Writer) error {
 	configFile := fs.String("config-file", "", "JSON design-point file as the sweep base (overrides -buffer)")
 	parallel := fs.Int("parallel", 0, "evaluation workers (0 = REFOCUS_PARALLEL or GOMAXPROCS)")
 	list := fs.Bool("list", false, "print known presets and benchmark networks, then exit")
+	faultsMode := fs.Bool("faults", false, "run the Monte Carlo yield sweep instead of a design-space sweep")
+	trials := fs.Int("trials", 100, "Monte Carlo trials for -faults")
+	seed := fs.Int64("seed", 1, "Monte Carlo seed for -faults (same seed, same trials)")
+	rfcuP := fs.Float64("fault-rfcu-p", 0.05, "per-RFCU whole-unit failure probability for -faults")
+	lambdaP := fs.Float64("fault-lambda-p", 0.02, "per-(RFCU, wavelength) laser failure probability for -faults")
+	lossSigma := fs.Float64("fault-loss-db", 0.5, "half-normal σ of excess buffer trip loss in dB for -faults")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,6 +134,15 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	nets := nn.Table4Networks()
+
+	if *faultsMode {
+		model := faults.MonteCarloModel{
+			RFCUFailProb:       *rfcuP,
+			WavelengthFailProb: *lambdaP,
+			BufferLossSigmaDB:  *lossSigma,
+		}
+		return runYieldSweep(base, nets, model, *trials, *seed, out)
+	}
 
 	switch *sweep {
 	case "m":

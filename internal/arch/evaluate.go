@@ -1,6 +1,7 @@
 package arch
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -213,18 +214,23 @@ func SetParallelism(n int) {
 	parallelismOverride.Store(int64(n))
 }
 
-// parallelFor runs body(0..n-1) across min(Parallelism(), n) goroutines.
-// Iterations must be independent; the call returns after all complete.
-func parallelFor(n int, body func(i int)) {
+// parallelFor runs body(0..n-1) across min(Parallelism(), n) goroutines,
+// stopping early (remaining iterations skipped) once ctx is canceled.
+// Iterations must be independent; the call returns after every started
+// iteration completes, with ctx.Err() if the loop was cut short.
+func parallelFor(ctx context.Context, n int, body func(i int)) error {
 	workers := Parallelism()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			body(i)
 		}
-		return
+		return nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -232,7 +238,7 @@ func parallelFor(n int, body func(i int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -242,6 +248,7 @@ func parallelFor(n int, body func(i int)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // EvaluateAll evaluates every network on the configuration. Networks are
@@ -250,11 +257,22 @@ func parallelFor(n int, body func(i int)) {
 // matches the serial loop exactly. The first error (in input order, also
 // deterministic) aborts the result.
 func EvaluateAll(cfg SystemConfig, nets []nn.Network) ([]Report, error) {
+	return EvaluateAllCtx(context.Background(), cfg, nets)
+}
+
+// EvaluateAllCtx is EvaluateAll honoring cancellation between design
+// points: a canceled ctx stops the point loop mid-sweep (in-flight
+// points finish, the rest never start) and returns ctx's error, so a
+// timed-out request stops burning workers instead of running to
+// completion.
+func EvaluateAllCtx(ctx context.Context, cfg SystemConfig, nets []nn.Network) ([]Report, error) {
 	out := make([]Report, len(nets))
 	errs := make([]error, len(nets))
-	parallelFor(len(nets), func(i int) {
+	if err := parallelFor(ctx, len(nets), func(i int) {
 		out[i], errs[i] = Evaluate(cfg, nets[i])
-	})
+	}); err != nil {
+		return nil, fmt.Errorf("arch: evaluation canceled: %w", err)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -288,15 +306,24 @@ func MustEvaluateGrid(cfgs []SystemConfig, nets []nn.Network) [][]Report {
 // across Parallelism() workers. out[i] corresponds to cfgs[i] in order;
 // the first error in input order aborts the result.
 func EvaluateGrid(cfgs []SystemConfig, nets []nn.Network) ([][]Report, error) {
+	return EvaluateGridCtx(context.Background(), cfgs, nets)
+}
+
+// EvaluateGridCtx is EvaluateGrid honoring cancellation between
+// (config, network) points, with the same early-stop contract as
+// EvaluateAllCtx.
+func EvaluateGridCtx(ctx context.Context, cfgs []SystemConfig, nets []nn.Network) ([][]Report, error) {
 	out := make([][]Report, len(cfgs))
 	for i := range out {
 		out[i] = make([]Report, len(nets))
 	}
 	k := len(nets)
 	errs := make([]error, len(cfgs)*k)
-	parallelFor(len(cfgs)*k, func(i int) {
+	if err := parallelFor(ctx, len(cfgs)*k, func(i int) {
 		out[i/k][i%k], errs[i] = Evaluate(cfgs[i/k], nets[i%k])
-	})
+	}); err != nil {
+		return nil, fmt.Errorf("arch: evaluation canceled: %w", err)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

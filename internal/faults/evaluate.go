@@ -1,0 +1,68 @@
+package faults
+
+import (
+	"context"
+
+	"refocus/internal/arch"
+	"refocus/internal/nn"
+)
+
+// Report is one degraded evaluation: the bottom-up arch report of the
+// effective (remapped) machine plus the remapping record that explains
+// it. The embedded report's area fields always describe the physical
+// chip — dead silicon still occupies (and was paid for in) area — so
+// FPS/mm² and PAP compare degraded and healthy machines honestly.
+type Report struct {
+	arch.Report
+	// Degradation records the remapping the numbers follow.
+	Degradation Degradation
+}
+
+// Evaluate runs the bottom-up model for one network on the degraded
+// machine: the fault set is mapped onto the dataflow (Degrade), the
+// effective configuration is evaluated exactly like a healthy one, and
+// the area-normalized metrics are restored to the physical chip's area.
+// With a zero fault set the embedded report is bit-identical to
+// arch.Evaluate's. A fault set that leaves nothing runnable returns
+// ErrNothingRuns rather than any number.
+func Evaluate(cfg arch.SystemConfig, fs FaultSet, net nn.Network) (Report, error) {
+	reports, err := EvaluateAllCtx(context.Background(), cfg, fs, []nn.Network{net})
+	if err != nil {
+		return Report{}, err
+	}
+	return reports[0], nil
+}
+
+// EvaluateAllCtx evaluates every network on the degraded machine,
+// fanning out like arch.EvaluateAllCtx and honoring cancellation
+// between networks. Degrade runs once; all reports share its remapping.
+func EvaluateAllCtx(ctx context.Context, cfg arch.SystemConfig, fs FaultSet, nets []nn.Network) ([]Report, error) {
+	eff, deg, err := fs.Degrade(cfg)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := arch.EvaluateAllCtx(ctx, eff, nets)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Report, len(inner))
+	var physArea arch.AreaBreakdown
+	if !fs.IsZero() {
+		// The effective config priced power on healthy units only
+		// (dead ones are power-gated), but the chip's footprint is the
+		// nominal design's.
+		physArea, err = arch.ComputeArea(cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, r := range inner {
+		if !fs.IsZero() {
+			r.Area = physArea
+			r.FPSPerMM2 = r.FPS / (physArea.Total() / 1e-6)
+			r.PAP = r.FPSPerWatt * r.FPSPerMM2
+		}
+		out[i] = Report{Report: r, Degradation: deg}
+	}
+	return out, nil
+}

@@ -61,10 +61,13 @@ type Metrics struct {
 	mu        sync.Mutex
 	endpoints map[string]*endpointMetrics
 
-	inFlight    atomic.Int64
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
-	evaluations atomic.Int64
+	inFlight      atomic.Int64
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	evaluations   atomic.Int64
+	shed          atomic.Int64
+	chaosInjected atomic.Int64
+	chaosSlowed   atomic.Int64
 }
 
 // newMetrics returns zeroed metrics.
@@ -112,15 +115,26 @@ type Snapshot struct {
 	// Evaluations counts design-point evaluations executed on the worker
 	// pool (cache misses that did real work).
 	Evaluations int64
-	Cache       CacheStats
-	Endpoints   map[string]EndpointStats
+	// Shed counts requests rejected with 429 because the bounded queue
+	// ahead of the worker pool was full (load shedding, never a hang).
+	Shed int64
+	// ChaosInjected counts requests failed on purpose by the opt-in
+	// chaos middleware, and ChaosSlowed the evaluations it delayed
+	// (both always 0 unless chaos is configured).
+	ChaosInjected int64
+	ChaosSlowed   int64
+	Cache         CacheStats
+	Endpoints     map[string]EndpointStats
 }
 
 // snapshot assembles the /metrics payload.
 func (m *Metrics) snapshot(cache *reportCache) Snapshot {
 	s := Snapshot{
-		InFlight:    m.inFlight.Load(),
-		Evaluations: m.evaluations.Load(),
+		InFlight:      m.inFlight.Load(),
+		Evaluations:   m.evaluations.Load(),
+		Shed:          m.shed.Load(),
+		ChaosInjected: m.chaosInjected.Load(),
+		ChaosSlowed:   m.chaosSlowed.Load(),
 		Cache: CacheStats{
 			Hits:     m.cacheHits.Load(),
 			Misses:   m.cacheMisses.Load(),

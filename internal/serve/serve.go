@@ -26,9 +26,12 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"refocus/internal/arch"
+	"refocus/internal/faults"
 	"refocus/internal/nn"
 	"refocus/internal/sim"
 )
@@ -50,6 +53,16 @@ type Config struct {
 	// MaxBodyBytes caps request body size; larger bodies get 413.
 	// Default 1 MiB.
 	MaxBodyBytes int64
+	// QueueDepth bounds how many requests may wait for a worker slot
+	// beyond the Workers already evaluating. An arrival past the bound
+	// is shed immediately with 429 + Retry-After — the service degrades
+	// by refusing work it cannot schedule, never by queueing without
+	// limit (unbounded queues hang clients and OOM the process).
+	// Default 64.
+	QueueDepth int
+	// Chaos is the opt-in fault-injection middleware for resilience
+	// testing; the zero value (the default) injects nothing.
+	Chaos ChaosConfig
 }
 
 // withDefaults returns the config with unset fields defaulted.
@@ -66,6 +79,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
 	return c
 }
 
@@ -76,7 +92,11 @@ type Server struct {
 	cache   *reportCache
 	metrics *Metrics
 	slots   chan struct{}
-	mux     *http.ServeMux
+	// admitted counts requests between acquireSlot entry and releaseSlot
+	// (waiting or evaluating); past Workers+QueueDepth arrivals are shed.
+	admitted atomic.Int64
+	chaos    *chaosInjector
+	mux      *http.ServeMux
 }
 
 // New builds a Server from the config (zero fields defaulted).
@@ -87,10 +107,11 @@ func New(cfg Config) *Server {
 		cache:   newReportCache(cfg.CacheSize),
 		metrics: newMetrics(),
 		slots:   make(chan struct{}, cfg.Workers),
+		chaos:   newChaosInjector(cfg.Chaos),
 		mux:     http.NewServeMux(),
 	}
-	s.mux.Handle("POST /v1/evaluate", s.instrument("/v1/evaluate", s.handleEvaluate))
-	s.mux.Handle("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	s.mux.Handle("POST /v1/evaluate", s.instrument("/v1/evaluate", s.withChaos(s.handleEvaluate)))
+	s.mux.Handle("POST /v1/sweep", s.instrument("/v1/sweep", s.withChaos(s.handleSweep)))
 	s.mux.Handle("GET /v1/presets", s.instrument("/v1/presets", s.handlePresets))
 	s.mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
@@ -118,6 +139,12 @@ type EvaluateRequest struct {
 	Overrides json.RawMessage `json:",omitempty"`
 	// Network is a benchmark name or "all"; empty means "all".
 	Network string `json:",omitempty"`
+	// Faults is an optional faults.FaultSet in its JSON schema. When
+	// present (and non-zero) the request evaluates the degraded machine
+	// the fault set leaves behind, and the response carries the
+	// Degradation record; cache entries for degraded reports are keyed
+	// separately so they never alias healthy ones.
+	Faults json.RawMessage `json:",omitempty"`
 }
 
 // EvaluateResponse is the result of one design-point evaluation.
@@ -134,6 +161,10 @@ type EvaluateResponse struct {
 	CacheMisses int
 	// Reports are the full evaluation reports, one per network.
 	Reports []arch.Report
+	// Degradation records the fault remapping when the request carried a
+	// non-zero fault set; nil for healthy evaluations. Reports then hold
+	// the degraded machine's numbers.
+	Degradation *faults.Degradation `json:",omitempty"`
 }
 
 // SweepRequest is a batch of design points evaluated concurrently.
@@ -175,10 +206,14 @@ type ErrorResponse struct {
 	Status int
 }
 
-// apiError pairs an HTTP status with a cause for writeError.
+// apiError pairs an HTTP status with a cause for writeError. A nonzero
+// retryAfter additionally sets the Retry-After response header — the
+// contract shed and chaos-injected responses use to tell well-behaved
+// clients when to come back.
 type apiError struct {
-	status int
-	err    error
+	status     int
+	retryAfter int // seconds; 0 means no Retry-After header
+	err        error
 }
 
 // Error implements the error interface.
@@ -244,9 +279,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v) //nolint:errcheck // a failed write means the client is gone
 }
 
-// writeError sends the structured error payload for err.
+// writeError sends the structured error payload for err, honoring any
+// Retry-After hint an apiError carries.
 func writeError(w http.ResponseWriter, err error) {
 	status := statusOf(err)
+	var ae *apiError
+	if errors.As(err, &ae) && ae.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(ae.retryAfter))
+	}
 	writeJSON(w, status, ErrorResponse{Error: err.Error(), Status: status})
 }
 
@@ -300,27 +340,70 @@ func resolveRequestConfig(req EvaluateRequest) (arch.SystemConfig, error) {
 	return cfg, nil
 }
 
-// acquireSlot blocks until a worker slot frees up or the request dies.
+// acquireSlot blocks until a worker slot frees up or the request dies —
+// unless the bounded queue ahead of the pool is already full, in which
+// case the request is shed immediately with 429 + Retry-After. Shedding
+// keeps the wait line finite: an overloaded server answers fast with
+// "come back later" instead of hanging every caller until timeout.
 func (s *Server) acquireSlot(ctx context.Context) error {
+	if n := s.admitted.Add(1); n > int64(s.cfg.Workers+s.cfg.QueueDepth) {
+		s.admitted.Add(-1)
+		s.metrics.shed.Add(1)
+		return &apiError{
+			status:     http.StatusTooManyRequests,
+			retryAfter: 1,
+			err:        errors.New("serve: worker pool saturated and queue full; retry later"),
+		}
+	}
 	select {
 	case s.slots <- struct{}{}:
-		return nil
+		return nil // admitted stays counted until releaseSlot
 	case <-ctx.Done():
+		s.admitted.Add(-1)
 		return fmt.Errorf("serve: waiting for a worker slot: %w", ctx.Err())
 	}
 }
 
 // releaseSlot returns a slot to the pool.
-func (s *Server) releaseSlot() { <-s.slots }
+func (s *Server) releaseSlot() {
+	<-s.slots
+	s.admitted.Add(-1)
+}
+
+// resolveRequestFaults parses and validates a request's optional fault
+// set against the resolved config. A zero fault set is reported as
+// absent so healthy requests stay on the healthy cache keys.
+func resolveRequestFaults(req EvaluateRequest, cfg arch.SystemConfig) (*faults.FaultSet, error) {
+	if len(req.Faults) == 0 {
+		return nil, nil
+	}
+	fs, err := faults.Parse(req.Faults)
+	if err != nil {
+		return nil, err
+	}
+	if err := fs.Validate(cfg); err != nil {
+		return nil, err
+	}
+	if fs.IsZero() {
+		return nil, nil
+	}
+	return &fs, nil
+}
 
 // evaluatePoint resolves and evaluates one request, serving every
 // (config, network) pair it can from the cache and running the rest on
-// the worker pool in one arch.EvaluateAll fan-out.
+// the worker pool in one evaluation fan-out. Requests carrying a fault
+// set evaluate the degraded machine; their cache keys get the fault
+// set's hash appended, so degraded reports never masquerade as healthy.
 func (s *Server) evaluatePoint(ctx context.Context, req EvaluateRequest) (EvaluateResponse, error) {
 	if err := ctx.Err(); err != nil {
 		return EvaluateResponse{}, err
 	}
 	cfg, err := resolveRequestConfig(req)
+	if err != nil {
+		return EvaluateResponse{}, badRequest(err)
+	}
+	fs, err := resolveRequestFaults(req, cfg)
 	if err != nil {
 		return EvaluateResponse{}, badRequest(err)
 	}
@@ -336,18 +419,32 @@ func (s *Server) evaluatePoint(ctx context.Context, req EvaluateRequest) (Evalua
 	if err != nil {
 		return EvaluateResponse{}, err
 	}
-
 	resp := EvaluateResponse{
 		Config:     cfg.Name,
 		ConfigHash: hash,
 		Networks:   make([]string, len(nets)),
 		Reports:    make([]arch.Report, len(nets)),
 	}
+	keyPrefix := hash
+	if fs != nil {
+		fsHash, err := fs.Hash()
+		if err != nil {
+			return EvaluateResponse{}, err
+		}
+		keyPrefix = hash + "|" + fsHash
+		// The remapping record is cheap to recompute, so full cache hits
+		// still answer with an honest Degradation block.
+		_, deg, err := fs.Degrade(cfg)
+		if err != nil {
+			return EvaluateResponse{}, badRequest(err)
+		}
+		resp.Degradation = &deg
+	}
 	var missing []nn.Network
 	var missingIdx []int
 	for i, net := range nets {
 		resp.Networks[i] = net.Name
-		key := hash + "|" + net.Name
+		key := keyPrefix + "|" + net.Name
 		if r, ok := s.cache.get(key); ok {
 			resp.Reports[i] = r
 			resp.CacheHits++
@@ -364,7 +461,22 @@ func (s *Server) evaluatePoint(ctx context.Context, req EvaluateRequest) (Evalua
 		if err := s.acquireSlot(ctx); err != nil {
 			return EvaluateResponse{}, err
 		}
-		reports, err := arch.EvaluateAll(cfg, missing)
+		if s.chaos.maybeSlow(ctx) {
+			s.metrics.chaosSlowed.Add(1)
+		}
+		var reports []arch.Report
+		if fs != nil {
+			degraded, derr := faults.EvaluateAllCtx(ctx, cfg, *fs, missing)
+			err = derr
+			if derr == nil {
+				reports = make([]arch.Report, len(degraded))
+				for j, dr := range degraded {
+					reports[j] = dr.Report
+				}
+			}
+		} else {
+			reports, err = arch.EvaluateAllCtx(ctx, cfg, missing)
+		}
 		s.releaseSlot()
 		if err != nil {
 			return EvaluateResponse{}, badRequest(err)
@@ -372,7 +484,7 @@ func (s *Server) evaluatePoint(ctx context.Context, req EvaluateRequest) (Evalua
 		s.metrics.evaluations.Add(int64(len(missing)))
 		for j, r := range reports {
 			resp.Reports[missingIdx[j]] = r
-			s.cache.put(hash+"|"+missing[j].Name, r)
+			s.cache.put(keyPrefix+"|"+missing[j].Name, r)
 		}
 	}
 	return resp, nil

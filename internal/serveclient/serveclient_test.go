@@ -1,0 +1,246 @@
+package serveclient
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"refocus/internal/serve"
+)
+
+// testClient builds a client against handler with fast test timings.
+func testClient(t *testing.T, handler http.Handler, mutate func(*Config)) (*Client, *httptest.Server) {
+	t.Helper()
+	ts := httptest.NewServer(handler)
+	t.Cleanup(ts.Close)
+	cfg := Config{
+		BaseURL:     ts.URL,
+		MaxRetries:  4,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  4 * time.Millisecond,
+		Seed:        1,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ts
+}
+
+// TestRetriesRecoverTransientFailures: a server that fails twice with
+// 503 then succeeds is invisible to the caller, and the stats record
+// the retries it took.
+func TestRetriesRecoverTransientFailures(t *testing.T) {
+	var calls atomic.Int64
+	c, _ := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "flaky", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"Config": "fb"}`)) //nolint:errcheck
+	}), nil)
+	resp, err := c.Evaluate(context.Background(), serve.EvaluateRequest{Preset: "fb"})
+	if err != nil {
+		t.Fatalf("client failed to hide transient errors: %v", err)
+	}
+	if resp.Config != "fb" {
+		t.Errorf("response lost: %+v", resp)
+	}
+	st := c.Stats()
+	if st.Requests != 1 || st.Retries != 2 {
+		t.Errorf("stats %+v, want Requests=1 Retries=2", st)
+	}
+}
+
+// TestShedCountedAndRetried: 429 responses are retried (honoring
+// Retry-After) and counted as Shed.
+func TestShedCountedAndRetried(t *testing.T) {
+	var calls atomic.Int64
+	c, _ := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"Error": "serve: worker pool saturated", "Status": 429}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{}`)) //nolint:errcheck
+	}), nil)
+	if _, err := c.Evaluate(context.Background(), serve.EvaluateRequest{Preset: "fb"}); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Shed != 1 || st.Retries != 1 {
+		t.Errorf("stats %+v, want Shed=1 Retries=1", st)
+	}
+}
+
+// TestPermanentErrorsNotRetried: a 400 comes back once, as a
+// StatusError carrying the server's message, with no retries burned.
+func TestPermanentErrorsNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	c, _ := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"Error": "serve: unknown preset \"tpu\"", "Status": 400}`, http.StatusBadRequest)
+	}), nil)
+	_, err := c.Evaluate(context.Background(), serve.EvaluateRequest{Preset: "tpu"})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusBadRequest {
+		t.Fatalf("want StatusError 400, got %v", err)
+	}
+	if se.Message == "" || calls.Load() != 1 {
+		t.Errorf("message %q after %d calls; want the server's text after exactly 1", se.Message, calls.Load())
+	}
+	if st := c.Stats(); st.Retries != 0 {
+		t.Errorf("permanent error burned retries: %+v", st)
+	}
+}
+
+// TestCircuitBreaker: consecutive failures open the circuit (calls fail
+// fast without touching the server), and a successful probe after the
+// cooldown closes it again.
+func TestCircuitBreaker(t *testing.T) {
+	var calls atomic.Int64
+	var healthy atomic.Bool
+	c, _ := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if healthy.Load() {
+			w.Write([]byte(`{}`)) //nolint:errcheck
+			return
+		}
+		http.Error(w, "down", http.StatusInternalServerError)
+	}), func(cfg *Config) {
+		cfg.MaxRetries = -1 // no retries: each call is one attempt
+		cfg.BreakerThreshold = 2
+		cfg.BreakerCooldown = 50 * time.Millisecond
+	})
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := c.Evaluate(ctx, serve.EvaluateRequest{Preset: "fb"}); err == nil {
+			t.Fatal("dead server answered")
+		}
+	}
+	if st := c.Stats(); st.BreakerOpens != 1 {
+		t.Fatalf("breaker did not open after threshold: %+v", st)
+	}
+	atServer := calls.Load()
+	_, err := c.Evaluate(ctx, serve.EvaluateRequest{Preset: "fb"})
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open circuit let a call through: %v", err)
+	}
+	if calls.Load() != atServer {
+		t.Error("breaker reject still reached the server")
+	}
+	if st := c.Stats(); st.BreakerRejects != 1 {
+		t.Errorf("stats %+v, want BreakerRejects=1", st)
+	}
+
+	healthy.Store(true)
+	time.Sleep(60 * time.Millisecond) // past the cooldown: next call probes
+	if _, err := c.Evaluate(ctx, serve.EvaluateRequest{Preset: "fb"}); err != nil {
+		t.Fatalf("half-open probe failed against a healthy server: %v", err)
+	}
+	if _, err := c.Evaluate(ctx, serve.EvaluateRequest{Preset: "fb"}); err != nil {
+		t.Fatalf("circuit did not close after the probe: %v", err)
+	}
+}
+
+// TestContextCancelStopsBackoff: cancellation during a backoff sleep
+// surfaces promptly instead of burning the remaining retries.
+func TestContextCancelStopsBackoff(t *testing.T) {
+	c, _ := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}), func(cfg *Config) {
+		cfg.BaseBackoff = 10 * time.Second
+		cfg.MaxBackoff = 10 * time.Second
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Evaluate(ctx, serve.EvaluateRequest{Preset: "fb"})
+	if err == nil {
+		t.Fatal("canceled call succeeded")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Errorf("cancellation took %v; backoff ignored the context", time.Since(start))
+	}
+}
+
+// TestBackoffDeterministicAndBounded: the jitter sequence replays under
+// one seed and never exceeds the configured cap.
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	mk := func() *Client {
+		c, err := New(Config{BaseURL: "http://x", Seed: 9, BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 32; i++ {
+		attempt := i % 8
+		da, db := a.backoff(attempt), b.backoff(attempt)
+		if da != db {
+			t.Fatalf("seeded backoff diverged at draw %d: %v vs %v", i, da, db)
+		}
+		if da < 0 || da > 8*time.Millisecond {
+			t.Fatalf("backoff %v outside [0, MaxBackoff]", da)
+		}
+	}
+}
+
+// TestAgainstRealServer: the client round-trips against the actual
+// serve handler — evaluate, then metrics.
+func TestAgainstRealServer(t *testing.T) {
+	srv := serve.New(serve.Config{})
+	c, _ := testClient(t, srv.Handler(), nil)
+	resp, err := c.Evaluate(context.Background(), serve.EvaluateRequest{Preset: "fb", Network: "ResNet-18"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Reports) != 1 || resp.Reports[0].FPS <= 0 {
+		t.Fatalf("reports: %+v", resp.Reports)
+	}
+	snap, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Evaluations != 1 {
+		t.Errorf("metrics over client: %+v", snap)
+	}
+}
+
+// TestChaoticServerFullyRecovered is the package's reason to exist: a
+// serve instance injecting failures at 40% must look perfect through
+// the retrying client.
+func TestChaoticServerFullyRecovered(t *testing.T) {
+	srv := serve.New(serve.Config{Chaos: serve.ChaosConfig{FailProb: 0.4, Seed: 3}})
+	c, _ := testClient(t, srv.Handler(), func(cfg *Config) {
+		cfg.MaxRetries = 8
+	})
+	for i := 0; i < 8; i++ {
+		if _, err := c.Evaluate(context.Background(), serve.EvaluateRequest{Preset: "fb", Network: "ResNet-18"}); err != nil {
+			t.Fatalf("request %d leaked a chaos failure: %v", i, err)
+		}
+	}
+	st := c.Stats()
+	if st.Retries == 0 {
+		t.Error("chaos at 40% never forced a retry — injection suspiciously quiet")
+	}
+	if snap, err := c.Metrics(context.Background()); err != nil || snap.ChaosInjected == 0 {
+		t.Errorf("server chaos counter: %+v (%v)", snap, err)
+	}
+}
+
+// TestNewRequiresBaseURL: config validation.
+func TestNewRequiresBaseURL(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty BaseURL accepted")
+	}
+}

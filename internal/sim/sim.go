@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -14,6 +15,7 @@ import (
 	"strings"
 
 	"refocus/internal/arch"
+	"refocus/internal/faults"
 	"refocus/internal/nn"
 	"refocus/internal/phys"
 )
@@ -37,6 +39,27 @@ type Options struct {
 	Profile int
 	// JSON renders machine-readable reports instead of text.
 	JSON bool
+	// Faults, when non-nil, evaluates the degraded machine the fault
+	// set leaves behind (see internal/faults) instead of the healthy
+	// design point. FaultsFile loads it from JSON; a set given both
+	// ways is an error.
+	Faults     *faults.FaultSet
+	FaultsFile string
+}
+
+// resolveFaults returns the fault set the options name, if any.
+func (o Options) resolveFaults() (*faults.FaultSet, error) {
+	if o.Faults != nil && o.FaultsFile != "" {
+		return nil, fmt.Errorf("sim: both Faults and FaultsFile set; pick one")
+	}
+	if o.FaultsFile != "" {
+		fs, err := faults.Load(o.FaultsFile)
+		if err != nil {
+			return nil, err
+		}
+		return &fs, nil
+	}
+	return o.Faults, nil
 }
 
 // ResolveConfig returns the design point the options name: the config
@@ -117,6 +140,10 @@ type Result struct {
 	Config   arch.SystemConfig
 	Networks []nn.Network
 	Reports  []arch.Report
+	// Degradation is the fault remapping record when the run evaluated
+	// a degraded machine (Options.Faults/FaultsFile); nil for healthy
+	// runs. Reports then carry the degraded numbers.
+	Degradation *faults.Degradation
 }
 
 // Evaluate runs the pipeline up to (but not including) rendering:
@@ -137,6 +164,25 @@ func Evaluate(opts Options) (Result, error) {
 	nets, err := ResolveNetworks(opts.Network)
 	if err != nil {
 		return Result{}, err
+	}
+	fs, err := opts.resolveFaults()
+	if err != nil {
+		return Result{}, err
+	}
+	if fs != nil {
+		degraded, err := faults.EvaluateAllCtx(context.Background(), cfg, *fs, nets)
+		if err != nil {
+			return Result{}, err
+		}
+		res := Result{Config: cfg, Networks: nets, Reports: make([]arch.Report, len(degraded))}
+		for i, r := range degraded {
+			res.Reports[i] = r.Report
+		}
+		if len(degraded) > 0 {
+			deg := degraded[0].Degradation
+			res.Degradation = &deg
+		}
+		return res, nil
 	}
 	reports, err := arch.EvaluateAll(cfg, nets)
 	if err != nil {
@@ -170,15 +216,25 @@ func Run(opts Options, out io.Writer) error {
 		enc.SetIndent("", "  ")
 		return enc.Encode(res.Reports)
 	}
-	return renderText(res.Config, res.Networks, res.Reports, opts, out)
+	return renderText(res, opts, out)
 }
 
 // renderText prints the human-readable report refocus-sim historically
 // emitted: a config header, then per-network power/performance lines.
-func renderText(cfg arch.SystemConfig, nets []nn.Network, reports []arch.Report, opts Options, out io.Writer) error {
+// Degraded runs announce the remapping before any number.
+func renderText(res Result, opts Options, out io.Writer) error {
+	cfg, nets, reports := res.Config, res.Networks, res.Reports
 	area := arch.MustComputeArea(cfg) // cfg validated by Run
 	fmt.Fprintf(out, "config %s: %d RFCUs, T=%d, %d wavelengths, M=%d, buffer=%v, reuses=%d\n",
 		cfg.Name, cfg.NRFCU, cfg.T, cfg.NLambda, cfg.M, cfg.Buffer, cfg.Reuses)
+	if d := res.Degradation; d != nil {
+		name := d.FaultSet
+		if name == "" {
+			name = "unnamed fault set"
+		}
+		fmt.Fprintf(out, "DEGRADED by %s: %d/%d healthy RFCUs, effective λ=%d, buffer=%v, reuses=%d (trip loss %.3f dB)\n",
+			name, d.HealthyRFCUs, cfg.NRFCU, d.EffectiveLambda, d.EffectiveBuffer, d.EffectiveReuses, d.DelayTripLossDB)
+	}
 	fmt.Fprintf(out, "area: %.1f mm² total (%.1f photonic, %.1f SRAM+buffers, %.1f converters+logic)\n\n",
 		phys.M2ToMM2(area.Total()), phys.M2ToMM2(area.Photonic()),
 		phys.M2ToMM2(area.SRAM+area.DataBuffer), phys.M2ToMM2(area.Converters+area.CMOSLogic))
