@@ -7,7 +7,7 @@
 //	refocus-serve [-addr :8080] [-workers 4] [-cache-size 4096]
 //	              [-timeout 30s] [-max-body 1048576] [-queue-depth 64]
 //	              [-chaos-fail 0] [-chaos-slow 0] [-chaos-slow-delay 100ms]
-//	              [-chaos-seed 0]
+//	              [-chaos-seed 0] [-log-level info] [-pprof-addr host:port]
 //
 // The process serves until SIGINT/SIGTERM, then drains in-flight
 // requests and exits cleanly. -queue-depth bounds the wait line ahead of
@@ -19,9 +19,17 @@
 // probability so tests can saturate the pool on demand; -chaos-seed
 // makes the injected coin flips reproducible.
 //
+// Observability: every response carries an X-Request-ID that also tags
+// the structured request log on stderr (-log-level picks the slog
+// threshold; "off" silences it); GET /metrics?format=prometheus serves
+// the scrape-ready exposition next to the historical JSON; POST
+// /v1/evaluate?trace=1 returns a per-request Chrome trace; and
+// -pprof-addr exposes net/http/pprof on a separate, opt-in listener.
+//
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/evaluate \
 //	     -d '{"Preset": "fb", "Network": "ResNet-50"}'
+//	curl -s 'localhost:8080/metrics?format=prometheus'
 package main
 
 import (
@@ -29,13 +37,34 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"refocus/internal/obs"
 	"refocus/internal/serve"
 )
+
+// parseLogLevel maps the -log-level vocabulary to a slog.Leveler; "off"
+// (and a nil return) disables request logging.
+func parseLogLevel(s string) (slog.Level, bool, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, true, nil
+	case "info":
+		return slog.LevelInfo, true, nil
+	case "warn":
+		return slog.LevelWarn, true, nil
+	case "error":
+		return slog.LevelError, true, nil
+	case "off":
+		return 0, false, nil
+	}
+	return 0, false, fmt.Errorf("refocus-serve: unknown -log-level %q (debug|info|warn|error|off)", s)
+}
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("refocus-serve", flag.ContinueOnError)
@@ -49,13 +78,31 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	chaosSlow := fs.Float64("chaos-slow", 0, "chaos middleware latency-injection probability (0 disables; testing only)")
 	chaosSlowDelay := fs.Duration("chaos-slow-delay", 100*time.Millisecond, "injected worker-slot hold per slowed evaluation")
 	chaosSeed := fs.Int64("chaos-seed", 0, "seed for the chaos injection sequence")
+	logLevel := fs.String("log-level", "info", "structured request-log threshold (debug|info|warn|error|off)")
+	pprofAddr := fs.String("pprof-addr", "", "optional net/http/pprof listen address (empty disables profiling)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("refocus-serve: unexpected arguments %v", fs.Args())
 	}
+	level, logOn, err := parseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	var logger *slog.Logger
+	if logOn {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	}
+	if *pprofAddr != "" {
+		got, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			return fmt.Errorf("refocus-serve: pprof listener: %w", err)
+		}
+		fmt.Fprintf(out, "pprof listening on %s\n", got)
+	}
 	cfg := serve.Config{
+		Logger:         logger,
 		Workers:        *workers,
 		CacheSize:      *cacheSize,
 		RequestTimeout: *timeout,

@@ -5,27 +5,35 @@
 //
 //	refocus-sim [-config fb|ff|baseline|single|fbws] [-config-file point.json]
 //	            [-network ResNet-50] [-faults-file faults.json]
-//	            [-dram] [-json] [-list] [-dump-config]
+//	            [-dram] [-json] [-list] [-dump-config] [-trace out.json]
 //
 // -config accepts any registry preset name or alias (-list prints them);
-// -config-file evaluates a serialized design point instead, optionally
-// overlaying a "Base" preset. -dump-config prints the resolved config as
-// JSON — the starting point for writing custom design-point files.
-// -faults-file applies a fault set (see internal/faults) and reports the
-// degraded machine's honest numbers, announcing the remapping first.
+// -preset is a synonym for -config. -config-file evaluates a serialized
+// design point instead, optionally overlaying a "Base" preset.
+// -dump-config prints the resolved config as JSON — the starting point
+// for writing custom design-point files. -faults-file applies a fault
+// set (see internal/faults) and reports the degraded machine's honest
+// numbers, announcing the remapping first. -trace writes the run's span
+// timeline as Chrome trace_event JSON (load it at chrome://tracing or
+// ui.perfetto.dev).
 package main
 
 import (
+	"context"
 	"flag"
+	"fmt"
 	"io"
+	"os"
 
 	"refocus/internal/arch"
+	"refocus/internal/obs"
 	"refocus/internal/sim"
 )
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("refocus-sim", flag.ContinueOnError)
 	configName := fs.String("config", "fb", "accelerator preset name or alias (see -list)")
+	fs.StringVar(configName, "preset", "fb", "synonym for -config")
 	configFile := fs.String("config-file", "", "JSON design-point file (overrides -config)")
 	network := fs.String("network", "ResNet-50", "benchmark network (see -list), or 'all'")
 	faultsFile := fs.String("faults-file", "", "JSON fault set; evaluate the degraded machine it leaves behind")
@@ -34,6 +42,7 @@ func run(args []string, out io.Writer) error {
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON reports instead of text")
 	list := fs.Bool("list", false, "print known presets and benchmark networks, then exit")
 	dumpConfig := fs.Bool("dump-config", false, "print the resolved config as JSON, then exit")
+	traceFile := fs.String("trace", "", "write a Chrome trace_event JSON timeline of the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,7 +62,14 @@ func run(args []string, out io.Writer) error {
 		_, err = out.Write(data)
 		return err
 	}
-	return sim.Run(sim.Options{
+	ctx := context.Background()
+	var tr *obs.Trace
+	if *traceFile != "" {
+		tr = obs.NewTrace()
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	root := obs.StartSpan(ctx, "refocus-sim")
+	err := sim.RunCtx(ctx, sim.Options{
 		Preset:     *configName,
 		ConfigFile: *configFile,
 		Network:    *network,
@@ -62,6 +78,24 @@ func run(args []string, out io.Writer) error {
 		JSON:       *asJSON,
 		FaultsFile: *faultsFile,
 	}, out)
+	root.End()
+	if err != nil {
+		return err
+	}
+	if tr != nil {
+		f, ferr := os.Create(*traceFile)
+		if ferr != nil {
+			return fmt.Errorf("refocus-sim: trace file: %w", ferr)
+		}
+		if werr := tr.WriteJSON(f); werr != nil {
+			f.Close()
+			return fmt.Errorf("refocus-sim: writing trace: %w", werr)
+		}
+		if cerr := f.Close(); cerr != nil {
+			return fmt.Errorf("refocus-sim: closing trace file: %w", cerr)
+		}
+	}
+	return nil
 }
 
 func main() {

@@ -112,6 +112,97 @@ func TestRunConfigFileOverlay(t *testing.T) {
 	}
 }
 
+// TestRunTraceFile is the -trace acceptance check: the flag (with the
+// -preset synonym and the "refocus" alias) writes Chrome trace_event
+// JSON whose spans nest inside the root span's wall time — each child's
+// duration fits within the root, and the direct children of the root sum
+// to no more than it.
+func TestRunTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	var b strings.Builder
+	if err := run([]string{"-preset", "refocus", "-network", "ResNet-18", "-trace", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "ReFOCUS-FB") {
+		t.Fatalf("-preset refocus did not resolve to ReFOCUS-FB:\n%s", b.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", tf.DisplayTimeUnit)
+	}
+	var root *struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		PID  int     `json:"pid"`
+		TID  int     `json:"tid"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+	}
+	names := map[string]bool{}
+	for i := range tf.TraceEvents {
+		ev := &tf.TraceEvents[i]
+		if ev.Ph != "X" || ev.PID != 1 {
+			t.Errorf("event %q: ph=%q pid=%d, want complete events in pid 1", ev.Name, ev.Ph, ev.PID)
+		}
+		names[ev.Name] = true
+		if ev.Name == "refocus-sim" {
+			root = ev
+		}
+	}
+	for _, want := range []string{"refocus-sim", "sim.resolve", "sim.evaluate", "arch.evaluate", "sim.render"} {
+		if !names[want] {
+			t.Errorf("trace missing span %q (have %v)", want, names)
+		}
+	}
+	if root == nil {
+		t.Fatal("no root refocus-sim span")
+	}
+	var childSum float64
+	for _, ev := range tf.TraceEvents {
+		if ev.Name == "refocus-sim" {
+			continue
+		}
+		if ev.Ts < root.Ts || ev.Ts+ev.Dur > root.Ts+root.Dur+1 {
+			t.Errorf("span %q [%g, %g] escapes root [%g, %g]",
+				ev.Name, ev.Ts, ev.Ts+ev.Dur, root.Ts, root.Ts+root.Dur)
+		}
+		if ev.Name == "sim.resolve" || ev.Name == "sim.evaluate" || ev.Name == "sim.render" {
+			childSum += ev.Dur
+		}
+	}
+	if childSum > root.Dur+1 {
+		t.Errorf("direct children sum to %g µs, exceeding root %g µs", childSum, root.Dur)
+	}
+}
+
+// TestRunNoTraceFileByDefault: without -trace, nothing is written.
+func TestRunNoTraceFileByDefault(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-config", "fb", "-network", "ResNet-18"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "traceEvents") {
+		t.Error("trace output leaked into the report")
+	}
+}
+
 func TestRunConfigFileErrors(t *testing.T) {
 	dir := t.TempDir()
 	write := func(name, data string) string {

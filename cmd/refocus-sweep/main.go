@@ -11,12 +11,15 @@
 //
 //	refocus-sweep -sweep m|reuse|lambda|rfcu|alpha [-buffer fb|ff]
 //	              [-config-file point.json] [-parallel N] [-list]
+//	              [-trace out.json] [-pprof-addr host:port]
 //	refocus-sweep -faults [-trials 100] [-seed 1] [-fault-rfcu-p 0.05]
 //	              [-fault-lambda-p 0.02] [-fault-loss-db 0.5]
 //
 // The swept base design is a registry preset (-buffer accepts any preset
 // name or alias) or a JSON design point (-config-file); -list prints the
-// known presets and networks.
+// known presets and networks. -trace records the sweep's span timeline
+// (one lane per evaluation worker) as Chrome trace_event JSON, and
+// -pprof-addr exposes net/http/pprof for profiling long sweeps.
 //
 // -faults switches to the Monte Carlo yield sweep: each trial samples a
 // fault set (dead RFCUs, failed wavelengths, buffer loss drift), degrades
@@ -32,11 +35,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 
 	"refocus/internal/arch"
 	"refocus/internal/buffers"
 	"refocus/internal/faults"
 	"refocus/internal/nn"
+	"refocus/internal/obs"
 	"refocus/internal/phys"
 	"refocus/internal/sim"
 )
@@ -48,8 +53,8 @@ type metrics struct {
 
 // evalGrid evaluates all sweep configurations in parallel and reduces each
 // to its geomean metric row, preserving input order.
-func evalGrid(cfgs []arch.SystemConfig, nets []nn.Network) ([]metrics, error) {
-	grid, err := arch.EvaluateGrid(cfgs, nets)
+func evalGrid(ctx context.Context, cfgs []arch.SystemConfig, nets []nn.Network) ([]metrics, error) {
+	grid, err := arch.EvaluateGridCtx(ctx, cfgs, nets)
 	if err != nil {
 		return nil, err
 	}
@@ -67,8 +72,8 @@ func evalGrid(cfgs []arch.SystemConfig, nets []nn.Network) ([]metrics, error) {
 // runYieldSweep runs the -faults Monte Carlo mode: yield, throughput and
 // energy distributions over sampled fault sets, plus the resilience
 // curve for feedback designs.
-func runYieldSweep(base arch.SystemConfig, nets []nn.Network, model faults.MonteCarloModel, trials int, seed int64, out io.Writer) error {
-	res, err := faults.YieldSweep(context.Background(), base, nets, model, trials, seed)
+func runYieldSweep(ctx context.Context, base arch.SystemConfig, nets []nn.Network, model faults.MonteCarloModel, trials int, seed int64, out io.Writer) error {
+	res, err := faults.YieldSweep(ctx, base, nets, model, trials, seed)
 	if err != nil {
 		return err
 	}
@@ -117,6 +122,8 @@ func run(args []string, out io.Writer) error {
 	rfcuP := fs.Float64("fault-rfcu-p", 0.05, "per-RFCU whole-unit failure probability for -faults")
 	lambdaP := fs.Float64("fault-lambda-p", 0.02, "per-(RFCU, wavelength) laser failure probability for -faults")
 	lossSigma := fs.Float64("fault-loss-db", 0.5, "half-normal σ of excess buffer trip loss in dB for -faults")
+	traceFile := fs.String("trace", "", "write a Chrome trace_event JSON timeline of the sweep to this file")
+	pprofAddr := fs.String("pprof-addr", "", "optional net/http/pprof listen address (empty disables profiling)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -125,6 +132,19 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 	arch.SetParallelism(*parallel)
+	if *pprofAddr != "" {
+		got, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			return fmt.Errorf("refocus-sweep: pprof listener: %w", err)
+		}
+		fmt.Fprintf(out, "pprof listening on %s\n", got)
+	}
+	ctx := context.Background()
+	var tr *obs.Trace
+	if *traceFile != "" {
+		tr = obs.NewTrace()
+		ctx = obs.WithTrace(ctx, tr)
+	}
 
 	base, err := sim.ResolveConfig(*buffer, *configFile)
 	if err != nil {
@@ -135,16 +155,55 @@ func run(args []string, out io.Writer) error {
 	}
 	nets := nn.Table4Networks()
 
-	if *faultsMode {
-		model := faults.MonteCarloModel{
+	root := obs.StartSpan(ctx, "refocus-sweep")
+	err = runSelected(ctx, sweepOptions{
+		sweep:      *sweep,
+		faultsMode: *faultsMode,
+		trials:     *trials,
+		seed:       *seed,
+		model: faults.MonteCarloModel{
 			RFCUFailProb:       *rfcuP,
 			WavelengthFailProb: *lambdaP,
 			BufferLossSigmaDB:  *lossSigma,
-		}
-		return runYieldSweep(base, nets, model, *trials, *seed, out)
+		},
+	}, base, nets, out)
+	root.End()
+	if err != nil {
+		return err
 	}
+	if tr != nil {
+		f, ferr := os.Create(*traceFile)
+		if ferr != nil {
+			return fmt.Errorf("refocus-sweep: trace file: %w", ferr)
+		}
+		if werr := tr.WriteJSON(f); werr != nil {
+			f.Close()
+			return fmt.Errorf("refocus-sweep: writing trace: %w", werr)
+		}
+		if cerr := f.Close(); cerr != nil {
+			return fmt.Errorf("refocus-sweep: closing trace file: %w", cerr)
+		}
+	}
+	return nil
+}
 
-	switch *sweep {
+// sweepOptions bundles the mode selection flags for runSelected.
+type sweepOptions struct {
+	sweep      string
+	faultsMode bool
+	trials     int
+	seed       int64
+	model      faults.MonteCarloModel
+}
+
+// runSelected dispatches to the Monte Carlo yield sweep or the chosen
+// design-space sweep, under the caller's (possibly traced) context.
+func runSelected(ctx context.Context, opts sweepOptions, base arch.SystemConfig, nets []nn.Network, out io.Writer) error {
+	if opts.faultsMode {
+		return runYieldSweep(ctx, base, nets, opts.model, opts.trials, opts.seed, out)
+	}
+	var err error
+	switch opts.sweep {
 	case "m":
 		ms := []int{1, 2, 4, 8, 16, 32}
 		cfgs := make([]arch.SystemConfig, len(ms))
@@ -157,7 +216,7 @@ func run(args []string, out io.Writer) error {
 			}
 			cfgs[i] = cfg
 		}
-		rows, err := evalGrid(cfgs, nets)
+		rows, err := evalGrid(ctx, cfgs, nets)
 		if err != nil {
 			return err
 		}
@@ -173,7 +232,7 @@ func run(args []string, out io.Writer) error {
 			cfg.Reuses = r
 			cfgs[i] = cfg
 		}
-		rows, err := evalGrid(cfgs, nets)
+		rows, err := evalGrid(ctx, cfgs, nets)
 		if err != nil {
 			return err
 		}
@@ -195,7 +254,7 @@ func run(args []string, out io.Writer) error {
 			cfg.NLambda = l
 			cfgs[i] = cfg
 		}
-		rows, err := evalGrid(cfgs, nets)
+		rows, err := evalGrid(ctx, cfgs, nets)
 		if err != nil {
 			return err
 		}
@@ -215,7 +274,7 @@ func run(args []string, out io.Writer) error {
 			cfg.NRFCU = n
 			cfgs[i] = cfg
 		}
-		rows, err := evalGrid(cfgs, nets)
+		rows, err := evalGrid(ctx, cfgs, nets)
 		if err != nil {
 			return err
 		}
@@ -238,7 +297,7 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "%-6.4f %-23.4g %.4g\n", a, fb.RelativeLaserPower(15), fb.DynamicRange(15))
 		}
 	default:
-		return fmt.Errorf("unknown sweep %q", *sweep)
+		return fmt.Errorf("unknown sweep %q", opts.sweep)
 	}
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"refocus/internal/dataflow"
 	"refocus/internal/memory"
 	"refocus/internal/nn"
+	"refocus/internal/obs"
 )
 
 // PowerBreakdown itemizes average system power in watts while running a
@@ -217,8 +218,10 @@ func SetParallelism(n int) {
 // parallelFor runs body(0..n-1) across min(Parallelism(), n) goroutines,
 // stopping early (remaining iterations skipped) once ctx is canceled.
 // Iterations must be independent; the call returns after every started
-// iteration completes, with ctx.Err() if the loop was cut short.
-func parallelFor(ctx context.Context, n int, body func(i int)) error {
+// iteration completes, with ctx.Err() if the loop was cut short. Each
+// worker's body receives a context on its own trace lane, so spans from
+// concurrent iterations render on separate rows instead of interleaving.
+func parallelFor(ctx context.Context, n int, body func(ctx context.Context, i int)) error {
 	workers := Parallelism()
 	if workers > n {
 		workers = n
@@ -228,7 +231,7 @@ func parallelFor(ctx context.Context, n int, body func(i int)) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			body(i)
+			body(ctx, i)
 		}
 		return nil
 	}
@@ -238,12 +241,13 @@ func parallelFor(ctx context.Context, n int, body func(i int)) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for ctx.Err() == nil {
+			wctx := obs.Lane(ctx)
+			for wctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				body(i)
+				body(wctx, i)
 			}
 		}()
 	}
@@ -268,8 +272,12 @@ func EvaluateAll(cfg SystemConfig, nets []nn.Network) ([]Report, error) {
 func EvaluateAllCtx(ctx context.Context, cfg SystemConfig, nets []nn.Network) ([]Report, error) {
 	out := make([]Report, len(nets))
 	errs := make([]error, len(nets))
-	if err := parallelFor(ctx, len(nets), func(i int) {
+	if err := parallelFor(ctx, len(nets), func(wctx context.Context, i int) {
+		sp := obs.StartSpan(wctx, "arch.evaluate")
+		sp.SetAttr("config", cfg.Name)
+		sp.SetAttr("network", nets[i].Name)
 		out[i], errs[i] = Evaluate(cfg, nets[i])
+		sp.End()
 	}); err != nil {
 		return nil, fmt.Errorf("arch: evaluation canceled: %w", err)
 	}
@@ -319,8 +327,12 @@ func EvaluateGridCtx(ctx context.Context, cfgs []SystemConfig, nets []nn.Network
 	}
 	k := len(nets)
 	errs := make([]error, len(cfgs)*k)
-	if err := parallelFor(ctx, len(cfgs)*k, func(i int) {
+	if err := parallelFor(ctx, len(cfgs)*k, func(wctx context.Context, i int) {
+		sp := obs.StartSpan(wctx, "arch.evaluate")
+		sp.SetAttr("config", cfgs[i/k].Name)
+		sp.SetAttr("network", nets[i%k].Name)
 		out[i/k][i%k], errs[i] = Evaluate(cfgs[i/k], nets[i%k])
+		sp.End()
 	}); err != nil {
 		return nil, fmt.Errorf("arch: evaluation canceled: %w", err)
 	}

@@ -45,7 +45,7 @@ func Presets() []Preset {
 		},
 		{
 			Name:        "ReFOCUS-FB",
-			Aliases:     []string{"fb"},
+			Aliases:     []string{"fb", "refocus"},
 			Description: "feedback optical buffer (§5.1): 15 reuses at α=1/16, 2 wavelengths, SRAM data buffers",
 			Build:       FB,
 		},

@@ -11,6 +11,7 @@ import (
 	"refocus/internal/arch"
 	"refocus/internal/buffers"
 	"refocus/internal/nn"
+	"refocus/internal/obs"
 )
 
 // MonteCarloModel parameterizes random fault sampling for yield sweeps:
@@ -139,6 +140,10 @@ func YieldSweep(ctx context.Context, cfg arch.SystemConfig, nets []nn.Network, m
 	if len(nets) == 0 {
 		return YieldResult{}, fmt.Errorf("faults: yield sweep with no networks")
 	}
+	sweepSpan := obs.StartSpan(ctx, "faults.yield_sweep")
+	sweepSpan.SetAttr("config", cfg.Name)
+	sweepSpan.SetAttr("trials", trials)
+	defer sweepSpan.End()
 	nominal, err := arch.EvaluateAllCtx(ctx, cfg, nets)
 	if err != nil {
 		return YieldResult{}, err
@@ -162,7 +167,13 @@ func YieldSweep(ctx context.Context, cfg arch.SystemConfig, nets []nn.Network, m
 		err         error
 	}
 	outcomes := make([]trial, trials)
-	err = parallelTrials(ctx, trials, func(i int) {
+	err = parallelTrials(ctx, trials, func(ctx context.Context, i int) {
+		trialSpan := obs.StartSpan(ctx, "faults.trial")
+		trialSpan.SetAttr("trial", sets[i].Name)
+		defer func() {
+			trialSpan.SetAttr("hard_failure", outcomes[i].failed)
+			trialSpan.End()
+		}()
 		reports, err := EvaluateAllCtx(ctx, cfg, sets[i], nets)
 		switch {
 		case err == nil:
@@ -205,8 +216,9 @@ func YieldSweep(ctx context.Context, cfg arch.SystemConfig, nets []nn.Network, m
 
 // parallelTrials fans body(0..n-1) across arch.Parallelism() workers,
 // stopping early when ctx is canceled (mirrors arch's point loop, which
-// is unexported).
-func parallelTrials(ctx context.Context, n int, body func(i int)) error {
+// is unexported). Each worker's body receives a context on its own
+// trace lane so concurrent trial spans render on separate rows.
+func parallelTrials(ctx context.Context, n int, body func(ctx context.Context, i int)) error {
 	workers := arch.Parallelism()
 	if workers > n {
 		workers = n
@@ -216,7 +228,7 @@ func parallelTrials(ctx context.Context, n int, body func(i int)) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			body(i)
+			body(ctx, i)
 		}
 		return nil
 	}
@@ -225,8 +237,9 @@ func parallelTrials(ctx context.Context, n int, body func(i int)) error {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer func() { done <- struct{}{} }()
+			wctx := obs.Lane(ctx)
 			for i := range next {
-				body(i)
+				body(wctx, i)
 			}
 		}()
 	}

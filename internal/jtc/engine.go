@@ -1,11 +1,13 @@
 package jtc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
 
+	"refocus/internal/obs"
 	"refocus/internal/tensor"
 )
 
@@ -134,6 +136,15 @@ func (e *Engine) parallelism(items int) int {
 // filter into positive and negative parts and subtracts digitally — the
 // paper's pseudo-negative processing, which doubles the pass count.
 func (e *Engine) Conv2D(input, weights *tensor.Tensor, stride int) *tensor.Tensor {
+	return e.Conv2DCtx(context.Background(), input, weights, stride)
+}
+
+// Conv2DCtx is Conv2D with observability: when ctx carries an obs.Trace
+// the layer records one span for the whole convolution plus per-filter
+// and per-accumulation-window child spans (each window span counts its
+// optical passes), so a traced run shows exactly where the JTC time
+// goes. The numeric output is identical to Conv2D for every context.
+func (e *Engine) Conv2DCtx(ctx context.Context, input, weights *tensor.Tensor, stride int) *tensor.Tensor {
 	if input.Rank() != 3 || weights.Rank() != 4 {
 		panic(fmt.Sprintf("jtc: Conv2D wants [C,H,W] and [F,C,KH,KW], got %v and %v", input.Shape, weights.Shape))
 	}
@@ -169,10 +180,16 @@ func (e *Engine) Conv2D(input, weights *tensor.Tensor, stride int) *tensor.Tenso
 	// bit-identical for any Parallelism setting.
 	opScale := inputScale * weightScale
 	workers := e.parallelism(f)
+	layerSpan := obs.StartSpan(ctx, "jtc.conv2d")
+	layerSpan.SetAttr("filters", f)
+	layerSpan.SetAttr("channels", c)
+	layerSpan.SetAttr("input", fmt.Sprintf("%dx%d", h, w))
+	layerSpan.SetAttr("kernel", fmt.Sprintf("%dx%d", kh, kw))
+	layerSpan.SetAttr("workers", workers)
 	if workers == 1 {
 		var st PassStats
 		for fi := 0; fi < f; fi++ {
-			e.convFilter(out, inPlanes, posW, negW, fi, kh, kw, opScale, &st)
+			e.convFilter(ctx, out, inPlanes, posW, negW, fi, kh, kw, opScale, &st)
 		}
 		e.mu.Lock()
 		e.stats.Add(st)
@@ -184,8 +201,9 @@ func (e *Engine) Conv2D(input, weights *tensor.Tensor, stride int) *tensor.Tenso
 			wg.Add(1)
 			go func(wi int) {
 				defer wg.Done()
+				wctx := obs.Lane(ctx)
 				for fi := wi; fi < f; fi += workers {
-					e.convFilter(out, inPlanes, posW, negW, fi, kh, kw, opScale, &perWorker[wi])
+					e.convFilter(wctx, out, inPlanes, posW, negW, fi, kh, kw, opScale, &perWorker[wi])
 				}
 			}(wi)
 		}
@@ -196,6 +214,7 @@ func (e *Engine) Conv2D(input, weights *tensor.Tensor, stride int) *tensor.Tenso
 		}
 		e.mu.Unlock()
 	}
+	layerSpan.End()
 
 	if stride == 1 {
 		return out
@@ -217,11 +236,14 @@ func (e *Engine) Conv2D(input, weights *tensor.Tensor, stride int) *tensor.Tenso
 // writing into out's (disjoint) filter-fi region. st receives the pass
 // statistics; callers running convFilter concurrently hand each worker its
 // own tally and merge after the barrier.
-func (e *Engine) convFilter(out *tensor.Tensor, inPlanes [][][]float64, posW, negW []float64, fi, kh, kw int, opScale float64, st *PassStats) {
+func (e *Engine) convFilter(ctx context.Context, out *tensor.Tensor, inPlanes [][][]float64, posW, negW []float64, fi, kh, kw int, opScale float64, st *PassStats) {
 	c := len(inPlanes)
 	h, w := len(inPlanes[0]), len(inPlanes[0][0])
 	oh, ow := h-kh+1, w-kw+1
 	acc := make([]float64, oh*ow)
+	filterSpan := obs.StartSpan(ctx, "jtc.filter")
+	filterSpan.SetAttr("filter", fi)
+	passesBefore := st.Passes
 	// Channel groups of M accumulate optically; groups accumulate
 	// digitally after ADC readout.
 	M := e.cfg.AccumulationWindow
@@ -230,8 +252,8 @@ func (e *Engine) convFilter(out *tensor.Tensor, inPlanes [][][]float64, posW, ne
 		if cn > c {
 			cn = c
 		}
-		e.accumulateGroup(acc, inPlanes, posW, fi, c0, cn, kh, kw, +1, st)
-		e.accumulateGroup(acc, inPlanes, negW, fi, c0, cn, kh, kw, -1, st)
+		e.accumulateGroup(ctx, acc, inPlanes, posW, fi, c0, cn, kh, kw, +1, st)
+		e.accumulateGroup(ctx, acc, inPlanes, negW, fi, c0, cn, kh, kw, -1, st)
 	}
 	// Undo the operand scales in the digital domain.
 	for y := 0; y < oh; y++ {
@@ -239,6 +261,8 @@ func (e *Engine) convFilter(out *tensor.Tensor, inPlanes [][][]float64, posW, ne
 			out.Data[(fi*oh+y)*ow+x] = acc[y*ow+x] * opScale
 		}
 	}
+	filterSpan.SetAttr("passes", st.Passes-passesBefore)
+	filterSpan.End()
 }
 
 // accumulateGroup runs one temporal-accumulation window: channels
@@ -246,11 +270,19 @@ func (e *Engine) convFilter(out *tensor.Tensor, inPlanes [][][]float64, posW, ne
 // readout, then added into acc with the given sign (the pseudo-negative
 // subtraction happens here). Pass counts tally into st, never into the
 // engine's shared stats, so concurrent workers do not contend.
-func (e *Engine) accumulateGroup(acc []float64, inPlanes [][][]float64, w []float64, fi, c0, cn, kh, kw int, sign float64, st *PassStats) {
+func (e *Engine) accumulateGroup(ctx context.Context, acc []float64, inPlanes [][][]float64, w []float64, fi, c0, cn, kh, kw int, sign float64, st *PassStats) {
 	c := len(inPlanes)
 	h := len(inPlanes[0])
 	width := len(inPlanes[0][0])
 	oh, ow := h-kh+1, width-kw+1
+	windowSpan := obs.StartSpan(ctx, "jtc.window")
+	windowSpan.SetAttr("channels", fmt.Sprintf("%d-%d", c0, cn-1))
+	windowSpan.SetAttr("sign", sign)
+	passesBefore := st.Passes
+	defer func() {
+		windowSpan.SetAttr("passes", st.Passes-passesBefore)
+		windowSpan.End()
+	}()
 
 	// Kernels larger than the weight waveguides (the 7×7 and 11×11 first
 	// layers) split into row groups of at most floor(Wwg/KW) rows; each

@@ -1,0 +1,98 @@
+package jtc
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"refocus/internal/obs"
+	"refocus/internal/tensor"
+)
+
+// TestConv2DCtxTraceSpans: a traced context yields the layer/filter/
+// window span hierarchy with pass counts in the args, while the numeric
+// output stays bit-identical to the untraced path.
+func TestConv2DCtxTraceSpans(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	in := nonNegInput(rng, 4, 12, 12)
+	w := tensor.Random(rng, 3, 4, 3, 3)
+
+	plain := exactEngine().Conv2D(in, w, 1)
+
+	tr := obs.NewTrace()
+	ctx := obs.WithTrace(context.Background(), tr)
+	traced := exactEngine().Conv2DCtx(ctx, in, w, 1)
+	if d := tensor.MaxAbsDiff(plain, traced); d != 0 {
+		t.Errorf("traced output differs from untraced by %g — tracing must be observation-only", d)
+	}
+
+	counts := map[string]int{}
+	var passTotal int
+	for _, ev := range tr.Events() {
+		counts[ev.Name]++
+		if ev.Name == "jtc.filter" {
+			p, ok := ev.Args["passes"].(int)
+			if !ok || p <= 0 {
+				t.Errorf("jtc.filter span missing positive passes arg: %v", ev.Args)
+			}
+			passTotal += p
+		}
+	}
+	if counts["jtc.conv2d"] != 1 {
+		t.Errorf("jtc.conv2d spans = %d, want 1", counts["jtc.conv2d"])
+	}
+	if counts["jtc.filter"] != 3 {
+		t.Errorf("jtc.filter spans = %d, want one per filter (3)", counts["jtc.filter"])
+	}
+	if counts["jtc.window"] == 0 {
+		t.Error("no jtc.window spans recorded")
+	}
+	e := exactEngine()
+	e.Conv2DCtx(ctx, in, w, 1)
+	if passTotal == 0 || passTotal > e.Stats().Passes*2 {
+		t.Errorf("filter pass total %d inconsistent with engine stats %d", passTotal, e.Stats().Passes)
+	}
+}
+
+// TestConv2DCtxParallelLanes: with parallel workers each worker records
+// on its own trace lane (distinct tids), keeping Chrome's by-containment
+// nesting sound, and parallel output still matches serial.
+func TestConv2DCtxParallelLanes(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	in := nonNegInput(rng, 4, 12, 12)
+	w := tensor.Random(rng, 8, 4, 3, 3)
+
+	cfg := DefaultEngineConfig()
+	cfg.Quant = QuantConfig{}
+	cfg.Parallelism = 4
+	tr := obs.NewTrace()
+	ctx := obs.WithTrace(context.Background(), tr)
+	par := NewEngine(cfg).Conv2DCtx(ctx, in, w, 1)
+
+	serial := exactEngine().Conv2D(in, w, 1)
+	if d := tensor.MaxAbsDiff(par, serial); d != 0 {
+		t.Errorf("traced parallel output differs from serial by %g", d)
+	}
+	tids := map[int]bool{}
+	for _, ev := range tr.Events() {
+		if ev.Name == "jtc.filter" {
+			tids[ev.TID] = true
+		}
+	}
+	if len(tids) < 2 {
+		t.Errorf("parallel filter spans used %d lane(s), want at least 2 distinct tids", len(tids))
+	}
+}
+
+// TestConv2DCtxNilTraceIsFree: without a trace in the context no events
+// are recorded and nothing panics — the default untraced path.
+func TestConv2DCtxNilTraceIsFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	in := nonNegInput(rng, 2, 8, 8)
+	w := tensor.Random(rng, 2, 2, 3, 3)
+	got := exactEngine().Conv2DCtx(context.Background(), in, w, 1)
+	want := exactEngine().Conv2D(in, w, 1)
+	if d := tensor.MaxAbsDiff(got, want); d != 0 {
+		t.Errorf("context-threaded path differs by %g", d)
+	}
+}

@@ -1,0 +1,301 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels is one metric instance's label set ("endpoint" → "/v1/evaluate").
+// Label names and values must not contain newlines; values are escaped
+// on exposition.
+type Labels map[string]string
+
+// signature renders labels in Prometheus form with sorted keys — the
+// stable identity of one instance within a family.
+func (l Labels) signature() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the exposition-format escapes for label
+// values: backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Counter is a monotonically increasing integer metric. The zero value
+// is unusable; obtain counters from a Registry.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Add increases the counter by d (d must be >= 0; negative deltas are
+// silently dropped to keep the counter monotone).
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.n.Add(d)
+	}
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Histogram is a fixed-bucket distribution metric observed in seconds
+// (the Prometheus base unit). Buckets, count and sum update atomically;
+// a scrape may see a bucket increment before the matching count one,
+// which Prometheus tolerates by design.
+type Histogram struct {
+	bounds  []float64 // upper bounds, ascending; +Inf implied after
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-added
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Count returns how many values were observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds returns the bucket upper bounds (without the implicit +Inf).
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// BucketCounts returns the per-bucket (non-cumulative) counts, one per
+// bound plus the final overflow bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// DefBuckets are the default histogram bounds for request-scale
+// latencies: decade steps from 1ms to 10s, matching the decade buckets
+// the JSON /metrics payload has always reported.
+var DefBuckets = []float64{0.001, 0.01, 0.1, 1, 10}
+
+// FineBuckets suit sub-millisecond stages (cache lookups, queue waits
+// on an idle server): decade steps from 1µs up to 10s.
+var FineBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}
+
+// metricKind is the TYPE of one family.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// instance is one (labels, metric) pair inside a family.
+type instance struct {
+	sig   string // sorted-label signature, "" for unlabeled
+	c     *Counter
+	g     func() float64
+	h     *Histogram
+	order int
+}
+
+// family is all instances sharing one metric name.
+type family struct {
+	name string
+	help string
+	kind metricKind
+	inst map[string]*instance
+}
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format. Registration takes a lock; the returned
+// Counter/Histogram handles update lock-free, so hot paths register
+// once and observe forever.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	nextOrd  int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// lookup returns (creating if needed) the instance slot for
+// (name, labels), enforcing one kind and help string per family.
+func (r *Registry) lookup(name, help string, kind metricKind, labels Labels) *instance {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, inst: make(map[string]*instance)}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s registered as %s and %s", name, f.kind, kind))
+	}
+	sig := labels.signature()
+	in, ok := f.inst[sig]
+	if !ok {
+		in = &instance{sig: sig, order: r.nextOrd}
+		r.nextOrd++
+		f.inst[sig] = in
+	}
+	return in
+}
+
+// Counter returns the counter for (name, labels), registering it on
+// first use. Repeated calls with the same identity return the same
+// counter.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	in := r.lookup(name, help, kindCounter, labels)
+	if in.c == nil {
+		in.c = &Counter{}
+	}
+	return in.c
+}
+
+// Gauge registers a callback gauge for (name, labels): fn is read at
+// exposition time, so gauges mirror live state (cache size, in-flight
+// count) without a write on every change. Re-registering an identity
+// replaces the callback.
+func (r *Registry) Gauge(name, help string, labels Labels, fn func() float64) {
+	in := r.lookup(name, help, kindGauge, labels)
+	in.g = fn
+}
+
+// Histogram returns the histogram for (name, labels) with the given
+// bucket bounds (ascending; +Inf is implicit), registering on first
+// use. Bounds are fixed at first registration.
+func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64) *Histogram {
+	in := r.lookup(name, help, kindHistogram, labels)
+	if in.h == nil {
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				panic(fmt.Sprintf("obs: histogram %s bounds not ascending: %v", name, bounds))
+			}
+		}
+		in.h = &Histogram{
+			bounds:  append([]float64(nil), bounds...),
+			buckets: make([]atomic.Int64, len(bounds)+1),
+		}
+	}
+	return in.h
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// withLabel merges one extra label pair into a rendered signature —
+// how histogram buckets gain their le label next to the family's own.
+func withLabel(sig, key, value string) string {
+	pair := key + `="` + escapeLabelValue(value) + `"`
+	if sig == "" {
+		return "{" + pair + "}"
+	}
+	return sig[:len(sig)-1] + "," + pair + "}"
+}
+
+// WritePrometheus renders every family in the text exposition format
+// (version 0.0.4): families sorted by name, one HELP and one TYPE line
+// each, instances in registration order, histograms expanded into
+// cumulative le buckets plus _sum and _count. Values are read
+// atomically and rendered outside the registry lock.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	// Copy the structure under the lock; read values and write outside
+	// it, so a slow scrape never blocks registration or the hot path.
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	insts := make(map[string][]*instance, len(fams))
+	for _, f := range fams {
+		list := make([]*instance, 0, len(f.inst))
+		for _, in := range f.inst {
+			list = append(list, in)
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i].order < list[j].order })
+		insts[f.name] = list
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, in := range insts[f.name] {
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, in.sig, in.c.Value())
+			case kindGauge:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, in.sig, formatFloat(in.g()))
+			case kindHistogram:
+				h := in.h
+				counts := h.BucketCounts()
+				var cum int64
+				for i, bound := range h.bounds {
+					cum += counts[i]
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, withLabel(in.sig, "le", formatFloat(bound)), cum)
+				}
+				cum += counts[len(counts)-1]
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, withLabel(in.sig, "le", "+Inf"), cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, in.sig, formatFloat(h.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, in.sig, cum)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterAndGauge checks basic registration and value semantics.
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_total", "help", nil)
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // dropped: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("t_total", "help", nil); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	v := 2.5
+	r.Gauge("t_gauge", "help", nil, func() float64 { return v })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "t_gauge 2.5\n") {
+		t.Fatalf("gauge missing:\n%s", b.String())
+	}
+}
+
+// TestHistogramBuckets checks le bucket assignment (inclusive upper
+// bounds) and sum/count bookkeeping.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_seconds", "help", nil, []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.001, 0.05, 0.5} {
+		h.Observe(v)
+	}
+	want := []int64{2, 0, 1, 1} // 0.001 is le the first bound
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket counts = %v, want %v", got, want)
+		}
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if s := h.Sum(); s < 0.55 || s > 0.5516 {
+		t.Fatalf("sum = %v", s)
+	}
+}
+
+// TestPrometheusExposition renders a registry and checks the text
+// format: HELP/TYPE pairs, sorted families, labeled samples, cumulative
+// monotone histogram buckets ending at +Inf == _count.
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_requests_total", "requests", Labels{"endpoint": "/v1/evaluate"}).Add(3)
+	r.Counter("b_requests_total", "requests", Labels{"endpoint": "/healthz"}).Add(1)
+	h := r.Histogram("a_seconds", "latency", nil, DefBuckets)
+	h.Observe(0.005)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	if !strings.Contains(out, "# HELP a_seconds latency\n# TYPE a_seconds histogram\n") {
+		t.Fatalf("missing HELP/TYPE pair:\n%s", out)
+	}
+	if strings.Index(out, "# TYPE a_seconds") > strings.Index(out, "# TYPE b_requests_total") {
+		t.Fatalf("families not sorted by name:\n%s", out)
+	}
+	if !strings.Contains(out, `b_requests_total{endpoint="/v1/evaluate"} 3`) {
+		t.Fatalf("labeled counter missing:\n%s", out)
+	}
+
+	// Histogram lines: cumulative, monotone, +Inf last and equal to _count.
+	var last int64 = -1
+	var inf, count int64
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "a_seconds_bucket") {
+			v, err := strconv.ParseInt(line[strings.LastIndex(line, " ")+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket line %q: %v", line, err)
+			}
+			if v < last {
+				t.Fatalf("buckets not monotone at %q:\n%s", line, out)
+			}
+			last = v
+			if strings.Contains(line, `le="+Inf"`) {
+				inf = v
+			}
+		}
+		if strings.HasPrefix(line, "a_seconds_count") {
+			count, _ = strconv.ParseInt(line[strings.LastIndex(line, " ")+1:], 10, 64)
+		}
+	}
+	if inf != 2 || count != 2 {
+		t.Fatalf("+Inf bucket %d and count %d, want 2 and 2:\n%s", inf, count, out)
+	}
+}
+
+// TestLabelEscaping checks exposition-format escapes in label values.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("e_total", "h", Labels{"p": `a"b\c`}).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `e_total{p="a\"b\\c"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", b.String())
+	}
+}
+
+// TestKindMismatchPanics checks the registry rejects one name used as
+// two metric types — a programmer error caught loudly.
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total", "h", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind mismatch")
+		}
+	}()
+	r.Histogram("m_total", "h", nil, DefBuckets)
+}
+
+// TestConcurrentObserve hammers one histogram and counter from many
+// goroutines; the race detector turns any unsynchronized access into a
+// failure, and totals must balance.
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "h", nil)
+	h := r.Histogram("h_seconds", "h", nil, FineBuckets)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 4000 || h.Count() != 4000 {
+		t.Fatalf("counter %d, histogram count %d, want 4000 each", c.Value(), h.Count())
+	}
+	if s := h.Sum(); s < 3.99 || s > 4.01 {
+		t.Fatalf("sum = %v, want ~4.0", s)
+	}
+}

@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// StartPprof serves the net/http/pprof endpoints on addr (host:port;
+// port 0 picks a free port) in a background goroutine and returns the
+// bound address. The profiler is strictly opt-in — nothing in this
+// package imports it into the main serving mux, so production handlers
+// never expose it by accident. The listener lives until the process
+// exits; tools call this once at startup behind a -pprof-addr flag.
+func StartPprof(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: pprof listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // best-effort diagnostic endpoint
+	return ln.Addr().String(), nil
+}

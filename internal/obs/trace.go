@@ -1,0 +1,234 @@
+// Package obs is the observability layer shared by the simulator
+// pipeline and the serving stack: lightweight span tracing exportable as
+// Chrome trace_event JSON, a small Prometheus-compatible metrics
+// registry, and an opt-in pprof endpoint. It has no dependencies outside
+// the standard library, and every entry point is safe to call when
+// observability is switched off — a context without a Trace yields nil
+// spans whose methods are no-ops, so instrumented code pays one nil
+// check, not an allocation, on the common path.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Trace collects the finished spans of one traced run (a command-line
+// invocation or one HTTP request). It is safe for concurrent use: the
+// parallel evaluation fan-outs end spans from many goroutines.
+type Trace struct {
+	start time.Time
+
+	mu      sync.Mutex
+	events  []Event
+	nextTID int
+}
+
+// Event is one finished span: what Chrome's trace viewer calls a
+// "complete" event. Start is measured from the trace's creation, so
+// events serialize without wall-clock anchoring.
+type Event struct {
+	// Name is the span name ("sim.evaluate", "jtc.filter", ...).
+	Name string
+	// TID is the lane the span renders on: spans in one goroutine share
+	// a lane and nest by time containment; parallel workers get their
+	// own lanes via Lane.
+	TID int
+	// Start is the span's offset from the trace start; Dur its length.
+	Start time.Duration
+	Dur   time.Duration
+	// Args carries the span's attributes (SetAttr), nil when none.
+	Args map[string]any
+}
+
+// NewTrace starts an empty trace anchored at the current monotonic time.
+func NewTrace() *Trace {
+	return &Trace{start: time.Now(), nextTID: 1}
+}
+
+// newLane hands out the next unused lane id.
+func (t *Trace) newLane() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextTID++
+	return t.nextTID
+}
+
+// add records one finished span.
+func (t *Trace) add(e Event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the finished spans, in completion order.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// traceEvent is the Chrome trace_event JSON shape of one span.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the trace_event "JSON object format": an object whose
+// traceEvents array Chrome (chrome://tracing, Perfetto) loads directly.
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+	// DisplayTimeUnit selects the viewer's time unit.
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// MarshalJSON renders the trace in Chrome trace_event JSON object
+// format, events sorted by start time so the file is diff-stable for a
+// serial run.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	events := t.Events()
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Start != events[j].Start {
+			return events[i].Start < events[j].Start
+		}
+		return events[i].Dur > events[j].Dur // parents before children
+	})
+	f := traceFile{TraceEvents: make([]traceEvent, len(events)), DisplayTimeUnit: "ms"}
+	for i, e := range events {
+		f.TraceEvents[i] = traceEvent{
+			Name: e.Name,
+			Ph:   "X", // complete event: ts + dur
+			PID:  1,
+			TID:  e.TID,
+			TS:   float64(e.Start) / float64(time.Microsecond),
+			Dur:  float64(e.Dur) / float64(time.Microsecond),
+			Args: e.Args,
+		}
+	}
+	return json.Marshal(f)
+}
+
+// WriteJSON writes the Chrome trace_event JSON to w.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	data, err := t.MarshalJSON()
+	if err != nil {
+		return fmt.Errorf("obs: encoding trace: %w", err)
+	}
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("obs: writing trace: %w", err)
+	}
+	return nil
+}
+
+// ctxKey keys the obs values stored in a context.
+type ctxKey int
+
+const (
+	traceKey ctxKey = iota
+	laneKey
+	requestIDKey
+)
+
+// WithTrace returns a context carrying the trace on lane 1; spans
+// started from it (and from contexts derived from it) record into tr.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	ctx = context.WithValue(ctx, traceKey, tr)
+	return context.WithValue(ctx, laneKey, 1)
+}
+
+// FromContext returns the context's trace, or nil when the run is not
+// being traced.
+func FromContext(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceKey).(*Trace)
+	return tr
+}
+
+// Lane returns a context whose spans render on a fresh lane — hand one
+// to each worker goroutine of a parallel fan-out so concurrent spans
+// don't interleave on the parent's lane (Chrome nests spans within one
+// lane purely by time containment). Without a trace, Lane returns ctx
+// unchanged.
+func Lane(ctx context.Context) context.Context {
+	tr := FromContext(ctx)
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, laneKey, tr.newLane())
+}
+
+// WithRequestID returns a context carrying a request identifier, which
+// the serving layer threads from the HTTP middleware into spans and log
+// lines so one request's records correlate across all three.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID returns the context's request identifier, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// Span is one in-flight timed region. A nil *Span is valid and inert —
+// StartSpan returns nil when the context carries no trace, so
+// instrumentation sites need no conditionals.
+type Span struct {
+	tr    *Trace
+	name  string
+	tid   int
+	start time.Time
+	args  map[string]any
+}
+
+// StartSpan begins a span on the context's trace (nil span without
+// one). The span records when End is called; spans on the same lane
+// must end in LIFO order to nest correctly, which plain
+// start/defer-End call structure guarantees.
+func StartSpan(ctx context.Context, name string) *Span {
+	tr := FromContext(ctx)
+	if tr == nil {
+		return nil
+	}
+	tid, _ := ctx.Value(laneKey).(int)
+	if tid == 0 {
+		tid = 1
+	}
+	return &Span{tr: tr, name: name, tid: tid, start: time.Now()}
+}
+
+// SetAttr attaches a key/value attribute to the span (rendered in the
+// viewer's args pane). No-op on a nil span. Spans are goroutine-local;
+// SetAttr must not race with End.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	if s.args == nil {
+		s.args = make(map[string]any)
+	}
+	s.args[key] = value
+}
+
+// End finishes the span and records it on the trace. No-op on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.add(Event{
+		Name:  s.name,
+		TID:   s.tid,
+		Start: s.start.Sub(s.tr.start),
+		Dur:   time.Since(s.start),
+		Args:  s.args,
+	})
+}

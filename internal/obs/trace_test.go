@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSpanIsInert proves untraced contexts cost nothing but a nil
+// check: StartSpan returns nil and every method is a no-op.
+func TestNilSpanIsInert(t *testing.T) {
+	sp := StartSpan(context.Background(), "x")
+	if sp != nil {
+		t.Fatalf("StartSpan without a trace: got %v, want nil", sp)
+	}
+	sp.SetAttr("k", 1) // must not panic
+	sp.End()
+	if tr := FromContext(context.Background()); tr != nil {
+		t.Fatalf("FromContext without a trace: got %v", tr)
+	}
+	if ctx := Lane(context.Background()); ctx != context.Background() {
+		t.Fatal("Lane without a trace should return ctx unchanged")
+	}
+}
+
+// TestSpanNesting checks that spans record with containment: a child
+// started and ended inside its parent lies within the parent's
+// [Start, Start+Dur] window on the same lane.
+func TestSpanNesting(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+
+	parent := StartSpan(ctx, "parent")
+	child := StartSpan(ctx, "child")
+	child.SetAttr("i", 7)
+	time.Sleep(time.Millisecond)
+	child.End()
+	parent.End()
+
+	events := tr.Events()
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	c, p := events[0], events[1] // completion order: child first
+	if c.Name != "child" || p.Name != "parent" {
+		t.Fatalf("unexpected order: %q then %q", c.Name, p.Name)
+	}
+	if c.TID != p.TID {
+		t.Fatalf("same-goroutine spans on different lanes: %d vs %d", c.TID, p.TID)
+	}
+	if c.Start < p.Start || c.Start+c.Dur > p.Start+p.Dur {
+		t.Fatalf("child [%v, %v] escapes parent [%v, %v]", c.Start, c.Start+c.Dur, p.Start, p.Start+p.Dur)
+	}
+	if c.Args["i"] != 7 {
+		t.Fatalf("child args: %v", c.Args)
+	}
+}
+
+// TestLanesSeparateWorkers checks Lane hands each worker a distinct tid
+// and that concurrent End calls are race-free.
+func TestLanesSeparateWorkers(t *testing.T) {
+	tr := NewTrace()
+	root := WithTrace(context.Background(), tr)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := Lane(root)
+			for i := 0; i < 8; i++ {
+				sp := StartSpan(ctx, "work")
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	events := tr.Events()
+	if len(events) != 32 {
+		t.Fatalf("got %d events, want 32", len(events))
+	}
+	lanes := make(map[int]int)
+	for _, e := range events {
+		lanes[e.TID]++
+	}
+	if len(lanes) != 4 {
+		t.Fatalf("got %d lanes, want 4 (one per worker): %v", len(lanes), lanes)
+	}
+	for tid, n := range lanes {
+		if n != 8 {
+			t.Fatalf("lane %d has %d events, want 8", tid, n)
+		}
+		if tid == 1 {
+			t.Fatal("a worker landed on the root lane")
+		}
+	}
+}
+
+// TestTraceJSONShape checks the exported file is the Chrome trace_event
+// object format: a traceEvents array of ph="X" events with microsecond
+// ts/dur.
+func TestTraceJSONShape(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	sp := StartSpan(ctx, "root")
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("trace JSON does not parse: %v\n%s", err, data)
+	}
+	if len(f.TraceEvents) != 1 {
+		t.Fatalf("got %d events, want 1", len(f.TraceEvents))
+	}
+	e := f.TraceEvents[0]
+	if e.Name != "root" || e.Ph != "X" || e.PID != 1 || e.TID != 1 {
+		t.Fatalf("unexpected event: %+v", e)
+	}
+	if e.Dur < 1500 { // slept 2ms; dur is in microseconds
+		t.Fatalf("dur %v µs, expected >= 1500", e.Dur)
+	}
+}
+
+// TestRequestIDPropagation checks the context plumbing used by the
+// serving layer.
+func TestRequestIDPropagation(t *testing.T) {
+	ctx := WithRequestID(context.Background(), "req-42")
+	if got := RequestID(ctx); got != "req-42" {
+		t.Fatalf("RequestID = %q", got)
+	}
+	if got := RequestID(context.Background()); got != "" {
+		t.Fatalf("RequestID of bare context = %q", got)
+	}
+}
+
+// TestStartPprof boots the profiler on a free port and fetches the
+// index page.
+func TestStartPprof(t *testing.T) {
+	addr, err := StartPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: %d", resp.StatusCode)
+	}
+}

@@ -1,15 +1,19 @@
 package serve
 
 import (
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"refocus/internal/obs"
 )
 
-// latencyBuckets are the histogram upper bounds (exclusive) for the
-// per-endpoint latency distribution; a final overflow bucket catches the
-// rest. Decade-spaced expvar-style buckets are plenty for a service whose
-// work item is a millisecond-scale analytical evaluation.
+// latencyBuckets maps the obs.DefBuckets histogram bounds to the decade
+// labels the JSON /metrics payload has always used ("<1ms" … "<10s").
+// The two views share one histogram: bucket i of the Prometheus
+// exposition is bucket i here, and the final +Inf/overflow bucket is
+// labeled ">=10s".
 var latencyBuckets = []struct {
 	limit time.Duration
 	label string
@@ -24,67 +28,99 @@ var latencyBuckets = []struct {
 // overflowLabel names the histogram bucket past the last bound.
 const overflowLabel = ">=10s"
 
-// numLatencyBuckets is len(latencyBuckets) plus the overflow bucket —
-// spelled as a constant so it can size the counter array.
-const numLatencyBuckets = 6
-
-// endpointMetrics accumulates counters for one route. All fields are
-// atomics so handlers never contend on a lock in the hot path.
+// endpointMetrics holds one route's registry handles. The counters and
+// histogram update lock-free; the route map they live in is guarded by
+// Metrics.mu only at registration and snapshot time.
 type endpointMetrics struct {
-	requests   atomic.Int64
-	errors     atomic.Int64 // responses with status >= 400
-	totalNanos atomic.Int64
-	buckets    [numLatencyBuckets]atomic.Int64
+	requests *obs.Counter
+	errors   *obs.Counter // responses with status >= 400
+	latency  *obs.Histogram
 }
 
 // observe records one completed request.
 func (e *endpointMetrics) observe(d time.Duration, status int) {
-	e.requests.Add(1)
+	e.requests.Inc()
 	if status >= 400 {
-		e.errors.Add(1)
+		e.errors.Inc()
 	}
-	e.totalNanos.Add(int64(d))
-	for i, b := range latencyBuckets {
-		if d < b.limit {
-			e.buckets[i].Add(1)
-			return
-		}
-	}
-	e.buckets[len(latencyBuckets)].Add(1)
+	e.latency.Observe(d.Seconds())
 }
 
-// Metrics aggregates service-wide counters: per-endpoint request counts
-// and latency histograms, cache hit/miss totals, the in-flight gauge,
-// and the number of design-point evaluations actually executed (misses
-// that reached the worker pool).
+// Metrics aggregates service-wide counters on an obs.Registry, serving
+// two views of the same instruments: the historical JSON snapshot
+// (back-compat, byte-identical schema) and the Prometheus text
+// exposition. Per-endpoint request counts and latency histograms ride
+// the "endpoint" label; the pipeline stages (queue wait, cache lookup,
+// evaluation, response encode) each get their own histogram.
 type Metrics struct {
+	reg *obs.Registry
+
 	mu        sync.Mutex
 	endpoints map[string]*endpointMetrics
 
 	inFlight      atomic.Int64
-	cacheHits     atomic.Int64
-	cacheMisses   atomic.Int64
-	evaluations   atomic.Int64
-	shed          atomic.Int64
-	chaosInjected atomic.Int64
-	chaosSlowed   atomic.Int64
+	cacheHits     *obs.Counter
+	cacheMisses   *obs.Counter
+	evaluations   *obs.Counter
+	shed          *obs.Counter
+	chaosInjected *obs.Counter
+	chaosSlowed   *obs.Counter
+
+	queueWait   *obs.Histogram
+	cacheLookup *obs.Histogram
+	evaluate    *obs.Histogram
+	encode      *obs.Histogram
 }
 
-// newMetrics returns zeroed metrics.
-func newMetrics() *Metrics {
-	return &Metrics{endpoints: make(map[string]*endpointMetrics)}
+// newMetrics builds the zeroed instrument set, registering the shared
+// families plus live gauges over the result cache and the in-flight
+// count.
+func newMetrics(cache *reportCache) *Metrics {
+	reg := obs.NewRegistry()
+	m := &Metrics{
+		reg:           reg,
+		endpoints:     make(map[string]*endpointMetrics),
+		cacheHits:     reg.Counter("refocus_cache_hits_total", "Result-cache hits across all requests.", nil),
+		cacheMisses:   reg.Counter("refocus_cache_misses_total", "Result-cache misses across all requests.", nil),
+		evaluations:   reg.Counter("refocus_evaluations_total", "Design-point evaluations executed on the worker pool (cache misses that did real work).", nil),
+		shed:          reg.Counter("refocus_shed_total", "Requests rejected with 429 because the bounded queue ahead of the worker pool was full.", nil),
+		chaosInjected: reg.Counter("refocus_chaos_injected_total", "Requests failed on purpose by the opt-in chaos middleware.", nil),
+		chaosSlowed:   reg.Counter("refocus_chaos_slowed_total", "Evaluations delayed on purpose by the opt-in chaos middleware.", nil),
+		queueWait:     reg.Histogram("refocus_queue_wait_seconds", "Time requests spent waiting for a worker slot.", nil, obs.FineBuckets),
+		cacheLookup:   reg.Histogram("refocus_cache_lookup_seconds", "Time spent probing the result cache per request.", nil, obs.FineBuckets),
+		evaluate:      reg.Histogram("refocus_evaluate_seconds", "Time spent in design-point evaluation per request that reached the worker pool.", nil, obs.DefBuckets),
+		encode:        reg.Histogram("refocus_encode_seconds", "Time spent JSON-encoding responses.", nil, obs.FineBuckets),
+	}
+	reg.Gauge("refocus_in_flight", "Requests currently inside a handler.", nil,
+		func() float64 { return float64(m.inFlight.Load()) })
+	reg.Gauge("refocus_cache_entries", "Result-cache entries currently held.", nil,
+		func() float64 { return float64(cache.len()) })
+	reg.Gauge("refocus_cache_capacity", "Result-cache capacity in entries.", nil,
+		func() float64 { return float64(cache.cap) })
+	return m
 }
 
-// endpoint returns (creating on first use) the counters for one route.
+// endpoint returns (creating on first use) the instruments for one route.
 func (m *Metrics) endpoint(name string) *endpointMetrics {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	em, ok := m.endpoints[name]
 	if !ok {
-		em = &endpointMetrics{}
+		labels := obs.Labels{"endpoint": name}
+		em = &endpointMetrics{
+			requests: m.reg.Counter("refocus_requests_total", "Completed requests by endpoint.", labels),
+			errors:   m.reg.Counter("refocus_request_errors_total", "Completed requests answered with a 4xx/5xx status, by endpoint.", labels),
+			latency:  m.reg.Histogram("refocus_request_seconds", "Request handler latency by endpoint.", labels, obs.DefBuckets),
+		}
 		m.endpoints[name] = em
 	}
 	return em
+}
+
+// writePrometheus renders every instrument in the text exposition
+// format.
+func (m *Metrics) writePrometheus(w io.Writer) error {
+	return m.reg.WritePrometheus(w)
 }
 
 // EndpointStats is the externally visible form of one route's counters.
@@ -106,9 +142,11 @@ type CacheStats struct {
 	Entries, Capacity int
 }
 
-// Snapshot is the /metrics payload: a consistent-enough point-in-time
-// copy of every counter (individual counters are atomic; the set is not
-// read under one lock, which is fine for monitoring).
+// Snapshot is the /metrics JSON payload: a consistent-enough
+// point-in-time copy of every counter (individual counters are atomic;
+// the set is not read under one lock, which is fine for monitoring).
+// Its schema predates the Prometheus exposition and is frozen —
+// dashboards and the CI e2e job parse it.
 type Snapshot struct {
 	// InFlight is the number of requests currently inside a handler.
 	InFlight int64
@@ -127,37 +165,45 @@ type Snapshot struct {
 	Endpoints     map[string]EndpointStats
 }
 
-// snapshot assembles the /metrics payload.
+// snapshot assembles the JSON payload. The endpoint map is copied under
+// the metrics mutex (pointers only — the instruments themselves are
+// atomic), and every value read plus the JSON encoding happen outside
+// any lock, so a slow or stalled client can never hold up the handlers.
 func (m *Metrics) snapshot(cache *reportCache) Snapshot {
 	s := Snapshot{
 		InFlight:      m.inFlight.Load(),
-		Evaluations:   m.evaluations.Load(),
-		Shed:          m.shed.Load(),
-		ChaosInjected: m.chaosInjected.Load(),
-		ChaosSlowed:   m.chaosSlowed.Load(),
+		Evaluations:   m.evaluations.Value(),
+		Shed:          m.shed.Value(),
+		ChaosInjected: m.chaosInjected.Value(),
+		ChaosSlowed:   m.chaosSlowed.Value(),
 		Cache: CacheStats{
-			Hits:     m.cacheHits.Load(),
-			Misses:   m.cacheMisses.Load(),
+			Hits:     m.cacheHits.Value(),
+			Misses:   m.cacheMisses.Value(),
 			Entries:  cache.len(),
 			Capacity: cache.cap,
 		},
 		Endpoints: make(map[string]EndpointStats),
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	routes := make(map[string]*endpointMetrics, len(m.endpoints))
 	for name, em := range m.endpoints {
+		routes[name] = em
+	}
+	m.mu.Unlock()
+	for name, em := range routes {
 		st := EndpointStats{
-			Requests: em.requests.Load(),
-			Errors:   em.errors.Load(),
+			Requests: em.requests.Value(),
+			Errors:   em.errors.Value(),
 			Latency:  make(map[string]int64, len(latencyBuckets)+1),
 		}
 		if st.Requests > 0 {
-			st.MeanLatencyMillis = float64(em.totalNanos.Load()) / float64(st.Requests) / 1e6
+			st.MeanLatencyMillis = em.latency.Sum() / float64(st.Requests) * 1e3
 		}
+		counts := em.latency.BucketCounts()
 		for i, b := range latencyBuckets {
-			st.Latency[b.label] = em.buckets[i].Load()
+			st.Latency[b.label] = counts[i]
 		}
-		st.Latency[overflowLabel] = em.buckets[len(latencyBuckets)].Load()
+		st.Latency[overflowLabel] = counts[len(counts)-1]
 		s.Endpoints[name] = st
 	}
 	return s

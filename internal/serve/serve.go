@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"strconv"
@@ -33,6 +34,7 @@ import (
 	"refocus/internal/arch"
 	"refocus/internal/faults"
 	"refocus/internal/nn"
+	"refocus/internal/obs"
 	"refocus/internal/sim"
 )
 
@@ -63,6 +65,10 @@ type Config struct {
 	// Chaos is the opt-in fault-injection middleware for resilience
 	// testing; the zero value (the default) injects nothing.
 	Chaos ChaosConfig
+	// Logger receives one structured line per completed request
+	// (request id, method, path, status, duration). nil silences
+	// request logging — the default, so embedding tests stay quiet.
+	Logger *slog.Logger
 }
 
 // withDefaults returns the config with unset fields defaulted.
@@ -82,6 +88,11 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
 	}
+	if c.Logger == nil {
+		// Discard at the handler level: a nil slog.Logger would panic,
+		// and a level above Error suppresses every record.
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1}))
+	}
 	return c
 }
 
@@ -97,18 +108,27 @@ type Server struct {
 	admitted atomic.Int64
 	chaos    *chaosInjector
 	mux      *http.ServeMux
+	logger   *slog.Logger
+	// reqSeq numbers requests; joined with a per-process prefix it
+	// forms the X-Request-ID every response carries and every span and
+	// log line repeats.
+	reqSeq    atomic.Int64
+	reqPrefix string
 }
 
 // New builds a Server from the config (zero fields defaulted).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	cache := newReportCache(cfg.CacheSize)
 	s := &Server{
-		cfg:     cfg,
-		cache:   newReportCache(cfg.CacheSize),
-		metrics: newMetrics(),
-		slots:   make(chan struct{}, cfg.Workers),
-		chaos:   newChaosInjector(cfg.Chaos),
-		mux:     http.NewServeMux(),
+		cfg:       cfg,
+		cache:     cache,
+		metrics:   newMetrics(cache),
+		slots:     make(chan struct{}, cfg.Workers),
+		chaos:     newChaosInjector(cfg.Chaos),
+		mux:       http.NewServeMux(),
+		logger:    cfg.Logger,
+		reqPrefix: fmt.Sprintf("%x", time.Now().UnixNano()&0xffffff),
 	}
 	s.mux.Handle("POST /v1/evaluate", s.instrument("/v1/evaluate", s.withChaos(s.handleEvaluate)))
 	s.mux.Handle("POST /v1/sweep", s.instrument("/v1/sweep", s.withChaos(s.handleSweep)))
@@ -165,6 +185,9 @@ type EvaluateResponse struct {
 	// non-zero fault set; nil for healthy evaluations. Reports then hold
 	// the degraded machine's numbers.
 	Degradation *faults.Degradation `json:",omitempty"`
+	// Trace is the Chrome trace_event JSON of this request's own
+	// evaluation, present only when the request was made with ?trace=1.
+	Trace *obs.Trace `json:",omitempty"`
 }
 
 // SweepRequest is a batch of design points evaluated concurrently.
@@ -256,38 +279,59 @@ func (w *statusWriter) WriteHeader(status int) {
 	w.ResponseWriter.WriteHeader(status)
 }
 
-// instrument wraps a handler with the metrics middleware: in-flight
-// gauge, request/error counters, and the latency histogram.
+// requestIDHeader carries the server-assigned request id on every
+// response, so clients can quote it when reporting a failure and logs,
+// spans and wire traffic all correlate on one token.
+const requestIDHeader = "X-Request-ID"
+
+// instrument wraps a handler with the observability middleware: a
+// request id minted into the context (and response header), the
+// in-flight gauge, request/error counters, the latency histogram, and
+// one structured log line per completed request.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
 	em := s.metrics.endpoint(name)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.inFlight.Add(1)
 		defer s.metrics.inFlight.Add(-1)
+		reqID := fmt.Sprintf("%s-%06d", s.reqPrefix, s.reqSeq.Add(1))
+		r = r.WithContext(obs.WithRequestID(r.Context(), reqID))
+		w.Header().Set(requestIDHeader, reqID)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		h(sw, r)
-		em.observe(time.Since(start), sw.status)
+		elapsed := time.Since(start)
+		em.observe(elapsed, sw.status)
+		s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("request_id", reqID),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Duration("duration", elapsed),
+		)
 	})
 }
 
-// writeJSON sends v with the given status.
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON sends v with the given status, timing the encode into the
+// refocus_encode_seconds stage histogram.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
+	start := time.Now()
 	enc.Encode(v) //nolint:errcheck // a failed write means the client is gone
+	s.metrics.encode.Observe(time.Since(start).Seconds())
 }
 
 // writeError sends the structured error payload for err, honoring any
 // Retry-After hint an apiError carries.
-func writeError(w http.ResponseWriter, err error) {
+func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status := statusOf(err)
 	var ae *apiError
 	if errors.As(err, &ae) && ae.retryAfter > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(ae.retryAfter))
 	}
-	writeJSON(w, status, ErrorResponse{Error: err.Error(), Status: status})
+	s.writeJSON(w, status, ErrorResponse{Error: err.Error(), Status: status})
 }
 
 // decodeBody strictly parses the request body into v, enforcing the
@@ -399,12 +443,15 @@ func (s *Server) evaluatePoint(ctx context.Context, req EvaluateRequest) (Evalua
 	if err := ctx.Err(); err != nil {
 		return EvaluateResponse{}, err
 	}
+	resolveSpan := obs.StartSpan(ctx, "serve.resolve")
 	cfg, err := resolveRequestConfig(req)
 	if err != nil {
+		resolveSpan.End()
 		return EvaluateResponse{}, badRequest(err)
 	}
 	fs, err := resolveRequestFaults(req, cfg)
 	if err != nil {
+		resolveSpan.End()
 		return EvaluateResponse{}, badRequest(err)
 	}
 	network := req.Network
@@ -413,9 +460,12 @@ func (s *Server) evaluatePoint(ctx context.Context, req EvaluateRequest) (Evalua
 	}
 	nets, err := sim.ResolveNetworks(network)
 	if err != nil {
+		resolveSpan.End()
 		return EvaluateResponse{}, badRequest(err)
 	}
 	hash, err := arch.ConfigHash(cfg)
+	resolveSpan.SetAttr("config", cfg.Name)
+	resolveSpan.End()
 	if err != nil {
 		return EvaluateResponse{}, err
 	}
@@ -440,6 +490,8 @@ func (s *Server) evaluatePoint(ctx context.Context, req EvaluateRequest) (Evalua
 		}
 		resp.Degradation = &deg
 	}
+	lookupSpan := obs.StartSpan(ctx, "serve.cache_lookup")
+	lookupStart := time.Now()
 	var missing []nn.Network
 	var missingIdx []int
 	for i, net := range nets {
@@ -456,14 +508,26 @@ func (s *Server) evaluatePoint(ctx context.Context, req EvaluateRequest) (Evalua
 	}
 	s.metrics.cacheHits.Add(int64(resp.CacheHits))
 	s.metrics.cacheMisses.Add(int64(resp.CacheMisses))
+	s.metrics.cacheLookup.Observe(time.Since(lookupStart).Seconds())
+	lookupSpan.SetAttr("hits", resp.CacheHits)
+	lookupSpan.SetAttr("misses", resp.CacheMisses)
+	lookupSpan.End()
 
 	if len(missing) > 0 {
-		if err := s.acquireSlot(ctx); err != nil {
+		waitSpan := obs.StartSpan(ctx, "serve.queue_wait")
+		waitStart := time.Now()
+		err := s.acquireSlot(ctx)
+		s.metrics.queueWait.Observe(time.Since(waitStart).Seconds())
+		waitSpan.End()
+		if err != nil {
 			return EvaluateResponse{}, err
 		}
 		if s.chaos.maybeSlow(ctx) {
 			s.metrics.chaosSlowed.Add(1)
 		}
+		evalSpan := obs.StartSpan(ctx, "serve.evaluate")
+		evalSpan.SetAttr("networks", len(missing))
+		evalStart := time.Now()
 		var reports []arch.Report
 		if fs != nil {
 			degraded, derr := faults.EvaluateAllCtx(ctx, cfg, *fs, missing)
@@ -477,6 +541,8 @@ func (s *Server) evaluatePoint(ctx context.Context, req EvaluateRequest) (Evalua
 		} else {
 			reports, err = arch.EvaluateAllCtx(ctx, cfg, missing)
 		}
+		s.metrics.evaluate.Observe(time.Since(evalStart).Seconds())
+		evalSpan.End()
 		s.releaseSlot()
 		if err != nil {
 			return EvaluateResponse{}, badRequest(err)
@@ -490,21 +556,33 @@ func (s *Server) evaluatePoint(ctx context.Context, req EvaluateRequest) (Evalua
 	return resp, nil
 }
 
-// handleEvaluate serves POST /v1/evaluate.
+// handleEvaluate serves POST /v1/evaluate. With ?trace=1 the request
+// runs under a fresh obs.Trace and the response carries the Chrome
+// trace_event JSON of its own evaluation — per-request profiling with
+// no server-side state.
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	var req EvaluateRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
+	var tr *obs.Trace
+	if r.URL.Query().Get("trace") == "1" {
+		tr = obs.NewTrace()
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	root := obs.StartSpan(ctx, "serve.request")
+	root.SetAttr("request_id", obs.RequestID(ctx))
 	resp, err := s.evaluatePoint(ctx, req)
+	root.End()
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	resp.Trace = tr
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // handleSweep serves POST /v1/sweep: points fan out concurrently (each
@@ -513,11 +591,11 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	if len(req.Points) == 0 {
-		writeError(w, badRequest(errors.New("serve: sweep carries no Points")))
+		s.writeError(w, badRequest(errors.New("serve: sweep carries no Points")))
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
@@ -539,7 +617,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	for range req.Points {
 		<-done
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // handlePresets serves GET /v1/presets.
@@ -555,17 +633,25 @@ func (s *Server) handlePresets(w http.ResponseWriter, r *http.Request) {
 	for _, n := range nn.Benchmarks() {
 		resp.Networks = append(resp.Networks, n.Name)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // handleHealthz serves GET /healthz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleMetrics serves GET /metrics.
+// handleMetrics serves GET /metrics: the historical JSON snapshot by
+// default, or the Prometheus text exposition (version 0.0.4) with
+// ?format=prometheus — both views of the same registry, so a scraper
+// and a dashboard can never disagree on the numbers.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.metrics.writePrometheus(w) //nolint:errcheck // a failed write means the scraper is gone
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.MetricsSnapshot())
 }
 
 // ListenAndServe runs the service on addr until ctx is canceled, then

@@ -91,10 +91,17 @@ type StatusError struct {
 	// Status is the HTTP status code; Message the server's error text.
 	Status  int
 	Message string
+	// RequestID is the server-assigned X-Request-ID of the failed
+	// response ("" when none was sent) — quote it to correlate the
+	// failure with the server's logs, spans and metrics.
+	RequestID string
 }
 
 // Error implements the error interface.
 func (e *StatusError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("serveclient: server answered %d (request %s): %s", e.Status, e.RequestID, e.Message)
+	}
 	return fmt.Sprintf("serveclient: server answered %d: %s", e.Status, e.Message)
 }
 
@@ -302,15 +309,16 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte) (
 	}
 	retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
 	msg := serverMessage(data)
+	reqID := resp.Header.Get("X-Request-ID")
 	switch resp.StatusCode {
 	case http.StatusTooManyRequests:
 		c.shed.Add(1)
-		return nil, retryAfter, fmt.Errorf("serveclient: shed with 429: %s", msg)
+		return nil, retryAfter, fmt.Errorf("serveclient: shed with 429 (request %s): %s", reqID, msg)
 	case http.StatusInternalServerError, http.StatusBadGateway,
 		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
-		return nil, retryAfter, fmt.Errorf("serveclient: transient %d: %s", resp.StatusCode, msg)
+		return nil, retryAfter, fmt.Errorf("serveclient: transient %d (request %s): %s", resp.StatusCode, reqID, msg)
 	default:
-		return nil, 0, &StatusError{Status: resp.StatusCode, Message: msg}
+		return nil, 0, &StatusError{Status: resp.StatusCode, Message: msg, RequestID: reqID}
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"refocus/internal/arch"
 	"refocus/internal/faults"
 	"refocus/internal/nn"
+	"refocus/internal/obs"
 	"refocus/internal/phys"
 )
 
@@ -151,14 +152,29 @@ type Result struct {
 // an error carrying the offending field or name; nothing panics on user
 // input.
 func Evaluate(opts Options) (Result, error) {
+	return EvaluateCtx(context.Background(), opts)
+}
+
+// EvaluateCtx is Evaluate honoring the context: cancellation stops the
+// evaluation fan-out, and a context carrying an obs.Trace records one
+// span per pipeline stage (resolve, validate, evaluate) with the
+// per-point spans of arch.EvaluateAllCtx nested inside.
+func EvaluateCtx(ctx context.Context, opts Options) (Result, error) {
+	resolveSpan := obs.StartSpan(ctx, "sim.resolve")
 	cfg, err := ResolveConfig(opts.Preset, opts.ConfigFile)
 	if err != nil {
+		resolveSpan.End()
 		return Result{}, err
 	}
 	if opts.Override != nil {
 		opts.Override(&cfg)
 	}
-	if err := cfg.Validate(); err != nil {
+	resolveSpan.SetAttr("config", cfg.Name)
+	resolveSpan.End()
+	validateSpan := obs.StartSpan(ctx, "sim.validate")
+	err = cfg.Validate()
+	validateSpan.End()
+	if err != nil {
 		return Result{}, err
 	}
 	nets, err := ResolveNetworks(opts.Network)
@@ -169,8 +185,11 @@ func Evaluate(opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	evalSpan := obs.StartSpan(ctx, "sim.evaluate")
+	evalSpan.SetAttr("networks", len(nets))
+	defer evalSpan.End()
 	if fs != nil {
-		degraded, err := faults.EvaluateAllCtx(context.Background(), cfg, *fs, nets)
+		degraded, err := faults.EvaluateAllCtx(ctx, cfg, *fs, nets)
 		if err != nil {
 			return Result{}, err
 		}
@@ -184,7 +203,7 @@ func Evaluate(opts Options) (Result, error) {
 		}
 		return res, nil
 	}
-	reports, err := arch.EvaluateAll(cfg, nets)
+	reports, err := arch.EvaluateAllCtx(ctx, cfg, nets)
 	if err != nil {
 		return Result{}, err
 	}
@@ -207,10 +226,18 @@ func CacheKey(cfg arch.SystemConfig, network string) (string, error) {
 // Run executes the full pipeline: resolve → override → validate →
 // evaluate → render. It shares Evaluate's error convention.
 func Run(opts Options, out io.Writer) error {
-	res, err := Evaluate(opts)
+	return RunCtx(context.Background(), opts, out)
+}
+
+// RunCtx is Run honoring the context; with an obs.Trace attached, the
+// render stage gets its own span next to EvaluateCtx's pipeline spans.
+func RunCtx(ctx context.Context, opts Options, out io.Writer) error {
+	res, err := EvaluateCtx(ctx, opts)
 	if err != nil {
 		return err
 	}
+	renderSpan := obs.StartSpan(ctx, "sim.render")
+	defer renderSpan.End()
 	if opts.JSON {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
