@@ -181,8 +181,32 @@ func DFTNaive(x []complex128) []complex128 {
 	return out
 }
 
-// FFTReal transforms a real sequence, returning the full complex spectrum.
+// FFTReal transforms a real sequence, returning the full complex
+// spectrum. It runs on the packed real-input lane (see RealPlan): the
+// half spectrum is computed with roughly half the work of the complex
+// path and the upper bins are filled in by conjugate symmetry. The
+// previous widen-to-complex implementation survives as FFTRealNaive for
+// conformance testing.
 func FFTReal(x []float64) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	if n == 0 {
+		return out
+	}
+	p := PlanRFFT(n)
+	p.Forward(out[:n/2+1], x)
+	for k := 1; k < (n+1)/2; k++ {
+		v := out[k]
+		out[n-k] = complex(real(v), -imag(v))
+	}
+	return out
+}
+
+// FFTRealNaive transforms a real sequence by widening it to complex and
+// running the full complex FFT — allocating a full complex copy and doing
+// twice the necessary work. It is retained purely as the golden reference
+// the real-input lane (FFTReal, RFFT) is conformance-tested against.
+func FFTRealNaive(x []float64) []complex128 {
 	c := make([]complex128, len(x))
 	for i, v := range x {
 		c[i] = complex(v, 0)
@@ -212,4 +236,39 @@ func IFFTShift(x []complex128) []complex128 {
 	copy(out[half:], x[:n-half])
 	copy(out, x[n-half:])
 	return out
+}
+
+// FFTShiftInPlace is FFTShift without the allocation: x is rotated in
+// place so the zero-frequency bin moves to the centre. Used on hot paths
+// that present a Fourier plane per call (the 4F correlator).
+func FFTShiftInPlace(x []complex128) {
+	rotateLeft(x, (len(x)+1)/2)
+}
+
+// IFFTShiftInPlace undoes FFTShiftInPlace (and FFTShift) in place.
+func IFFTShiftInPlace(x []complex128) {
+	rotateLeft(x, len(x)/2)
+}
+
+// rotateLeft rotates x left by k positions in place via the three-reversal
+// identity — O(n) time, O(1) space.
+func rotateLeft(x []complex128, k int) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	k %= n
+	if k == 0 {
+		return
+	}
+	reverseComplex(x[:k])
+	reverseComplex(x[k:])
+	reverseComplex(x)
+}
+
+// reverseComplex reverses a complex slice in place.
+func reverseComplex(x []complex128) {
+	for i, j := 0, len(x)-1; i < j; i, j = i+1, j-1 {
+		x[i], x[j] = x[j], x[i]
+	}
 }

@@ -190,7 +190,13 @@ func (p *Plan) radix2(x []complex128) {
 // work buffer drawn from the pool.
 func (p *Plan) bluestein(x []complex128) {
 	buf := p.scratch.Get().(*[]complex128)
-	a := *buf
+	p.bluesteinInto(x, *buf)
+	p.scratch.Put(buf)
+}
+
+// bluesteinInto is bluestein with caller-provided length-m scratch, so
+// batched execution can reuse one buffer across every row.
+func (p *Plan) bluesteinInto(x, a []complex128) {
 	n := p.n
 	for k := 0; k < n; k++ {
 		a[k] = x[k] * p.chirp[k]
@@ -214,5 +220,4 @@ func (p *Plan) bluestein(x []complex128) {
 			x[k] = a[k] * p.chirp[k]
 		}
 	}
-	p.scratch.Put(buf)
 }

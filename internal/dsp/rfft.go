@@ -1,0 +1,274 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sync"
+)
+
+// RealPlan is the packed real-input transform lane: the plan for an
+// N-point DFT of a real sequence, represented by its half spectrum of
+// N/2+1 bins (the rest follows from conjugate symmetry, X[N-k] =
+// conj(X[k])). Even lengths run the classic packing trick — the N real
+// samples are folded into an N/2-point complex sequence z[j] =
+// x[2j] + i·x[2j+1], transformed with the ordinary complex plan, and
+// untangled with a precomputed twiddle table — roughly halving the work
+// of the complex path. Odd lengths (Bluestein territory) fall back to the
+// full complex plan and keep only the half spectrum.
+//
+// Like Plan, a RealPlan is immutable after construction, safe for
+// concurrent use, and allocation-free in the steady state (scratch comes
+// from an internal pool). Obtain plans from PlanRFFT.
+type RealPlan struct {
+	n int
+
+	// Even-length state: the half-length complex sub-plans (shared via the
+	// package plan cache) and the untangle twiddle table.
+	half    *Plan        // forward length-n/2 plan
+	halfInv *Plan        // inverse length-n/2 plan (its 1/(n/2) scale makes the round trip exact)
+	tw      []complex128 // tw[k] = exp(-2πi·k/n), k ≤ n/2
+
+	// Odd-length fallback: full-length complex plans.
+	full    *Plan
+	fullInv *Plan
+
+	scratch *sync.Pool // *[]complex128, len n/2 (even) or n (odd)
+}
+
+// realPlanCache memoizes real plans process-wide, keyed by length, with
+// the same first-store-wins discipline as the complex plan cache.
+var realPlanCache sync.Map // int -> *RealPlan
+
+// PlanRFFT returns the memoized real-input transform plan for length-n
+// sequences, building it on first use. n must be positive.
+func PlanRFFT(n int) *RealPlan {
+	if n <= 0 {
+		panic(fmt.Sprintf("dsp: PlanRFFT of non-positive length %d", n))
+	}
+	if p, ok := realPlanCache.Load(n); ok {
+		return p.(*RealPlan)
+	}
+	p := newRealPlan(n)
+	if prev, loaded := realPlanCache.LoadOrStore(n, p); loaded {
+		return prev.(*RealPlan)
+	}
+	return p
+}
+
+// newRealPlan precomputes the tables for one length.
+func newRealPlan(n int) *RealPlan {
+	p := &RealPlan{n: n}
+	if n == 1 {
+		return p
+	}
+	if n%2 == 0 {
+		h := n / 2
+		p.half = PlanFFT(h, false)
+		p.halfInv = PlanFFT(h, true)
+		p.tw = make([]complex128, h+1)
+		for k := range p.tw {
+			p.tw[k] = cmplx.Rect(1, -2*math.Pi*float64(k)/float64(n))
+		}
+		p.scratch = newScratchPool(h)
+		return p
+	}
+	p.full = PlanFFT(n, false)
+	p.fullInv = PlanFFT(n, true)
+	p.scratch = newScratchPool(n)
+	return p
+}
+
+// newScratchPool builds a pool of complex scratch buffers of one size.
+func newScratchPool(size int) *sync.Pool {
+	return &sync.Pool{New: func() any {
+		s := make([]complex128, size)
+		return &s
+	}}
+}
+
+// Len returns the real sequence length the plan transforms.
+func (p *RealPlan) Len() int { return p.n }
+
+// SpectrumLen returns the half-spectrum length, n/2+1: bins 0..n/2
+// inclusive (DC through Nyquist for even n).
+func (p *RealPlan) SpectrumLen() int { return p.n/2 + 1 }
+
+// Forward computes the half spectrum of the real sequence src into dst.
+// len(src) must be Len() and len(dst) must be SpectrumLen(). The forward
+// transform is unnormalized, matching FFT.
+func (p *RealPlan) Forward(dst []complex128, src []float64) {
+	p.checkShapes(len(dst), len(src))
+	if p.n == 1 {
+		dst[0] = complex(src[0], 0)
+		return
+	}
+	buf := p.scratch.Get().(*[]complex128)
+	p.forward(dst, src, *buf)
+	p.scratch.Put(buf)
+}
+
+// Inverse reconstructs the real sequence from its half spectrum: dst
+// receives the n real samples of the inverse DFT (with the 1/n scale) of
+// the conjugate-symmetric spectrum whose bins 0..n/2 are src. len(dst)
+// must be Len() and len(src) must be SpectrumLen().
+func (p *RealPlan) Inverse(dst []float64, src []complex128) {
+	p.checkShapes(len(src), len(dst))
+	if p.n == 1 {
+		dst[0] = real(src[0])
+		return
+	}
+	buf := p.scratch.Get().(*[]complex128)
+	p.inverse(dst, src, *buf)
+	p.scratch.Put(buf)
+}
+
+// checkShapes validates a (half-spectrum, real) length pair.
+func (p *RealPlan) checkShapes(specLen, realLen int) {
+	if specLen != p.SpectrumLen() || realLen != p.n {
+		panic(fmt.Sprintf("dsp: real plan for length %d (spectrum %d) given lengths %d and %d",
+			p.n, p.SpectrumLen(), realLen, specLen))
+	}
+}
+
+// forward is the core transform; buf is caller-provided scratch.
+func (p *RealPlan) forward(dst []complex128, src []float64, buf []complex128) {
+	n := p.n
+	if p.full != nil { // odd length: full complex transform, truncated
+		for i, v := range src {
+			buf[i] = complex(v, 0)
+		}
+		p.full.Execute(buf)
+		copy(dst, buf[:n/2+1])
+		return
+	}
+	h := n / 2
+	for j := 0; j < h; j++ {
+		buf[j] = complex(src[2*j], src[2*j+1])
+	}
+	p.half.Execute(buf)
+	// Untangle: with Z the transform of the packed sequence, the spectra
+	// of the even and odd subsequences are Xe[k] = (Z[k]+conj(Z[h-k]))/2
+	// and Xo[k] = -i·(Z[k]-conj(Z[h-k]))/2, and X[k] = Xe[k]+tw[k]·Xo[k].
+	z0 := buf[0]
+	dst[0] = complex(real(z0)+imag(z0), 0)
+	dst[h] = complex(real(z0)-imag(z0), 0)
+	for k := 1; k < h; k++ {
+		zk := buf[k]
+		zc := cmplx.Conj(buf[h-k])
+		xe := (zk + zc) * 0.5
+		xo := (zk - zc) * complex(0, -0.5)
+		dst[k] = xe + p.tw[k]*xo
+	}
+}
+
+// inverse is the core inverse transform; buf is caller-provided scratch.
+func (p *RealPlan) inverse(dst []float64, src []complex128, buf []complex128) {
+	n := p.n
+	if p.full != nil { // odd length: mirror to the full spectrum, transform
+		h := n / 2
+		copy(buf, src)
+		for k := 1; k <= h; k++ {
+			buf[n-k] = cmplx.Conj(src[k])
+		}
+		p.fullInv.Execute(buf)
+		for i := range dst {
+			dst[i] = real(buf[i])
+		}
+		return
+	}
+	h := n / 2
+	// Re-tangle: invert the untangle relations (tw[h-k] = -conj(tw[k]), so
+	// Xe[k] = (X[k]+conj(X[h-k]))/2 and Xo[k] = conj(tw[k])·(X[k]-conj(X[h-k]))/2)
+	// and rebuild the packed sequence Z[k] = Xe[k] + i·Xo[k]; the
+	// half-length inverse plan's 1/(n/2) scale makes Forward∘Inverse exact.
+	for k := 0; k < h; k++ {
+		xk := src[k]
+		xc := cmplx.Conj(src[h-k])
+		xe := (xk + xc) * 0.5
+		xo := (xk - xc) * 0.5 * cmplx.Conj(p.tw[k])
+		buf[k] = xe + 1i*xo
+	}
+	p.halfInv.Execute(buf)
+	for j := 0; j < h; j++ {
+		z := buf[j]
+		dst[2*j] = real(z)
+		dst[2*j+1] = imag(z)
+	}
+}
+
+// RFFT transforms a real sequence and returns its half spectrum
+// (len(x)/2+1 bins). For the full mirrored spectrum use FFTReal.
+func RFFT(x []float64) []complex128 {
+	p := PlanRFFT(len(x))
+	out := make([]complex128, p.SpectrumLen())
+	p.Forward(out, x)
+	return out
+}
+
+// IRFFT inverts a half spectrum (as produced by RFFT) back to its n real
+// samples, n being the original real length (needed because n/2+1 bins
+// correspond to two possible parities).
+func IRFFT(spec []complex128, n int) []float64 {
+	p := PlanRFFT(n)
+	out := make([]float64, n)
+	p.Inverse(out, spec)
+	return out
+}
+
+// RFFT2D computes the 2-D DFT of a real [h][w] matrix: a real-lane
+// transform of every row, a batched complex transform of the first w/2+1
+// columns, and a conjugate-symmetry fill of the remaining columns
+// (X[i][w-j] = conj(X[(h-i) mod h][j])). The result is the full h×w
+// spectrum, interchangeable with FFT2D on a real-valued input at roughly
+// half the transform work.
+func RFFT2D(x [][]float64) [][]complex128 {
+	h := len(x)
+	if h == 0 {
+		return nil
+	}
+	w := len(x[0])
+	out := make([][]complex128, h)
+	rp := PlanRFFT(w)
+	hw := rp.SpectrumLen()
+	for i, row := range x {
+		if len(row) != w {
+			panic(fmt.Sprintf("dsp: ragged 2-D input at row %d", i))
+		}
+		out[i] = make([]complex128, w)
+		rp.Forward(out[i][:hw], row)
+	}
+
+	// Column pass over the stored half: gather columns into contiguous
+	// scratch, transform them as one batch, scatter back.
+	buf := planeScratch.Get().(*[]complex128)
+	if cap(*buf) < hw*h {
+		*buf = make([]complex128, hw*h)
+	}
+	t := (*buf)[:hw*h]
+	for i := 0; i < h; i++ {
+		row := out[i]
+		for j := 0; j < hw; j++ {
+			t[j*h+i] = row[j]
+		}
+	}
+	PlanFFT(h, false).ExecuteBatch(t)
+	for i := 0; i < h; i++ {
+		row := out[i]
+		for j := 0; j < hw; j++ {
+			row[j] = t[j*h+i]
+		}
+	}
+	planeScratch.Put(buf)
+
+	// Mirror fill: the upper-frequency columns follow from the conjugate
+	// symmetry of a real input's 2-D spectrum.
+	for i := 0; i < h; i++ {
+		src := out[(h-i)%h]
+		row := out[i]
+		for j := hw; j < w; j++ {
+			row[j] = cmplx.Conj(src[w-j])
+		}
+	}
+	return out
+}

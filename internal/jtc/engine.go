@@ -50,6 +50,15 @@ type EngineConfig struct {
 	// Correlator must be safe for concurrent use when Parallelism != 1
 	// (DigitalCorrelator and PhysicalJTC.Correlate both are).
 	Parallelism int
+	// DisableSpectrumReuse forces the serial per-pass correlator path even
+	// when Correlator is nil. By default the engine computes each input
+	// tile's spectrum once per layer and shares it read-only across all
+	// filters and pseudo-negative parts (the paper's light reuse; see
+	// DESIGN.md §11); this flag retains the naive path as the golden
+	// reference for conformance testing. Setting Correlator also disables
+	// reuse — a custom correlator (e.g. PhysicalJTC.Correlate) must see
+	// every pass.
+	DisableSpectrumReuse bool
 }
 
 // DefaultEngineConfig matches the ReFOCUS RFCU (paper §4, §5.1).
@@ -74,6 +83,16 @@ func DefaultEngineConfig() EngineConfig {
 type Engine struct {
 	cfg EngineConfig
 
+	// spectral selects the spectrum-reuse datapath (spectra.go); set when
+	// no custom correlator is configured and reuse is not disabled.
+	spectral bool
+	// roundSpectral rounds spectral-path results to integers: with both
+	// operands quantized the exact correlations are integers, so rounding
+	// removes the FFT roundoff entirely and the spectral path becomes
+	// bit-identical to the serial reference. Guarded to bit widths where
+	// the accumulated values stay far below 2^53.
+	roundSpectral bool
+
 	mu    sync.Mutex
 	stats PassStats
 }
@@ -89,10 +108,13 @@ func NewEngine(cfg EngineConfig) *Engine {
 	if cfg.AccumulationWindow < 1 {
 		cfg.AccumulationWindow = 1
 	}
+	spectral := cfg.Correlator == nil && !cfg.DisableSpectrumReuse
 	if cfg.Correlator == nil {
 		cfg.Correlator = DigitalCorrelator
 	}
-	return &Engine{cfg: cfg}
+	q := cfg.Quant
+	roundSpectral := q.Enabled && q.InputBits > 0 && q.WeightBits > 0 && q.InputBits+q.WeightBits <= 36
+	return &Engine{cfg: cfg, spectral: spectral, roundSpectral: roundSpectral}
 }
 
 // Stats returns the accumulated pass statistics since the last ResetStats.
@@ -186,10 +208,23 @@ func (e *Engine) Conv2DCtx(ctx context.Context, input, weights *tensor.Tensor, s
 	layerSpan.SetAttr("input", fmt.Sprintf("%dx%d", h, w))
 	layerSpan.SetAttr("kernel", fmt.Sprintf("%dx%d", kh, kw))
 	layerSpan.SetAttr("workers", workers)
+
+	// Spectrum reuse: transform every input tile once, before the fan-out,
+	// and share the bank read-only across all filter workers — the
+	// simulator-side form of the paper's light reuse. See DESIGN.md §11.
+	var bank *spectrumBank
+	if e.spectral {
+		bankSpan := obs.StartSpan(ctx, "jtc.spectrum_bank")
+		bank = buildSpectrumBank(inPlanes, kh, kw, e.cfg.InputWaveguides, e.cfg.WeightWaveguides)
+		bankSpan.SetAttr("spectrum", fmt.Sprintf("%dx%d", bank.my, bank.hwx))
+		bankSpan.End()
+		layerSpan.SetAttr("spectrum_channels", len(bank.specs))
+	}
+
 	if workers == 1 {
 		var st PassStats
 		for fi := 0; fi < f; fi++ {
-			e.convFilter(ctx, out, inPlanes, posW, negW, fi, kh, kw, opScale, &st)
+			e.convFilter(ctx, out, inPlanes, bank, posW, negW, fi, kh, kw, opScale, &st)
 		}
 		e.mu.Lock()
 		e.stats.Add(st)
@@ -203,7 +238,7 @@ func (e *Engine) Conv2DCtx(ctx context.Context, input, weights *tensor.Tensor, s
 				defer wg.Done()
 				wctx := obs.Lane(ctx)
 				for fi := wi; fi < f; fi += workers {
-					e.convFilter(wctx, out, inPlanes, posW, negW, fi, kh, kw, opScale, &perWorker[wi])
+					e.convFilter(wctx, out, inPlanes, bank, posW, negW, fi, kh, kw, opScale, &perWorker[wi])
 				}
 			}(wi)
 		}
@@ -236,7 +271,7 @@ func (e *Engine) Conv2DCtx(ctx context.Context, input, weights *tensor.Tensor, s
 // writing into out's (disjoint) filter-fi region. st receives the pass
 // statistics; callers running convFilter concurrently hand each worker its
 // own tally and merge after the barrier.
-func (e *Engine) convFilter(ctx context.Context, out *tensor.Tensor, inPlanes [][][]float64, posW, negW []float64, fi, kh, kw int, opScale float64, st *PassStats) {
+func (e *Engine) convFilter(ctx context.Context, out *tensor.Tensor, inPlanes [][][]float64, bank *spectrumBank, posW, negW []float64, fi, kh, kw int, opScale float64, st *PassStats) {
 	c := len(inPlanes)
 	h, w := len(inPlanes[0]), len(inPlanes[0][0])
 	oh, ow := h-kh+1, w-kw+1
@@ -244,6 +279,14 @@ func (e *Engine) convFilter(ctx context.Context, out *tensor.Tensor, inPlanes []
 	filterSpan := obs.StartSpan(ctx, "jtc.filter")
 	filterSpan.SetAttr("filter", fi)
 	passesBefore := st.Passes
+	// On the spectral path, batch-transform this filter's kernel pieces
+	// once; every pass below is then a cross-spectrum multiply against the
+	// shared input bank plus one inverse transform.
+	var fs *filterSpectra
+	if bank != nil {
+		fs = bank.buildFilterSpectra(posW, negW, fi, c, kh, kw)
+		defer fs.release()
+	}
 	// Channel groups of M accumulate optically; groups accumulate
 	// digitally after ADC readout.
 	M := e.cfg.AccumulationWindow
@@ -252,8 +295,8 @@ func (e *Engine) convFilter(ctx context.Context, out *tensor.Tensor, inPlanes []
 		if cn > c {
 			cn = c
 		}
-		e.accumulateGroup(ctx, acc, inPlanes, posW, fi, c0, cn, kh, kw, +1, st)
-		e.accumulateGroup(ctx, acc, inPlanes, negW, fi, c0, cn, kh, kw, -1, st)
+		e.accumulateGroup(ctx, acc, inPlanes, bank, fs, posW, fi, c0, cn, kh, kw, +1, st)
+		e.accumulateGroup(ctx, acc, inPlanes, bank, fs, negW, fi, c0, cn, kh, kw, -1, st)
 	}
 	// Undo the operand scales in the digital domain.
 	for y := 0; y < oh; y++ {
@@ -270,7 +313,7 @@ func (e *Engine) convFilter(ctx context.Context, out *tensor.Tensor, inPlanes []
 // readout, then added into acc with the given sign (the pseudo-negative
 // subtraction happens here). Pass counts tally into st, never into the
 // engine's shared stats, so concurrent workers do not contend.
-func (e *Engine) accumulateGroup(ctx context.Context, acc []float64, inPlanes [][][]float64, w []float64, fi, c0, cn, kh, kw int, sign float64, st *PassStats) {
+func (e *Engine) accumulateGroup(ctx context.Context, acc []float64, inPlanes [][][]float64, bank *spectrumBank, fs *filterSpectra, w []float64, fi, c0, cn, kh, kw int, sign float64, st *PassStats) {
 	c := len(inPlanes)
 	h := len(inPlanes[0])
 	width := len(inPlanes[0][0])
@@ -288,9 +331,12 @@ func (e *Engine) accumulateGroup(ctx context.Context, acc []float64, inPlanes []
 	// layers) split into row groups of at most floor(Wwg/KW) rows; each
 	// group runs as its own pass over the correspondingly shifted input
 	// rows and the partial sums accumulate at the detector.
-	rowGroup := e.cfg.WeightWaveguides / kw
-	if rowGroup > kh {
-		rowGroup = kh
+	rowGroup := kernelRowGroup(kh, kw, e.cfg.WeightWaveguides)
+
+	// The pseudo-negative part index for filterSpectra lookups.
+	part := 0
+	if sign < 0 {
+		part = 1
 	}
 
 	well := make([]float64, oh*ow) // the photodetector charge wells
@@ -304,6 +350,18 @@ func (e *Engine) accumulateGroup(ctx context.Context, acc []float64, inPlanes []
 			continue
 		}
 		any = true
+		if bank != nil {
+			// Spectral path: same group split, same zero-skips, with the
+			// per-pass correlation replaced by cached cross-spectra.
+			for gi := range bank.groups {
+				grp := &bank.groups[gi]
+				if planeIsZero(kernel[grp.j0 : grp.j0+grp.g]) {
+					continue
+				}
+				bank.convGroup(grp, gi, ci, fs, part, e.roundSpectral, well, &maxSingle, st)
+			}
+			continue
+		}
 		for j0 := 0; j0 < kh; j0 += rowGroup {
 			g := rowGroup
 			if j0+g > kh {

@@ -35,8 +35,11 @@ func NewFourF(aperture int) *FourF {
 }
 
 // MatchedFilter computes the Fourier-plane mask for a spatial kernel:
-// H(u) = conj(FFT(kernel zero-padded to the aperture)). Every one of the
-// Aperture samples is complex — the filter-size limitation of §1.
+// H(u) = conj(FFT(kernel zero-padded to the aperture)), returned
+// DC-centred (fftshifted) — the layout a physical SLM at the Fourier
+// plane is programmed in, with the optical axis in the middle of the
+// mask. Every one of the Aperture samples is complex — the filter-size
+// limitation of §1.
 func (f *FourF) MatchedFilter(kernel []float64) []complex128 {
 	if len(kernel) > f.Aperture {
 		panic("jtc: kernel exceeds the 4F aperture")
@@ -49,6 +52,7 @@ func (f *FourF) MatchedFilter(kernel []float64) []complex128 {
 	for i, v := range padded {
 		padded[i] = complex(real(v), -imag(v))
 	}
+	dsp.FFTShiftInPlace(padded)
 	return padded
 }
 
@@ -76,11 +80,19 @@ func (f *FourF) Correlate(signal, kernel []float64) []float64 {
 		}
 		in[i] = complex(v, 0)
 	}
+	// The Fourier-plane multiply happens in the SLM's DC-centred frame:
+	// shift the spectrum to match the centred mask, multiply, unshift.
+	// Applying the same permutation to both operands of an elementwise
+	// product leaves the result's bins untouched, so this is bit-identical
+	// to multiplying in DC-first order — it just mirrors where a physical
+	// mask actually sits.
 	dsp.FFTInPlace(in)
+	dsp.FFTShiftInPlace(in)
 	h := f.MatchedFilter(kernel)
 	for i := range in {
 		in[i] *= h[i]
 	}
+	dsp.IFFTShiftInPlace(in)
 	// Second forward transform: output appears coordinate-reversed
 	// (FT∘FT = parity), so the correlation at lag l reads at index
 	// (n - l) mod n, scaled by n.

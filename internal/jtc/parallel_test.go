@@ -122,6 +122,43 @@ func TestConv2DConcurrentEngine(t *testing.T) {
 	}
 }
 
+// TestSpectrumBankSharedFanOut drives the spectrum-reuse fan-out as hard
+// as the race detector can watch it: one engine, maximum internal
+// parallelism, many concurrent Conv2D calls — every worker reading the
+// same spectrumBank (input spectra, phase tables, group tallies) while
+// building private filter spectra from the shared scratch pools. Outputs
+// must stay bit-identical to the serial spectral run. Run under -race
+// this is the ownership proof for DESIGN.md §11.
+func TestSpectrumBankSharedFanOut(t *testing.T) {
+	in, wt := testConvOperands(5, 6, 20, 20, 12, 3, 3)
+
+	cfg := DefaultEngineConfig()
+	cfg.InputWaveguides = 128
+	cfg.Parallelism = 1
+	want := NewEngine(cfg).Conv2D(in, wt, 1)
+
+	cfg.Parallelism = 0 // GOMAXPROCS workers per call
+	shared := NewEngine(cfg)
+	const callers = 6
+	var wg sync.WaitGroup
+	outs := make([]*tensor.Tensor, callers)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			outs[g] = shared.Conv2D(in, wt, 1)
+		}(g)
+	}
+	wg.Wait()
+	for g, got := range outs {
+		for i := range got.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("caller %d: output[%d] differs under shared-bank fan-out", g, i)
+			}
+		}
+	}
+}
+
 // TestConv2DParallelPhysicalCorrelator checks bit-identity holds when the
 // correlator is the full field-propagation path, which is the case where
 // concurrent workers share the most library state (plan cache, pools).

@@ -1,0 +1,391 @@
+package jtc
+
+import (
+	"math"
+	"math/cmplx"
+	"sync"
+
+	"refocus/internal/dsp"
+)
+
+// This file is the spectrum-reuse datapath (DESIGN.md §11) — the
+// simulator-side analogue of the light reuse that names the paper: the
+// input is Fourier-transformed once and every filter taps the same
+// transformed field. Before the filter fan-out, Conv2D builds a
+// spectrumBank holding one 2-D half spectrum per input channel; during
+// the fan-out each worker replaces its per-pass correlations with a
+// cross-spectrum multiply against its filter's (sparsely built, batched)
+// kernel spectra plus one inverse transform per (channel, row-group).
+// The bank is written only before the workers start and read-only
+// afterwards, which is the entire race-freedom argument.
+//
+// Numerics: the serial path's per-(channel, row-group) contribution —
+// whatever tiling strategy its passes use — sums to the dense 2-D valid
+// cross-correlation of the input plane with the group's kernel rows
+// placed at their row offset. That correlation equals the circular one,
+// out = IDFT2(X·conj(K)), at any padded size (my ≥ H, mx ≥ W): every
+// wrapped term multiplies the kernel's zero padding. Pass counts and
+// conversion tallies still follow the per-pass hardware model — they are
+// precomputed per group from the same PlanTiling geometry the serial
+// path walks.
+
+// bankGroup is one kernel-row group (the WeightWaveguides/KW row split of
+// accumulateGroup), with the pass statistics its serial execution would
+// tally, precomputed once and shared by every channel and filter.
+type bankGroup struct {
+	j0, g int
+	geo   Geometry
+	stats PassStats // per-(channel, group) serial tally
+}
+
+// spectrumBank holds each input channel's 2-D half spectrum plus the
+// layer's group geometry. Built single-threaded before the filter
+// fan-out; never written afterwards; shared read-only by all workers.
+type spectrumBank struct {
+	my, mx int // padded transform size (powers of two ≥ H, W)
+	hwx    int // half-spectrum width, mx/2+1
+	oh, ow int
+	w, kw  int
+
+	// specs[ci] is channel ci's half spectrum in column-major layout:
+	// specs[ci][j*my+ky] is x-frequency bin j (0..hwx-1), y-frequency ky.
+	// Column-major keeps the y-dimension transforms contiguous.
+	specs [][]complex128
+
+	// rowPhase[r][ky] = exp(-2πi·ky·r/my): the column-DFT contribution of
+	// a kernel row at input-row offset r, used to build kernel spectra
+	// sparsely (a KH×KW kernel has only KH non-zero rows).
+	rowPhase [][]complex128
+
+	groups []bankGroup
+}
+
+// kernelRowGroup returns how many kernel rows fit one weight-waveguide
+// pass — the split accumulateGroup and the bank must agree on.
+func kernelRowGroup(kh, kw, weightWaveguides int) int {
+	g := weightWaveguides / kw
+	if g > kh {
+		g = kh
+	}
+	return g
+}
+
+// groupTally computes the pass statistics the serial path would record
+// for one (channel, group) ConvPlane call, by walking the same pass
+// enumeration without executing it.
+func groupTally(geo Geometry, vh, w, kw, ow int) PassStats {
+	var st PassStats
+	switch geo.Strategy {
+	case FullTiling:
+		for r0 := 0; r0 < geo.OutH; r0 += geo.ValidRowsPerPass {
+			if r0+geo.RowsPerTile > vh {
+				r0 = vh - geo.RowsPerTile
+			}
+			valid := geo.ValidRowsPerPass
+			if r0+valid > geo.OutH {
+				valid = geo.OutH - r0
+			}
+			st.Passes++
+			st.InputConversions += geo.ActiveInputsPerPass
+			st.WeightConversions += geo.ActiveWeightsPerPass
+			st.OutputReads += valid * ow
+			if r0+geo.ValidRowsPerPass >= geo.OutH {
+				break
+			}
+		}
+	case PartialTiling:
+		g := geo.KH
+		for jj := 0; jj < g; jj += geo.RowsPerTile {
+			rows := min(geo.RowsPerTile, g-jj)
+			st.Passes += geo.OutH
+			st.InputConversions += geo.OutH * rows * w
+			st.WeightConversions += geo.OutH * rows * kw
+		}
+		st.OutputReads += geo.OutH * ow
+	case RowPartitioning:
+		perSegment := geo.T - kw + 1
+		for j := 0; j < geo.KH; j++ {
+			for x0 := 0; x0 < ow; x0 += perSegment {
+				n := min(perSegment, ow-x0)
+				st.Passes += geo.OutH
+				st.InputConversions += geo.OutH * (n + kw - 1)
+				st.WeightConversions += geo.OutH * kw
+			}
+		}
+		st.OutputReads += geo.OutH * ow
+	}
+	return st
+}
+
+// buildSpectrumBank transforms every input channel once — batched
+// real-lane row transforms, batched complex column transforms — and
+// precomputes the group geometry and phase tables every filter worker
+// will share read-only.
+func buildSpectrumBank(planes [][][]float64, kh, kw, t, weightWaveguides int) *spectrumBank {
+	c := len(planes)
+	h, w := len(planes[0]), len(planes[0][0])
+	oh, ow := h-kh+1, w-kw+1
+	bank := &spectrumBank{
+		my: dsp.NextPowerOfTwo(h), mx: dsp.NextPowerOfTwo(w),
+		oh: oh, ow: ow, w: w, kw: kw,
+	}
+	bank.hwx = bank.mx/2 + 1
+
+	rowGroup := kernelRowGroup(kh, kw, weightWaveguides)
+	for j0 := 0; j0 < kh; j0 += rowGroup {
+		g := rowGroup
+		if j0+g > kh {
+			g = kh - j0
+		}
+		vh := oh - 1 + g // input-view height for this group
+		geo := PlanTiling(vh, w, g, kw, t)
+		bank.groups = append(bank.groups, bankGroup{
+			j0: j0, g: g, geo: geo,
+			stats: groupTally(geo, vh, w, kw, ow),
+		})
+	}
+
+	bank.rowPhase = make([][]complex128, kh)
+	for r := 0; r < kh; r++ {
+		ph := make([]complex128, bank.my)
+		for ky := range ph {
+			ph[ky] = cmplx.Rect(1, -2*math.Pi*float64(ky)*float64(r)/float64(bank.my))
+		}
+		bank.rowPhase[r] = ph
+	}
+
+	// Per-channel 2-D half spectra: real-lane transforms of the H live
+	// rows (the zero padding's row spectra are zero), then one batched
+	// complex transform over all hwx gathered columns.
+	rpx := dsp.PlanRFFT(bank.mx)
+	colPlan := dsp.PlanFFT(bank.my, false)
+	bank.specs = make([][]complex128, c)
+	rowBuf := getFloatScratch(h * bank.mx)
+	rowSpec := getComplexScratch(h * bank.hwx)
+	for ci := 0; ci < c; ci++ {
+		src := *rowBuf
+		for i := range src {
+			src[i] = 0
+		}
+		for y := 0; y < h; y++ {
+			copy(src[y*bank.mx:y*bank.mx+w], planes[ci][y])
+		}
+		rpx.ForwardBatch(*rowSpec, src)
+		spec := make([]complex128, bank.hwx*bank.my) // retained by the bank
+		rs := *rowSpec
+		for y := 0; y < h; y++ {
+			for j := 0; j < bank.hwx; j++ {
+				spec[j*bank.my+y] = rs[y*bank.hwx+j]
+			}
+		}
+		colPlan.ExecuteBatch(spec)
+		bank.specs[ci] = spec
+	}
+	putComplexScratch(rowSpec)
+	putFloatScratch(rowBuf)
+	return bank
+}
+
+// filterSpectra holds the per-(part, channel, group) kernel spectra of
+// one filter in the bank's column-major half-spectrum layout, all backed
+// by one pooled buffer. Built privately by the worker that owns the
+// filter; release() returns the backing to the pool.
+type filterSpectra struct {
+	c, nGroups int
+	specs      [][]complex128
+	buf        *[]complex128
+}
+
+// at returns the kernel spectrum for (pseudo-negative part, channel,
+// group index); nil when that piece was zero-skipped.
+func (fs *filterSpectra) at(part, ci, gi int) []complex128 {
+	return fs.specs[(part*fs.c+ci)*fs.nGroups+gi]
+}
+
+// release returns the backing buffer to the scratch pool.
+func (fs *filterSpectra) release() { putComplexScratch(fs.buf) }
+
+// buildFilterSpectra computes every kernel spectrum filter fi needs —
+// both pseudo-negative parts, all channels, all row groups — skipping
+// exactly the pieces the serial path's zero-kernel checks skip. Each
+// spectrum is built sparsely: one real-lane transform per kernel row,
+// then the column DFT evaluated directly from the row-offset phase
+// tables (the kernel has only g non-zero rows of the my padded ones).
+func (bank *spectrumBank) buildFilterSpectra(posW, negW []float64, fi, c, kh, kw int) *filterSpectra {
+	size := bank.hwx * bank.my
+	fs := &filterSpectra{
+		c: c, nGroups: len(bank.groups),
+		specs: make([][]complex128, 2*c*len(bank.groups)),
+	}
+
+	// Count live pieces, then carve them all out of one pooled buffer.
+	type piece struct {
+		idx    int
+		j0, g  int
+		kernel [][]float64
+	}
+	var pieces []piece
+	for part, wArr := range [2][]float64{posW, negW} {
+		for ci := 0; ci < c; ci++ {
+			kernel := asPlane(wArr[((fi*c+ci)*kh)*kw:((fi*c+ci)*kh+kh)*kw], kh, kw)
+			if planeIsZero(kernel) {
+				continue
+			}
+			for gi := range bank.groups {
+				grp := &bank.groups[gi]
+				sub := kernel[grp.j0 : grp.j0+grp.g]
+				if planeIsZero(sub) {
+					continue
+				}
+				pieces = append(pieces, piece{
+					idx: (part*c+ci)*len(bank.groups) + gi,
+					j0:  grp.j0, g: grp.g, kernel: sub,
+				})
+			}
+		}
+	}
+	fs.buf = getComplexScratch(len(pieces) * size)
+	flat := *fs.buf
+	for i := range flat {
+		flat[i] = 0
+	}
+
+	rpx := dsp.PlanRFFT(bank.mx)
+	rowBuf := getFloatScratch(bank.mx)
+	rowSpec := getComplexScratch(bank.hwx)
+	row := *rowBuf
+	rs := *rowSpec
+	for pi, pc := range pieces {
+		spec := flat[pi*size : (pi+1)*size]
+		fs.specs[pc.idx] = spec
+		for r := 0; r < pc.g; r++ {
+			for i := range row {
+				row[i] = 0
+			}
+			copy(row, pc.kernel[r])
+			rpx.Forward(rs, row)
+			phase := bank.rowPhase[pc.j0+r]
+			for j := 0; j < bank.hwx; j++ {
+				v := rs[j]
+				if v == 0 {
+					continue
+				}
+				col := spec[j*bank.my : (j+1)*bank.my]
+				for ky, p := range phase {
+					col[ky] += v * p
+				}
+			}
+		}
+	}
+	putComplexScratch(rowSpec)
+	putFloatScratch(rowBuf)
+	return fs
+}
+
+// convGroup computes one (channel, row-group) contribution on the
+// spectral path — the replacement for the serial path's ConvPlane call:
+// one cross-spectrum multiply against the channel's shared input
+// spectrum, one batched inverse column transform, and real-lane inverse
+// row transforms for just the oh output rows. The dense group plane is
+// then merged into the detector wells with the same per-element max
+// tracking the serial path performs, and the group's precomputed pass
+// tally is added to st.
+//
+// When roundInt is set (integer operand levels from quantization) each
+// merged value is rounded to the nearest integer, which makes the
+// spectral path bit-identical to the serial correlator's exact integer
+// arithmetic.
+func (bank *spectrumBank) convGroup(grp *bankGroup, gi, ci int, fs *filterSpectra, part int, roundInt bool, well []float64, maxSingle *float64, st *PassStats) {
+	my, hwx := bank.my, bank.hwx
+	oh, ow := bank.oh, bank.ow
+	kspec := fs.at(part, ci, gi)
+	xspec := bank.specs[ci]
+
+	crossBuf := getComplexScratch(hwx * my)
+	cross := *crossBuf
+	for i, kv := range kspec {
+		cross[i] = xspec[i] * complex(real(kv), -imag(kv))
+	}
+	dsp.PlanFFT(my, true).ExecuteBatch(cross) // inverse column transforms
+
+	// Gather only the oh needed output rows, inverse-transform them as
+	// one real-lane batch.
+	rsBuf := getComplexScratch(oh * hwx)
+	rs := *rsBuf
+	for j := 0; j < hwx; j++ {
+		col := cross[j*my:]
+		for y := 0; y < oh; y++ {
+			rs[y*hwx+j] = col[y]
+		}
+	}
+	resBuf := getFloatScratch(oh * bank.mx)
+	res := *resBuf
+	dsp.PlanRFFT(bank.mx).InverseBatch(res, rs)
+
+	for y := 0; y < oh; y++ {
+		r := res[y*bank.mx:]
+		wrow := well[y*ow:]
+		if roundInt {
+			for x := 0; x < ow; x++ {
+				v := math.Round(r[x])
+				wrow[x] += v
+				if a := math.Abs(v); a > *maxSingle {
+					*maxSingle = a
+				}
+			}
+		} else {
+			for x := 0; x < ow; x++ {
+				v := r[x]
+				wrow[x] += v
+				if a := math.Abs(v); a > *maxSingle {
+					*maxSingle = a
+				}
+			}
+		}
+	}
+	st.Add(grp.stats)
+
+	putFloatScratch(resBuf)
+	putComplexScratch(rsBuf)
+	putComplexScratch(crossBuf)
+}
+
+// Scratch pools for the spectral datapath's per-call buffers. Buffers
+// grow on demand and are shared across sizes; every taker returns what it
+// takes, so steady-state execution allocates nothing.
+var (
+	spectraFloatPool = sync.Pool{New: func() any {
+		s := make([]float64, 0)
+		return &s
+	}}
+	spectraComplexPool = sync.Pool{New: func() any {
+		s := make([]complex128, 0)
+		return &s
+	}}
+)
+
+// getFloatScratch returns a pooled float buffer of length >= n, sliced to n.
+func getFloatScratch(n int) *[]float64 {
+	buf := spectraFloatPool.Get().(*[]float64)
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return buf
+}
+
+// putFloatScratch returns a buffer to the pool.
+func putFloatScratch(buf *[]float64) { spectraFloatPool.Put(buf) }
+
+// getComplexScratch returns a pooled complex buffer of length >= n, sliced to n.
+func getComplexScratch(n int) *[]complex128 {
+	buf := spectraComplexPool.Get().(*[]complex128)
+	if cap(*buf) < n {
+		*buf = make([]complex128, n)
+	}
+	*buf = (*buf)[:n]
+	return buf
+}
+
+// putComplexScratch returns a buffer to the pool.
+func putComplexScratch(buf *[]complex128) { spectraComplexPool.Put(buf) }

@@ -1,0 +1,146 @@
+// Conformance and benchmarks for the spectrum-reuse datapath (DESIGN.md
+// §11): the spectral engine must be bit-identical to the serial per-pass
+// reference under quantization, within 1e-12 of the layer's output scale
+// in exact mode, and must report exactly the serial pass statistics.
+package jtc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"refocus/internal/tensor"
+)
+
+// spectralCase is one layer shape exercised against the serial reference.
+type spectralCase struct {
+	name                       string
+	c, h, w, f, kh, kw, tWg, M int
+	quant                      bool
+}
+
+var spectralCases = []spectralCase{
+	{"small-3x3-quant", 3, 16, 16, 4, 3, 3, 128, 4, true},
+	{"small-3x3-exact", 3, 16, 16, 4, 3, 3, 128, 4, false},
+	{"resnet-body-3x3", 8, 32, 32, 16, 3, 3, 128, 16, true},
+	{"5x5-full-waveguides", 2, 20, 20, 3, 5, 5, 256, 2, true},
+	{"7x7-partial-tiling-quant", 3, 34, 34, 4, 7, 7, 256, 4, true},
+	{"7x7-partial-tiling-exact", 3, 34, 34, 4, 7, 7, 256, 4, false},
+	{"11x11-row-partitioning", 1, 28, 28, 2, 11, 11, 64, 1, true},
+	{"odd-rectangular", 4, 13, 17, 5, 3, 3, 96, 3, true},
+}
+
+// runSpectralPair runs one layer on both datapaths and returns
+// (spectral output, serial output, spectral stats, serial stats).
+func runSpectralPair(tc spectralCase) (*tensor.Tensor, *tensor.Tensor, PassStats, PassStats) {
+	rng := rand.New(rand.NewSource(7))
+	in := tensor.New(tc.c, tc.h, tc.w)
+	for i := range in.Data {
+		in.Data[i] = rng.Float64() * 3
+	}
+	wt := tensor.Random(rng, tc.f, tc.c, tc.kh, tc.kw)
+	// Zero the first kernel plane so the all-dark-DAC skip paths run.
+	for i := 0; i < tc.kh*tc.kw; i++ {
+		wt.Data[i] = 0
+	}
+	cfg := EngineConfig{
+		InputWaveguides: tc.tWg, WeightWaveguides: 25,
+		AccumulationWindow: tc.M,
+		Quant:              QuantConfig{Enabled: tc.quant, InputBits: 8, WeightBits: 8, ADCBits: 8},
+	}
+	serCfg := cfg
+	serCfg.DisableSpectrumReuse = true
+	eSpec := NewEngine(cfg)
+	eSer := NewEngine(serCfg)
+	return eSpec.Conv2D(in, wt, 1), eSer.Conv2D(in, wt, 1), eSpec.Stats(), eSer.Stats()
+}
+
+// TestSpectralMatchesSerial is the conformance gate for the reuse path:
+// quantized layers must match the serial golden reference bit for bit
+// (integer operand levels make the exact correlations integers, and the
+// spectral path rounds its merged planes to recover them exactly); exact
+// layers must agree to 1e-12 relative to the largest output magnitude.
+func TestSpectralMatchesSerial(t *testing.T) {
+	for _, tc := range spectralCases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, want, gotStats, wantStats := runSpectralPair(tc)
+			var scale float64
+			for _, v := range want.Data {
+				if a := math.Abs(v); a > scale {
+					scale = a
+				}
+			}
+			for i := range got.Data {
+				d := math.Abs(got.Data[i] - want.Data[i])
+				if tc.quant {
+					if d != 0 {
+						t.Fatalf("output[%d]: spectral %v, serial %v — not bit-identical", i, got.Data[i], want.Data[i])
+					}
+				} else if d > 1e-12*scale {
+					t.Fatalf("output[%d]: |Δ|=%g exceeds 1e-12 of output scale %g", i, d, scale)
+				}
+			}
+			if gotStats != wantStats {
+				t.Fatalf("stats diverged:\nspectral: %+v\nserial:   %+v", gotStats, wantStats)
+			}
+		})
+	}
+}
+
+// TestSpectralStrided checks the reuse path survives the stride
+// subsampling wrapper unchanged.
+func TestSpectralStrided(t *testing.T) {
+	in, wt := testConvOperands(21, 4, 15, 15, 6, 3, 3)
+	cfg := DefaultEngineConfig()
+	cfg.InputWaveguides = 96
+	ser := cfg
+	ser.DisableSpectrumReuse = true
+	got := NewEngine(cfg).Conv2D(in, wt, 2)
+	want := NewEngine(ser).Conv2D(in, wt, 2)
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("strided output[%d]: spectral %v, serial %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// benchmarkConvAmortization measures the case spectrum reuse exists for: a
+// single input channel fanned out to many filters, where the serial path
+// re-transforms the same input rows once per filter and the reuse path
+// transforms them once per layer.
+func benchmarkConvAmortization(b *testing.B, disableReuse bool) {
+	in, wt := testConvOperands(2, 1, 32, 32, 32, 3, 3)
+	cfg := DefaultEngineConfig()
+	cfg.InputWaveguides = 128
+	cfg.Parallelism = 1
+	cfg.DisableSpectrumReuse = disableReuse
+	e := NewEngine(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Conv2D(in, wt, 1)
+	}
+}
+
+// BenchmarkConvPlaneSpectrumReuse is the reuse path on the 1→32 filter
+// fan-out; compare against BenchmarkConvPlaneSerialReference.
+func BenchmarkConvPlaneSpectrumReuse(b *testing.B) { benchmarkConvAmortization(b, false) }
+
+// BenchmarkConvPlaneSerialReference is the same layer forced down the
+// per-pass serial path.
+func BenchmarkConvPlaneSerialReference(b *testing.B) { benchmarkConvAmortization(b, true) }
+
+// BenchmarkConv2DResNetLayer is a ResNet-50 conv3_x-shaped layer
+// (28×28, 32→32 channels, 3×3) on the paper's T=256 RFCU, serial
+// workers — the end-to-end shape the §6 evaluation cares about.
+func BenchmarkConv2DResNetLayer(b *testing.B) {
+	in, wt := testConvOperands(3, 32, 28, 28, 32, 3, 3)
+	cfg := DefaultEngineConfig()
+	cfg.Parallelism = 1
+	e := NewEngine(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Conv2D(in, wt, 1)
+	}
+}

@@ -21,32 +21,36 @@ import (
 
 // FNetMix applies the FNet token-mixing sublayer to a [seq][hidden] block:
 // y = Re( FFT_seq( FFT_hidden(x) ) ). It replaces self-attention with two
-// unparameterized Fourier transforms (Lee-Thorp et al. [30]).
+// unparameterized Fourier transforms (Lee-Thorp et al. [30]). Each
+// dimension's transforms are staged and executed as one dsp.Batch, so the
+// plan tables stay hot across all rows instead of being re-fetched per
+// token and per channel.
 func FNetMix(x [][]float64) [][]float64 {
 	l, d := dims(x)
-	// Hidden-dimension transform per token.
-	inter := make([][]complex128, l)
+	// Hidden-dimension transform: one batch of l token rows.
+	rows := dsp.NewBatch(d, false)
 	for t := 0; t < l; t++ {
-		row := make([]complex128, d)
+		row := rows.Next()
 		for j, v := range x[t] {
 			row[j] = complex(v, 0)
 		}
-		dsp.FFTInPlace(row)
-		inter[t] = row
 	}
-	// Sequence-dimension transform per hidden channel, then real part.
+	rows.Execute()
+	// Sequence-dimension transform: one batch of d channel columns, then
+	// the real part.
+	cols := dsp.NewBatch(l, false)
+	for j := 0; j < d; j++ {
+		col := cols.Next()
+		for t := 0; t < l; t++ {
+			col[t] = rows.Row(t)[j]
+		}
+	}
+	cols.Execute()
 	out := make([][]float64, l)
 	for t := range out {
 		out[t] = make([]float64, d)
-	}
-	col := make([]complex128, l)
-	for j := 0; j < d; j++ {
-		for t := 0; t < l; t++ {
-			col[t] = inter[t][j]
-		}
-		dsp.FFTInPlace(col)
-		for t := 0; t < l; t++ {
-			out[t][j] = real(col[t])
+		for j := 0; j < d; j++ {
+			out[t][j] = real(cols.Row(j)[t])
 		}
 	}
 	return out
@@ -63,15 +67,16 @@ func FNetMixOptical(x [][]float64, lens optics.Lens) [][]float64 {
 	if lens.Aperture < l {
 		panic(fmt.Sprintf("transformer: %d tokens exceed the lens aperture %d", l, lens.Aperture))
 	}
-	inter := make([][]complex128, l)
+	// The digital hidden-dimension half runs as one batched transform;
+	// only the sequence dimension goes through the lens.
+	rows := dsp.NewBatch(d, false)
 	for t := 0; t < l; t++ {
-		row := make([]complex128, d)
+		row := rows.Next()
 		for j, v := range x[t] {
 			row[j] = complex(v, 0)
 		}
-		dsp.FFTInPlace(row)
-		inter[t] = row
 	}
+	rows.Execute()
 	out := make([][]float64, l)
 	for t := range out {
 		out[t] = make([]float64, d)
@@ -79,7 +84,7 @@ func FNetMixOptical(x [][]float64, lens optics.Lens) [][]float64 {
 	for j := 0; j < d; j++ {
 		field := optics.NewField(l)
 		for t := 0; t < l; t++ {
-			field[t] = inter[t][j]
+			field[t] = rows.Row(t)[j]
 		}
 		transformed := lens.Transform(field)
 		// The lens's unitary 1/√L scaling is undone digitally, like every
