@@ -321,7 +321,7 @@ func BenchmarkSection71Scheduler(b *testing.B) {
 	var padding, cycles int
 	for i := 0; i < b.N; i++ {
 		padding, cycles = 0, 0
-		for _, l := range net.Layers {
+		for _, l := range net.ConvLayers() {
 			p := sched.Compile(l, cfg)
 			if _, err := sched.Validate(p); err != nil {
 				b.Fatal(err)

@@ -4,18 +4,26 @@
 // Usage:
 //
 //	refocus-sim [-config fb|ff|baseline|single|fbws] [-config-file point.json]
-//	            [-network ResNet-50] [-faults-file faults.json]
-//	            [-dram] [-json] [-list] [-dump-config] [-trace out.json]
+//	            [-network ResNet-50] [-network-file spec.json]
+//	            [-faults-file faults.json] [-dram] [-json] [-list]
+//	            [-list-networks] [-dump-config] [-dump-network]
+//	            [-trace out.json]
 //
 // -config accepts any registry preset name or alias (-list prints them);
 // -preset is a synonym for -config. -config-file evaluates a serialized
 // design point instead, optionally overlaying a "Base" preset.
-// -dump-config prints the resolved config as JSON — the starting point
-// for writing custom design-point files. -faults-file applies a fault
-// set (see internal/faults) and reports the degraded machine's honest
-// numbers, announcing the remapping first. -trace writes the run's span
-// timeline as Chrome trace_event JSON (load it at chrome://tracing or
-// ui.perfetto.dev).
+// -network names a registry workload (case-insensitive; CNNs and
+// transformers alike), and -network-file evaluates a serialized network
+// spec instead — workloads are data, not code. -list-networks prints
+// the registry with content hashes; -dump-network prints the selected
+// workload back in canonical form, so `-network-file f.json
+// -dump-network` is an identity on canonical files (the CI round-trip
+// gate). -dump-config prints the resolved config as JSON — the starting
+// point for writing custom design-point files. -faults-file applies a
+// fault set (see internal/faults) and reports the degraded machine's
+// honest numbers, announcing the remapping first. -trace writes the
+// run's span timeline as Chrome trace_event JSON (load it at
+// chrome://tracing or ui.perfetto.dev).
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"os"
 
 	"refocus/internal/arch"
+	"refocus/internal/nn"
 	"refocus/internal/obs"
 	"refocus/internal/sim"
 )
@@ -35,13 +44,16 @@ func run(args []string, out io.Writer) error {
 	configName := fs.String("config", "fb", "accelerator preset name or alias (see -list)")
 	fs.StringVar(configName, "preset", "fb", "synonym for -config")
 	configFile := fs.String("config-file", "", "JSON design-point file (overrides -config)")
-	network := fs.String("network", "ResNet-50", "benchmark network (see -list), or 'all'")
+	network := fs.String("network", "ResNet-50", "registry workload name (see -list-networks), or 'all'")
+	networkFile := fs.String("network-file", "", "JSON network spec to evaluate (overrides -network)")
 	faultsFile := fs.String("faults-file", "", "JSON fault set; evaluate the degraded machine it leaves behind")
 	withDRAM := fs.Bool("dram", false, "include DRAM power in the total (the paper's §7.3 view)")
 	profile := fs.Int("profile", 0, "also print the top-N layer consumers")
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON reports instead of text")
 	list := fs.Bool("list", false, "print known presets and benchmark networks, then exit")
+	listNetworks := fs.Bool("list-networks", false, "print the workload registry with content hashes, then exit")
 	dumpConfig := fs.Bool("dump-config", false, "print the resolved config as JSON, then exit")
+	dumpNetwork := fs.Bool("dump-network", false, "print the selected workload as canonical JSON, then exit")
 	traceFile := fs.String("trace", "", "write a Chrome trace_event JSON timeline of the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,6 +61,25 @@ func run(args []string, out io.Writer) error {
 	if *list {
 		sim.ListKnown(out)
 		return nil
+	}
+	if *listNetworks {
+		sim.ListNetworks(out)
+		return nil
+	}
+	if *dumpNetwork {
+		nets, err := sim.Options{Network: *network, NetworkFile: *networkFile}.Workloads()
+		if err != nil {
+			return err
+		}
+		if len(nets) != 1 {
+			return fmt.Errorf("refocus-sim: -dump-network needs one network, got %d", len(nets))
+		}
+		data, err := nn.NetworkJSON(nets[0])
+		if err != nil {
+			return err
+		}
+		_, err = out.Write(data)
+		return err
 	}
 	if *dumpConfig {
 		cfg, err := sim.ResolveConfig(*configName, *configFile)
@@ -70,13 +101,14 @@ func run(args []string, out io.Writer) error {
 	}
 	root := obs.StartSpan(ctx, "refocus-sim")
 	err := sim.RunCtx(ctx, sim.Options{
-		Preset:     *configName,
-		ConfigFile: *configFile,
-		Network:    *network,
-		WithDRAM:   *withDRAM,
-		Profile:    *profile,
-		JSON:       *asJSON,
-		FaultsFile: *faultsFile,
+		Preset:      *configName,
+		ConfigFile:  *configFile,
+		Network:     *network,
+		NetworkFile: *networkFile,
+		WithDRAM:    *withDRAM,
+		Profile:     *profile,
+		JSON:        *asJSON,
+		FaultsFile:  *faultsFile,
 	}, out)
 	root.End()
 	if err != nil {

@@ -229,3 +229,79 @@ func TestRunConfigFileErrors(t *testing.T) {
 		t.Error("missing config file accepted")
 	}
 }
+
+// TestRunTransformerByName: first-class transformer workloads evaluate
+// by registry name, case-insensitively.
+func TestRunTransformerByName(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-config", "fb", "-network", "bert-base"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"BERT-base", "FPS"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestRunListNetworks(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list-networks"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"AlexNet", "ResNet-50", "BERT-base", "ViT-B/16", "FNet-base", "hash"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list-networks missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunDumpNetworkRoundTrips: -dump-network emits canonical JSON that
+// both re-evaluates through -network-file and is a fixed point of
+// another dump — the identity the CI round-trip gate checks.
+func TestRunDumpNetworkRoundTrips(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-network", "ViT-B/16", "-dump-network"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	dumped := b.String()
+	if !strings.Contains(dumped, `"Name": "ViT-B/16"`) || !strings.Contains(dumped, `"Kind": "attention"`) {
+		t.Fatalf("dump missing expected fields:\n%s", dumped)
+	}
+	path := filepath.Join(t.TempDir(), "vit.json")
+	if err := os.WriteFile(path, []byte(dumped), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var again strings.Builder
+	if err := run([]string{"-network-file", path, "-dump-network"}, &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != dumped {
+		t.Error("-dump-network is not a fixed point on its own output")
+	}
+	var eval strings.Builder
+	if err := run([]string{"-config", "fb", "-network-file", path}, &eval); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(eval.String(), "ViT-B/16") {
+		t.Error("dumped network did not evaluate via -network-file")
+	}
+}
+
+func TestRunNetworkFileErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-network-file", "/does/not/exist.json"}, &b); err == nil {
+		t.Error("missing network file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"Name":"x","Layers":[{"Kind":"pool"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-network-file", bad}, &b); err == nil {
+		t.Error("unknown layer kind accepted")
+	}
+	if err := run([]string{"-network", "all", "-dump-network"}, &b); err == nil {
+		t.Error("-dump-network with multiple networks accepted")
+	}
+}

@@ -10,14 +10,19 @@
 // Usage:
 //
 //	refocus-sweep -sweep m|reuse|lambda|rfcu|alpha [-buffer fb|ff]
-//	              [-config-file point.json] [-parallel N] [-list]
+//	              [-config-file point.json] [-network BERT-base]
+//	              [-network-file spec.json] [-parallel N] [-list]
 //	              [-trace out.json] [-pprof-addr host:port]
 //	refocus-sweep -faults [-trials 100] [-seed 1] [-fault-rfcu-p 0.05]
 //	              [-fault-lambda-p 0.02] [-fault-loss-db 0.5]
 //
 // The swept base design is a registry preset (-buffer accepts any preset
 // name or alias) or a JSON design point (-config-file); -list prints the
-// known presets and networks. -trace records the sweep's span timeline
+// known presets and networks. The swept workload set defaults to the
+// paper's Table 4 CNNs; -network selects any registry workload by name
+// ("all" for the five CNN benchmarks) and -network-file sweeps a
+// serialized network spec instead, so transformer workloads like
+// BERT-base and ViT-B/16 sweep through the same machinery. -trace records the sweep's span timeline
 // (one lane per evaluation worker) as Chrome trace_event JSON, and
 // -pprof-addr exposes net/http/pprof for profiling long sweeps.
 //
@@ -114,6 +119,8 @@ func run(args []string, out io.Writer) error {
 	sweep := fs.String("sweep", "m", "dimension: m, reuse, lambda, rfcu, alpha")
 	buffer := fs.String("buffer", "fb", "base design preset for the sweep (see -list)")
 	configFile := fs.String("config-file", "", "JSON design-point file as the sweep base (overrides -buffer)")
+	network := fs.String("network", "", "registry workload to sweep instead of the Table 4 CNNs ('all' = the five benchmarks)")
+	networkFile := fs.String("network-file", "", "JSON network spec to sweep (overrides -network)")
 	parallel := fs.Int("parallel", 0, "evaluation workers (0 = REFOCUS_PARALLEL or GOMAXPROCS)")
 	list := fs.Bool("list", false, "print known presets and benchmark networks, then exit")
 	faultsMode := fs.Bool("faults", false, "run the Monte Carlo yield sweep instead of a design-space sweep")
@@ -154,6 +161,12 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	nets := nn.Table4Networks()
+	if *network != "" || *networkFile != "" {
+		nets, err = sim.Options{Network: *network, NetworkFile: *networkFile}.Workloads()
+		if err != nil {
+			return err
+		}
+	}
 
 	root := obs.StartSpan(ctx, "refocus-sweep")
 	err = runSelected(ctx, sweepOptions{

@@ -70,3 +70,46 @@ func TestSweepRejectsBadInputs(t *testing.T) {
 		t.Error("invalid design point accepted")
 	}
 }
+
+// TestSweepTransformerWorkload: a transformer workload sweeps through
+// the same design-space machinery as the Table 4 CNNs.
+func TestSweepTransformerWorkload(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-sweep", "lambda", "-network", "BERT-base"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(b.String(), "\n"); lines < 4 {
+		t.Errorf("transformer sweep produced only %d lines:\n%s", lines, b.String())
+	}
+}
+
+func TestSweepNetworkFile(t *testing.T) {
+	spec := `{
+  "Name": "tiny-fc",
+  "Layers": [
+    {"Kind": "fc", "Name": "fc1", "In": 64, "Out": 64, "Tokens": 16, "Repeat": 1}
+  ]
+}`
+	path := filepath.Join(t.TempDir(), "tiny.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{"-sweep", "rfcu", "-network-file", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(b.String(), "\n"); lines < 4 {
+		t.Errorf("-network-file sweep produced only %d lines", lines)
+	}
+}
+
+func TestSweepRejectsUnknownNetwork(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-sweep", "m", "-network", "LeNet"}, &b)
+	if err == nil {
+		t.Fatal("unknown network accepted")
+	}
+	if !strings.Contains(err.Error(), "BERT-base") {
+		t.Errorf("miss error does not list valid names: %v", err)
+	}
+}

@@ -1,0 +1,35 @@
+package arch
+
+import (
+	"testing"
+
+	"refocus/internal/nn"
+)
+
+// BenchmarkEvaluateBERTBase times a full transformer-workload
+// evaluation — the attention/FFN lowerings plus the power/area model —
+// on the ReFOCUS-FB design point. Regression-gated via
+// BENCH_BASELINE.json so the layer-kind dispatch stays cheap.
+func BenchmarkEvaluateBERTBase(b *testing.B) {
+	cfg := FB()
+	net := nn.BERTBase()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(cfg, net); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateResNet50 is the CNN reference point for the
+// transformer benchmark above.
+func BenchmarkEvaluateResNet50(b *testing.B) {
+	cfg := FB()
+	net := nn.ResNet50()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(cfg, net); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

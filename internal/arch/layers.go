@@ -12,8 +12,11 @@ import (
 // cycles, conversions and energy go — the profile a compiler or model
 // architect would consult.
 type LayerProfile struct {
-	Layer         nn.ConvLayer
-	Plan          dataflow.LayerPlan
+	Layer nn.Layer
+	// Plan is the conv tiling plan for layers with a single-conv
+	// expression (conv, fc); nil for the transformer sublayers that
+	// decompose into multiple passes.
+	Plan          *dataflow.LayerPlan
 	Events        dataflow.Events // one instance
 	Repeat        int
 	Latency       float64 // one instance, seconds
@@ -31,27 +34,34 @@ func EvaluateLayers(cfg SystemConfig, net nn.Network) ([]LayerProfile, error) {
 	df := cfg.DataflowConfig()
 	profiles := make([]LayerProfile, 0, len(net.Layers))
 	var totalCycles, totalEnergy float64
-	for _, l := range net.Layers {
-		ev, err := dataflow.LayerEvents(l, df)
+	for i, l := range net.Layers {
+		ev, err := dataflow.EventsOf(l, df)
 		if err != nil {
 			return nil, fmt.Errorf("arch: profiling %s on %s: %w", net.Name, cfg.label(), err)
 		}
-		single := nn.Network{Name: l.Name, Layers: []nn.ConvLayer{layerOnce(l)}}
+		name := l.Name()
+		if name == "" {
+			name = fmt.Sprintf("layer%d", i)
+		}
+		single := nn.Network{Name: name, Layers: []nn.Layer{l.Once()}}
 		r, err := Evaluate(cfg, single)
 		if err != nil {
 			return nil, err
 		}
 		p := LayerProfile{
 			Layer:   l,
-			Plan:    dataflow.MustPlanLayer(l, df),
 			Events:  ev,
-			Repeat:  l.Repeat,
+			Repeat:  l.Repeat(),
 			Latency: r.Latency,
 			Energy:  r.Energy,
 		}
+		if c, ok := l.ConvEquivalent(); ok {
+			plan := dataflow.MustPlanLayer(c, df)
+			p.Plan = &plan
+		}
 		profiles = append(profiles, p)
-		totalCycles += ev.Cycles * float64(l.Repeat)
-		totalEnergy += r.Energy * float64(l.Repeat)
+		totalCycles += ev.Cycles * float64(l.Repeat())
+		totalEnergy += r.Energy * float64(l.Repeat())
 	}
 	for i := range profiles {
 		profiles[i].ShareOfCycles = profiles[i].Events.Cycles * float64(profiles[i].Repeat) / totalCycles
@@ -68,11 +78,6 @@ func MustEvaluateLayers(cfg SystemConfig, net nn.Network) []LayerProfile {
 		panic("arch: internal: " + err.Error())
 	}
 	return ps
-}
-
-func layerOnce(l nn.ConvLayer) nn.ConvLayer {
-	l.Repeat = 1
-	return l
 }
 
 // TopConsumers returns the n layers with the largest share of the given

@@ -47,8 +47,8 @@ func TestTopConsumersOrdering(t *testing.T) {
 	}
 	// conv1_2 (64ch at 224²) is VGG's classic cycle hog on row-tiled
 	// hardware (a single padded row barely fits T=256).
-	if top[0].Layer.InH != 224 && top[0].Layer.InH != 112 {
-		t.Errorf("expected an early big-plane layer on top, got %s (%d)", top[0].Layer.Name, top[0].Layer.InH)
+	if top[0].Layer.Conv.InH != 224 && top[0].Layer.Conv.InH != 112 {
+		t.Errorf("expected an early big-plane layer on top, got %s (%d)", top[0].Layer.Name(), top[0].Layer.Conv.InH)
 	}
 	byEnergy := TopConsumers(profiles, "energy", len(profiles))
 	if len(byEnergy) != len(profiles) {
@@ -76,10 +76,10 @@ func TestPointwiseLayersAreThroughputBound(t *testing.T) {
 	var ptN, convN int
 	for _, p := range profiles {
 		ratio := p.Events.Cycles / p.Layer.MACs()
-		if p.Layer.KH == 1 {
+		if p.Layer.Conv.KH == 1 {
 			ptCyc += ratio
 			ptN++
-		} else if p.Layer.KH == 3 {
+		} else if p.Layer.Conv.KH == 3 {
 			convCyc += ratio
 			convN++
 		}

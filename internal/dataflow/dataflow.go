@@ -1,9 +1,12 @@
-// Package dataflow walks CNN layers through the ReFOCUS execution model and
-// produces event counts — JTC cycles, fresh input DAC conversions (after
-// optical reuse), weight DAC conversions, ADC readouts (after temporal
-// accumulation), and byte-level memory traffic through the data buffers,
-// SRAMs and DRAM. The architecture model (internal/arch) multiplies these
-// by per-event energies; nothing network-specific is hard-coded there.
+// Package dataflow walks network layers through the ReFOCUS execution model
+// and produces event counts — JTC cycles, fresh input DAC conversions
+// (after optical reuse), weight DAC conversions, ADC readouts (after
+// temporal accumulation), and byte-level memory traffic through the data
+// buffers, SRAMs and DRAM. The architecture model (internal/arch)
+// multiplies these by per-event energies; nothing network-specific is
+// hard-coded there. Conv layers map directly (below); the other layer
+// kinds — fc/matmul, Fourier token mixing, attention, FFN — lower onto
+// the same model in kinds.go.
 //
 // The schedule implemented is the paper's alternating OS-IS dataflow
 // (§5.3.2, Figure 7): spatial tiles outermost, then channel groups of M
@@ -327,18 +330,18 @@ func MustLayerEvents(l nn.ConvLayer, cfg Config) Events {
 }
 
 // NetworkEvents sums event counts across all layers (times repeats) of a
-// network. The first layer is charged DRAM input traffic when the config
-// asks for it.
+// network, dispatching each layer kind through EventsOf. The first layer
+// is charged DRAM input traffic when the config asks for it.
 func NetworkEvents(net nn.Network, cfg Config) (Events, error) {
 	var total Events
 	for i, l := range net.Layers {
 		layerCfg := cfg
 		layerCfg.InputsFromDRAM = cfg.InputsFromDRAM && i == 0
-		e, err := LayerEvents(l, layerCfg)
+		e, err := EventsOf(l, layerCfg)
 		if err != nil {
 			return Events{}, err
 		}
-		for r := 0; r < l.Repeat; r++ {
+		for r := 0; r < l.Repeat(); r++ {
 			total.Add(e)
 		}
 	}

@@ -196,14 +196,15 @@ func TestEventsScalePerFilter(t *testing.T) {
 // instances, and repeats multiply.
 func TestNetworkEventsAccumulate(t *testing.T) {
 	cfg := refocusConfig()
-	net := nn.Network{Name: "two", Layers: []nn.ConvLayer{
-		testLayer(),
-		{Name: "r", InC: 64, InH: 14, InW: 14, OutC: 64, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 3},
+	repeated := nn.ConvLayer{Name: "r", InC: 64, InH: 14, InW: 14, OutC: 64, KH: 3, KW: 3, Stride: 1, Pad: 1, Repeat: 3}
+	net := nn.Network{Name: "two", Layers: []nn.Layer{
+		nn.NewConv(testLayer()),
+		nn.NewConv(repeated),
 	}}
 	total := MustNetworkEvents(net, cfg)
 	var manual Events
-	manual.Add(MustLayerEvents(net.Layers[0], cfg))
-	single := MustLayerEvents(net.Layers[1], cfg)
+	manual.Add(MustLayerEvents(testLayer(), cfg))
+	single := MustLayerEvents(repeated, cfg)
 	for i := 0; i < 3; i++ {
 		manual.Add(single)
 	}
@@ -217,7 +218,7 @@ func TestNetworkEventsAccumulate(t *testing.T) {
 func TestFirstLayerDRAMCharge(t *testing.T) {
 	cfg := refocusConfig()
 	cfg.InputsFromDRAM = true
-	net := nn.Network{Name: "two", Layers: []nn.ConvLayer{testLayer(), testLayer()}}
+	net := nn.Network{Name: "two", Layers: []nn.Layer{nn.NewConv(testLayer()), nn.NewConv(testLayer())}}
 	with := MustNetworkEvents(net, cfg)
 	cfg.InputsFromDRAM = false
 	without := MustNetworkEvents(net, cfg)
@@ -267,7 +268,7 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := LayerEvents(testLayer(), Config{}); err == nil {
 		t.Error("LayerEvents accepted the zero config")
 	}
-	if _, err := NetworkEvents(nn.Network{Name: "n", Layers: []nn.ConvLayer{testLayer()}}, Config{}); err == nil {
+	if _, err := NetworkEvents(nn.Network{Name: "n", Layers: []nn.Layer{nn.NewConv(testLayer())}}, Config{}); err == nil {
 		t.Error("NetworkEvents accepted the zero config")
 	}
 	// Oversized kernels are a layer/config mismatch, not a bad config.

@@ -1,0 +1,181 @@
+package nn
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// The network-spec codec makes a workload a serializable artifact, the twin
+// of the arch package's SystemConfig codec: layers travel as flat JSON
+// objects discriminated by a "Kind" field, parsing is strict (unknown
+// fields and unknown kinds are errors, not silent fallbacks), and a
+// canonical encoding + SHA-256 hash give every network a stable identity
+// the serving layer keys caches on. See DESIGN.md §12 for the schema.
+
+// Per-kind wrappers: embedding inlines the layer's fields next to the Kind
+// discriminator, so specs read flat ({"Kind":"conv","Name":...}) while the
+// Go side stays a typed union.
+type convLayerJSON struct {
+	Kind LayerKind
+	ConvLayer
+}
+
+type fcLayerJSON struct {
+	Kind LayerKind
+	FCLayer
+}
+
+type mixingLayerJSON struct {
+	Kind LayerKind
+	MixingLayer
+}
+
+type attentionLayerJSON struct {
+	Kind LayerKind
+	AttentionLayer
+}
+
+type ffnLayerJSON struct {
+	Kind LayerKind
+	FFNLayer
+}
+
+// MarshalJSON encodes the set arm as a flat object with its Kind tag
+// first. An invalid union (zero or multiple arms) is an encoding error.
+func (l Layer) MarshalJSON() ([]byte, error) {
+	if n := l.arms(); n != 1 {
+		return nil, fmt.Errorf("nn: encoding layer: union has %d arms set, want exactly 1", n)
+	}
+	switch {
+	case l.Conv != nil:
+		return json.Marshal(convLayerJSON{Kind: KindConv, ConvLayer: *l.Conv})
+	case l.FC != nil:
+		return json.Marshal(fcLayerJSON{Kind: KindFC, FCLayer: *l.FC})
+	case l.Mixing != nil:
+		return json.Marshal(mixingLayerJSON{Kind: KindMixing, MixingLayer: *l.Mixing})
+	case l.Attention != nil:
+		return json.Marshal(attentionLayerJSON{Kind: KindAttention, AttentionLayer: *l.Attention})
+	default:
+		return json.Marshal(ffnLayerJSON{Kind: KindFFN, FFNLayer: *l.FFN})
+	}
+}
+
+// UnmarshalJSON decodes a tagged layer object: the Kind field selects the
+// arm, then the whole object is re-decoded strictly so a field from the
+// wrong kind (or a typo) is an error rather than a silently dropped value.
+func (l *Layer) UnmarshalJSON(data []byte) error {
+	var probe struct {
+		Kind LayerKind
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return fmt.Errorf("nn: decoding layer: %w", err)
+	}
+	strict := func(dst any) error {
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		return dec.Decode(dst)
+	}
+	switch probe.Kind {
+	case KindConv:
+		var w convLayerJSON
+		if err := strict(&w); err != nil {
+			return fmt.Errorf("nn: decoding conv layer: %w", err)
+		}
+		*l = Layer{Conv: &w.ConvLayer}
+	case KindFC:
+		var w fcLayerJSON
+		if err := strict(&w); err != nil {
+			return fmt.Errorf("nn: decoding fc layer: %w", err)
+		}
+		*l = Layer{FC: &w.FCLayer}
+	case KindMixing:
+		var w mixingLayerJSON
+		if err := strict(&w); err != nil {
+			return fmt.Errorf("nn: decoding fourier-mixing layer: %w", err)
+		}
+		*l = Layer{Mixing: &w.MixingLayer}
+	case KindAttention:
+		var w attentionLayerJSON
+		if err := strict(&w); err != nil {
+			return fmt.Errorf("nn: decoding attention layer: %w", err)
+		}
+		*l = Layer{Attention: &w.AttentionLayer}
+	case KindFFN:
+		var w ffnLayerJSON
+		if err := strict(&w); err != nil {
+			return fmt.Errorf("nn: decoding ffn layer: %w", err)
+		}
+		*l = Layer{FFN: &w.FFNLayer}
+	case "":
+		return fmt.Errorf("nn: decoding layer: missing Kind tag (want %q, %q, %q, %q or %q)",
+			KindConv, KindFC, KindMixing, KindAttention, KindFFN)
+	default:
+		return fmt.Errorf("nn: decoding layer: unknown Kind %q (want %q, %q, %q, %q or %q)",
+			probe.Kind, KindConv, KindFC, KindMixing, KindAttention, KindFFN)
+	}
+	return nil
+}
+
+// ParseNetwork decodes a serialized network spec strictly — unknown
+// fields, unknown layer kinds, and malformed unions are errors — and then
+// validates it, so a Network obtained here is always evaluable.
+func ParseNetwork(data []byte) (Network, error) {
+	var n Network
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&n); err != nil {
+		return Network{}, fmt.Errorf("nn: parsing network: %w", err)
+	}
+	if err := n.Validate(); err != nil {
+		return Network{}, err
+	}
+	return n, nil
+}
+
+// NetworkJSON serializes a network spec with stable indentation — the
+// canonical on-disk form (refocus-sim -dump-network emits it).
+func NetworkJSON(n Network) ([]byte, error) {
+	out, err := json.MarshalIndent(n, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("nn: encoding network %s: %w", n.Name, err)
+	}
+	return append(out, '\n'), nil
+}
+
+// CanonicalNetworkJSON returns the compact canonical encoding of a network
+// spec. Struct fields marshal in declaration order with the Kind tag
+// leading each layer, so the bytes are deterministic for a given value;
+// incoming field ordering cannot leak through because callers hash the
+// parsed struct, not the wire bytes.
+func CanonicalNetworkJSON(n Network) ([]byte, error) {
+	out, err := json.Marshal(n)
+	if err != nil {
+		return nil, fmt.Errorf("nn: canonical encoding of network %s: %w", n.Name, err)
+	}
+	return out, nil
+}
+
+// NetworkHash returns the SHA-256 hex digest of the canonical encoding —
+// the stable identity of a workload for caching and deduplication, the
+// twin of arch.ConfigHash.
+func NetworkHash(n Network) (string, error) {
+	data, err := CanonicalNetworkJSON(n)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// MustNetworkHash is NetworkHash for networks known to encode (registry
+// entries, already-parsed specs); it panics on encoding failure.
+func MustNetworkHash(n Network) string {
+	h, err := NetworkHash(n)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}

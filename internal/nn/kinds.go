@@ -1,0 +1,455 @@
+package nn
+
+import "fmt"
+
+// LayerKind tags one arm of the Layer union. The string values are the
+// "Kind" discriminator of the network-spec JSON schema, so they are part
+// of the on-disk contract and must stay stable.
+type LayerKind string
+
+// The layer taxonomy: convolutions (the paper's §6 benchmarks), dense
+// matmuls, and the §7.4 transformer sublayers (Fourier token mixing,
+// self-attention, position-wise FFN).
+const (
+	// KindConv is a 2-D convolution layer (ConvLayer).
+	KindConv LayerKind = "conv"
+	// KindFC is a dense matmul / fully-connected layer (FCLayer).
+	KindFC LayerKind = "fc"
+	// KindMixing is an FNet-style Fourier token-mixing sublayer
+	// (MixingLayer) — the unparameterized transform of §7.4.
+	KindMixing LayerKind = "fourier-mixing"
+	// KindAttention is a multi-head self-attention sublayer
+	// (AttentionLayer).
+	KindAttention LayerKind = "attention"
+	// KindFFN is a transformer position-wise feed-forward sublayer
+	// (FFNLayer).
+	KindFFN LayerKind = "ffn"
+)
+
+// FCLayer is a dense matmul: Tokens independent input vectors of In
+// features each multiplied by an Out×In weight matrix. A classifier head
+// is Tokens=1; a per-token projection in a transformer block is
+// Tokens=sequence length. On the JTC it executes as a degenerate 1×1
+// convolution over Tokens spatial positions (see dataflow).
+type FCLayer struct {
+	Name   string
+	In     int // input features (contraction dimension)
+	Out    int // output features
+	Tokens int // independent input vectors sharing the weights
+	// Repeat counts identical instances, like ConvLayer.Repeat.
+	Repeat int
+}
+
+// Validate reports an inconsistent shape.
+func (l FCLayer) Validate() error {
+	if l.In <= 0 || l.Out <= 0 || l.Tokens <= 0 || l.Repeat <= 0 {
+		return fmt.Errorf("nn: invalid fc layer %+v", l)
+	}
+	return nil
+}
+
+// AsConv returns the degenerate 1×1-conv expression of the matmul: In
+// channels → Out filters over Tokens×1 spatial positions. MACs, weight
+// and activation footprints are identical to the matmul's own.
+func (l FCLayer) AsConv() ConvLayer {
+	return ConvLayer{
+		Name: l.Name, InC: l.In, InH: l.Tokens, InW: 1,
+		OutC: l.Out, KH: 1, KW: 1, Stride: 1, Pad: 0, Repeat: l.Repeat,
+	}
+}
+
+// MACs returns multiply-accumulates for one instance.
+func (l FCLayer) MACs() float64 {
+	return float64(l.In) * float64(l.Out) * float64(l.Tokens)
+}
+
+// WeightBytes returns the 8-bit weight footprint of one instance.
+func (l FCLayer) WeightBytes() int { return l.In * l.Out }
+
+// InputBytes returns the 8-bit input activation footprint.
+func (l FCLayer) InputBytes() int { return l.In * l.Tokens }
+
+// OutputBytes returns the 8-bit output activation footprint.
+func (l FCLayer) OutputBytes() int { return l.Out * l.Tokens }
+
+// MixingLayer is an FNet-style Fourier token-mixing sublayer on a
+// [SeqLen][Hidden] activation block: y = Re(FFT_seq(FFT_hidden(x))).
+// It has no weights — on ReFOCUS the sequence-dimension transform is the
+// lens's native operation (§7.4, internal/transformer).
+type MixingLayer struct {
+	Name   string
+	SeqLen int // tokens
+	Hidden int // embedding width
+	Repeat int
+}
+
+// Validate reports an inconsistent shape.
+func (l MixingLayer) Validate() error {
+	if l.SeqLen <= 0 || l.Hidden <= 0 || l.Repeat <= 0 {
+		return fmt.Errorf("nn: invalid fourier-mixing layer %+v", l)
+	}
+	return nil
+}
+
+// MACs is zero: the transform is unparameterized and the lens computes
+// it passively — there are no weighted multiply-accumulates to count.
+func (l MixingLayer) MACs() float64 { return 0 }
+
+// WeightBytes is zero — the mixing sublayer has no parameters.
+func (l MixingLayer) WeightBytes() int { return 0 }
+
+// InputBytes returns the 8-bit input activation footprint.
+func (l MixingLayer) InputBytes() int { return l.SeqLen * l.Hidden }
+
+// OutputBytes returns the 8-bit output activation footprint.
+func (l MixingLayer) OutputBytes() int { return l.SeqLen * l.Hidden }
+
+// AttentionLayer is one multi-head self-attention sublayer over a
+// [SeqLen][Hidden] block: q/k/v/output projections plus the per-head
+// score (QKᵀ) and context (scores·V) matmuls. Hidden must divide evenly
+// into Heads.
+type AttentionLayer struct {
+	Name   string
+	SeqLen int
+	Hidden int
+	Heads  int
+	Repeat int
+}
+
+// Validate reports an inconsistent shape.
+func (l AttentionLayer) Validate() error {
+	if l.SeqLen <= 0 || l.Hidden <= 0 || l.Heads <= 0 || l.Repeat <= 0 {
+		return fmt.Errorf("nn: invalid attention layer %+v", l)
+	}
+	if l.Hidden%l.Heads != 0 {
+		return fmt.Errorf("nn: attention layer %s: hidden %d not divisible by %d heads", l.Name, l.Hidden, l.Heads)
+	}
+	return nil
+}
+
+// HeadDim returns Hidden/Heads, the per-head projection width.
+func (l AttentionLayer) HeadDim() int { return l.Hidden / l.Heads }
+
+// MACs returns multiply-accumulates for one instance: the four Hidden²
+// projections plus the two SeqLen²·Hidden attention matmuls.
+func (l AttentionLayer) MACs() float64 {
+	s, h := float64(l.SeqLen), float64(l.Hidden)
+	return 4*s*h*h + 2*s*s*h
+}
+
+// WeightBytes returns the 8-bit parameter footprint (the four projection
+// matrices; the score/context operands are activations).
+func (l AttentionLayer) WeightBytes() int { return 4 * l.Hidden * l.Hidden }
+
+// InputBytes returns the 8-bit input activation footprint.
+func (l AttentionLayer) InputBytes() int { return l.SeqLen * l.Hidden }
+
+// OutputBytes returns the 8-bit output activation footprint.
+func (l AttentionLayer) OutputBytes() int { return l.SeqLen * l.Hidden }
+
+// FFNLayer is a transformer position-wise feed-forward sublayer: two
+// matmuls Hidden → FFHidden → Hidden applied to each of SeqLen tokens.
+type FFNLayer struct {
+	Name     string
+	SeqLen   int
+	Hidden   int
+	FFHidden int // expansion width (4×Hidden in BERT/ViT)
+	Repeat   int
+}
+
+// Validate reports an inconsistent shape.
+func (l FFNLayer) Validate() error {
+	if l.SeqLen <= 0 || l.Hidden <= 0 || l.FFHidden <= 0 || l.Repeat <= 0 {
+		return fmt.Errorf("nn: invalid ffn layer %+v", l)
+	}
+	return nil
+}
+
+// MACs returns multiply-accumulates for one instance (both matmuls).
+func (l FFNLayer) MACs() float64 {
+	return 2 * float64(l.SeqLen) * float64(l.Hidden) * float64(l.FFHidden)
+}
+
+// WeightBytes returns the 8-bit weight footprint of one instance.
+func (l FFNLayer) WeightBytes() int { return 2 * l.Hidden * l.FFHidden }
+
+// InputBytes returns the 8-bit input activation footprint.
+func (l FFNLayer) InputBytes() int { return l.SeqLen * l.Hidden }
+
+// OutputBytes returns the 8-bit output activation footprint.
+func (l FFNLayer) OutputBytes() int { return l.SeqLen * l.Hidden }
+
+// Layer is the tagged union over the layer taxonomy: exactly one arm is
+// set. Construct with NewConv/NewFC/NewMixing/NewAttention/NewFFN (or by
+// parsing a network spec); the zero value is invalid. It serializes as a
+// flat JSON object discriminated by a "Kind" field (see ParseNetwork).
+type Layer struct {
+	// Exactly one of the following is non-nil.
+	Conv      *ConvLayer
+	FC        *FCLayer
+	Mixing    *MixingLayer
+	Attention *AttentionLayer
+	FFN       *FFNLayer
+}
+
+// NewConv wraps a convolution layer in the union.
+func NewConv(l ConvLayer) Layer { return Layer{Conv: &l} }
+
+// NewFC wraps a dense matmul layer in the union.
+func NewFC(l FCLayer) Layer { return Layer{FC: &l} }
+
+// NewMixing wraps a Fourier token-mixing sublayer in the union.
+func NewMixing(l MixingLayer) Layer { return Layer{Mixing: &l} }
+
+// NewAttention wraps a self-attention sublayer in the union.
+func NewAttention(l AttentionLayer) Layer { return Layer{Attention: &l} }
+
+// NewFFN wraps a feed-forward sublayer in the union.
+func NewFFN(l FFNLayer) Layer { return Layer{FFN: &l} }
+
+// arms counts the set arms — valid layers have exactly one.
+func (l Layer) arms() int {
+	n := 0
+	for _, set := range []bool{l.Conv != nil, l.FC != nil, l.Mixing != nil, l.Attention != nil, l.FFN != nil} {
+		if set {
+			n++
+		}
+	}
+	return n
+}
+
+// Kind returns the set arm's tag, or "" for an invalid (zero or
+// multi-arm) union.
+func (l Layer) Kind() LayerKind {
+	if l.arms() != 1 {
+		return ""
+	}
+	switch {
+	case l.Conv != nil:
+		return KindConv
+	case l.FC != nil:
+		return KindFC
+	case l.Mixing != nil:
+		return KindMixing
+	case l.Attention != nil:
+		return KindAttention
+	default:
+		return KindFFN
+	}
+}
+
+// Validate reports a malformed union or an inconsistent shape.
+func (l Layer) Validate() error {
+	if n := l.arms(); n != 1 {
+		return fmt.Errorf("nn: layer union has %d arms set, want exactly 1", n)
+	}
+	switch {
+	case l.Conv != nil:
+		return l.Conv.Validate()
+	case l.FC != nil:
+		return l.FC.Validate()
+	case l.Mixing != nil:
+		return l.Mixing.Validate()
+	case l.Attention != nil:
+		return l.Attention.Validate()
+	default:
+		return l.FFN.Validate()
+	}
+}
+
+// Name returns the layer's name.
+func (l Layer) Name() string {
+	switch {
+	case l.Conv != nil:
+		return l.Conv.Name
+	case l.FC != nil:
+		return l.FC.Name
+	case l.Mixing != nil:
+		return l.Mixing.Name
+	case l.Attention != nil:
+		return l.Attention.Name
+	case l.FFN != nil:
+		return l.FFN.Name
+	default:
+		return ""
+	}
+}
+
+// Repeat returns the identical-instance count.
+func (l Layer) Repeat() int {
+	switch {
+	case l.Conv != nil:
+		return l.Conv.Repeat
+	case l.FC != nil:
+		return l.FC.Repeat
+	case l.Mixing != nil:
+		return l.Mixing.Repeat
+	case l.Attention != nil:
+		return l.Attention.Repeat
+	case l.FFN != nil:
+		return l.FFN.Repeat
+	default:
+		return 0
+	}
+}
+
+// Once returns a copy of the layer with Repeat forced to 1 — the single
+// instance a per-layer profiler evaluates.
+func (l Layer) Once() Layer {
+	switch {
+	case l.Conv != nil:
+		c := *l.Conv
+		c.Repeat = 1
+		return Layer{Conv: &c}
+	case l.FC != nil:
+		c := *l.FC
+		c.Repeat = 1
+		return Layer{FC: &c}
+	case l.Mixing != nil:
+		c := *l.Mixing
+		c.Repeat = 1
+		return Layer{Mixing: &c}
+	case l.Attention != nil:
+		c := *l.Attention
+		c.Repeat = 1
+		return Layer{Attention: &c}
+	case l.FFN != nil:
+		c := *l.FFN
+		c.Repeat = 1
+		return Layer{FFN: &c}
+	default:
+		return l
+	}
+}
+
+// MACs returns multiply-accumulates for one instance of the layer.
+func (l Layer) MACs() float64 {
+	switch {
+	case l.Conv != nil:
+		return l.Conv.MACs()
+	case l.FC != nil:
+		return l.FC.MACs()
+	case l.Mixing != nil:
+		return l.Mixing.MACs()
+	case l.Attention != nil:
+		return l.Attention.MACs()
+	case l.FFN != nil:
+		return l.FFN.MACs()
+	default:
+		return 0
+	}
+}
+
+// WeightBytes returns the 8-bit parameter footprint of one instance.
+func (l Layer) WeightBytes() int {
+	switch {
+	case l.Conv != nil:
+		return l.Conv.WeightBytes()
+	case l.FC != nil:
+		return l.FC.WeightBytes()
+	case l.Attention != nil:
+		return l.Attention.WeightBytes()
+	case l.FFN != nil:
+		return l.FFN.WeightBytes()
+	default:
+		return 0
+	}
+}
+
+// InputBytes returns the 8-bit input activation footprint.
+func (l Layer) InputBytes() int {
+	switch {
+	case l.Conv != nil:
+		return l.Conv.InputBytes()
+	case l.FC != nil:
+		return l.FC.InputBytes()
+	case l.Mixing != nil:
+		return l.Mixing.InputBytes()
+	case l.Attention != nil:
+		return l.Attention.InputBytes()
+	case l.FFN != nil:
+		return l.FFN.InputBytes()
+	default:
+		return 0
+	}
+}
+
+// OutputBytes returns the 8-bit output activation footprint.
+func (l Layer) OutputBytes() int {
+	switch {
+	case l.Conv != nil:
+		return l.Conv.OutputBytes()
+	case l.FC != nil:
+		return l.FC.OutputBytes()
+	case l.Mixing != nil:
+		return l.Mixing.OutputBytes()
+	case l.Attention != nil:
+		return l.Attention.OutputBytes()
+	case l.FFN != nil:
+		return l.FFN.OutputBytes()
+	default:
+		return 0
+	}
+}
+
+// OutDim returns the layer's widest output dimension — the N_F
+// contribution that sizes the §5.3.3 output buffer (filters for conv,
+// output features for fc, the largest matmul output for the transformer
+// sublayers).
+func (l Layer) OutDim() int {
+	switch {
+	case l.Conv != nil:
+		return l.Conv.OutC
+	case l.FC != nil:
+		return l.FC.Out
+	case l.Mixing != nil:
+		return l.Mixing.Hidden
+	case l.Attention != nil:
+		return maxInt(l.Attention.Hidden, l.Attention.SeqLen)
+	case l.FFN != nil:
+		return maxInt(l.FFN.FFHidden, l.FFN.Hidden)
+	default:
+		return 0
+	}
+}
+
+// InDim returns the layer's widest contraction dimension — the N_C
+// channel-count twin of OutDim.
+func (l Layer) InDim() int {
+	switch {
+	case l.Conv != nil:
+		return l.Conv.InC
+	case l.FC != nil:
+		return l.FC.In
+	case l.Mixing != nil:
+		return l.Mixing.Hidden
+	case l.Attention != nil:
+		return maxInt(l.Attention.Hidden, l.Attention.SeqLen)
+	case l.FFN != nil:
+		return maxInt(l.FFN.FFHidden, l.FFN.Hidden)
+	default:
+		return 0
+	}
+}
+
+// ConvEquivalent returns the layer's single-conv expression when one
+// exists: the conv itself, or an FC's degenerate 1×1 conv. Mixing,
+// attention and FFN sublayers decompose into multiple passes instead
+// (see the dataflow package) and report false.
+func (l Layer) ConvEquivalent() (ConvLayer, bool) {
+	switch {
+	case l.Conv != nil:
+		return *l.Conv, true
+	case l.FC != nil:
+		return l.FC.AsConv(), true
+	default:
+		return ConvLayer{}, false
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

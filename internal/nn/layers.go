@@ -1,12 +1,15 @@
-// Package nn describes the CNN workloads ReFOCUS is evaluated on. It
-// provides the conv-layer shape tables of the five benchmark networks
-// (AlexNet, VGG-16, ResNet-18/34/50 — paper §6), aggregate statistics the
+// Package nn describes the workloads ReFOCUS is evaluated on as data: a
+// typed layer taxonomy (conv, fc/matmul, fourier-mixing, attention, ffn)
+// behind a tagged-union JSON encoding, a registry of built-in networks
+// (the paper's five CNN benchmarks plus BERT-base, ViT-B/16 and
+// FNet-base) embedded as canonical JSON specs, aggregate statistics the
 // performance model consumes, and a small runnable CNN for functional
 // end-to-end validation on the JTC engine.
 //
-// The paper benchmarks only the convolution layers, which it measures as
-// >99% of total computation; fully-connected layers are listed for
-// completeness but flagged so the simulator can skip them the same way.
+// The CNN tables list only convolution layers, matching the paper's
+// evaluation (§6 benchmarks convs, measuring them at >99% of
+// computation); the transformer specs use the fc/mixing/attention/ffn
+// kinds the dataflow package lowers onto the same JTC cycle model.
 package nn
 
 import "fmt"
@@ -60,67 +63,91 @@ func (l ConvLayer) Validate() error {
 	return nil
 }
 
-// Network is a named list of conv layers.
+// Network is a named list of layers — a workload spec. It serializes to
+// the tagged-union JSON schema (see ParseNetwork / NetworkJSON) and its
+// canonical encoding hashes to a stable NetworkHash identity.
 type Network struct {
 	Name   string
-	Layers []ConvLayer
+	Layers []Layer
 }
 
-// Validate reports the first inconsistent layer, if any.
+// Validate reports an unnamed or empty network, or the first inconsistent
+// layer. An empty network is rejected here because downstream per-layer
+// profiling would otherwise divide by a zero total and report NaN shares.
 func (n Network) Validate() error {
-	for _, l := range n.Layers {
+	if n.Name == "" {
+		return fmt.Errorf("nn: network has no name")
+	}
+	if len(n.Layers) == 0 {
+		return fmt.Errorf("nn: network %s has no layers", n.Name)
+	}
+	for i, l := range n.Layers {
 		if err := l.Validate(); err != nil {
-			return fmt.Errorf("network %s: %w", n.Name, err)
+			return fmt.Errorf("network %s: layer %d: %w", n.Name, i, err)
 		}
 	}
 	return nil
 }
 
-// TotalMACs returns the network's conv MACs (counting repeats).
+// ConvLayers returns the layers that have a single-conv expression on the
+// JTC (conv layers as-is, fc layers as degenerate 1×1 convs), skipping
+// the transformer sublayers that decompose into multiple passes. The
+// scheduler and functional engine consume this view.
+func (n Network) ConvLayers() []ConvLayer {
+	out := make([]ConvLayer, 0, len(n.Layers))
+	for _, l := range n.Layers {
+		if c, ok := l.ConvEquivalent(); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TotalMACs returns the network's MACs (counting repeats).
 func (n Network) TotalMACs() float64 {
 	var total float64
 	for _, l := range n.Layers {
-		total += l.MACs() * float64(l.Repeat)
+		total += l.MACs() * float64(l.Repeat())
 	}
 	return total
 }
 
-// TotalWeightBytes returns the 8-bit conv weight footprint.
+// TotalWeightBytes returns the 8-bit weight footprint.
 func (n Network) TotalWeightBytes() int {
 	var total int
 	for _, l := range n.Layers {
-		total += l.WeightBytes() * l.Repeat
+		total += l.WeightBytes() * l.Repeat()
 	}
 	return total
 }
 
-// LayerCount returns the number of conv layer instances.
+// LayerCount returns the number of layer instances.
 func (n Network) LayerCount() int {
 	var total int
 	for _, l := range n.Layers {
-		total += l.Repeat
+		total += l.Repeat()
 	}
 	return total
 }
 
-// MaxFilters returns N_F, the largest filter count of any layer — the
+// MaxFilters returns N_F, the largest output dimension of any layer — the
 // output-buffer sizing input of §5.3.3.
 func (n Network) MaxFilters() int {
 	max := 0
 	for _, l := range n.Layers {
-		if l.OutC > max {
-			max = l.OutC
+		if d := l.OutDim(); d > max {
+			max = d
 		}
 	}
 	return max
 }
 
-// MaxChannels returns N_C, the largest channel count of any layer.
+// MaxChannels returns N_C, the largest contraction dimension of any layer.
 func (n Network) MaxChannels() int {
 	max := 0
 	for _, l := range n.Layers {
-		if l.InC > max {
-			max = l.InC
+		if d := l.InDim(); d > max {
+			max = d
 		}
 	}
 	return max

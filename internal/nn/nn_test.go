@@ -78,10 +78,10 @@ func TestSRAMSizingClaims(t *testing.T) {
 	for _, n := range Benchmarks() {
 		for _, l := range n.Layers {
 			if l.InputBytes() > 4*1024*1024 {
-				t.Errorf("%s/%s: input activations %d bytes exceed the 4 MB SRAM", n.Name, l.Name, l.InputBytes())
+				t.Errorf("%s/%s: input activations %d bytes exceed the 4 MB SRAM", n.Name, l.Name(), l.InputBytes())
 			}
 			if l.OutputBytes() > 4*1024*1024 {
-				t.Errorf("%s/%s: output activations %d bytes exceed the 4 MB SRAM", n.Name, l.Name, l.OutputBytes())
+				t.Errorf("%s/%s: output activations %d bytes exceed the 4 MB SRAM", n.Name, l.Name(), l.OutputBytes())
 			}
 		}
 		if w := n.MaxWeightLayerBytes(); w > 16*512*1024 {
@@ -96,7 +96,7 @@ func TestSRAMSizingClaims(t *testing.T) {
 // the argument for reusing inputs rather than weights.
 func TestResNet34SmallLayersClaim(t *testing.T) {
 	count := 0
-	for _, l := range ResNet34().Layers {
+	for _, l := range ResNet34().ConvLayers() {
 		if l.InH*l.InW <= 256 {
 			count += l.Repeat
 		}
@@ -142,7 +142,7 @@ func TestValidateRejectsBadLayer(t *testing.T) {
 	if err := bad.Validate(); err == nil {
 		t.Fatal("expected error for zero-channel layer")
 	}
-	net := Network{Name: "bad", Layers: []ConvLayer{bad}}
+	net := Network{Name: "bad", Layers: []Layer{NewConv(bad)}}
 	if err := net.Validate(); err == nil {
 		t.Fatal("expected network validation to reject a bad layer")
 	}

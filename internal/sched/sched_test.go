@@ -63,7 +63,7 @@ func TestCrossCheckAgainstDataflow(t *testing.T) {
 func TestWholeNetworkSchedulable(t *testing.T) {
 	cfg := fbConfig()
 	for _, net := range nn.Benchmarks() {
-		for _, l := range net.Layers {
+		for _, l := range net.ConvLayers() {
 			p := Compile(l, cfg)
 			if err := CrossCheck(p); err != nil {
 				t.Errorf("%s/%s: %v", net.Name, l.Name, err)

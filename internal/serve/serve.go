@@ -4,15 +4,18 @@
 // arrive as preset names or -config-file-schema JSON (plus per-request
 // overrides), are evaluated on a bounded worker pool reusing
 // arch.EvaluateAll's parallelism, and land in an LRU result cache keyed by
-// the canonical config hash + network name, so repeated sweep queries are
+// the canonical config hash + network hash, so repeated sweep queries are
 // served without re-evaluation — the electronic analogue of the paper's
-// "reuse what you already computed" theme.
+// "reuse what you already computed" theme. Workloads arrive as registered
+// names (case-insensitive) or inline NetworkSpec JSON in the nn package's
+// tagged-union schema.
 //
 // Endpoints:
 //
-//	POST /v1/evaluate  one design point, one network or "all"
+//	POST /v1/evaluate  one design point, one network ("all" or inline spec)
 //	POST /v1/sweep     batch of design points, fanned out concurrently
 //	GET  /v1/presets   the preset/network vocabulary
+//	GET  /v1/networks  the workload registry with hashes and layer kinds
 //	GET  /healthz      liveness probe
 //	GET  /metrics      request counts, cache hit/miss, latency histograms
 package serve
@@ -133,6 +136,7 @@ func New(cfg Config) *Server {
 	s.mux.Handle("POST /v1/evaluate", s.instrument("/v1/evaluate", s.withChaos(s.handleEvaluate)))
 	s.mux.Handle("POST /v1/sweep", s.instrument("/v1/sweep", s.withChaos(s.handleSweep)))
 	s.mux.Handle("GET /v1/presets", s.instrument("/v1/presets", s.handlePresets))
+	s.mux.Handle("GET /v1/networks", s.instrument("/v1/networks", s.handleNetworks))
 	s.mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	return s
@@ -157,8 +161,14 @@ type EvaluateRequest struct {
 	// design point before validation — the per-request twin of the
 	// command-line -batch/-M style flags. Unknown fields are rejected.
 	Overrides json.RawMessage `json:",omitempty"`
-	// Network is a benchmark name or "all"; empty means "all".
+	// Network is a registered network name (case-insensitive) or "all";
+	// empty means "all". Mutually exclusive with NetworkSpec.
 	Network string `json:",omitempty"`
+	// NetworkSpec is an inline workload in the nn package's tagged-union
+	// network schema (the -dump-network form). The spec is validated and
+	// cached under its content hash, so resubmitting the same spec — or
+	// naming the identical registry network — is a cache hit.
+	NetworkSpec json.RawMessage `json:",omitempty"`
 	// Faults is an optional faults.FaultSet in its JSON schema. When
 	// present (and non-zero) the request evaluates the degraded machine
 	// the fault set leaves behind, and the response carries the
@@ -173,8 +183,11 @@ type EvaluateResponse struct {
 	// identity (arch.ConfigHash) — the cache-key prefix.
 	Config     string
 	ConfigHash string
-	// Networks lists the evaluated benchmark names in report order.
-	Networks []string
+	// Networks lists the evaluated network names in report order;
+	// NetworkHashes their canonical content hashes (nn.NetworkHash) —
+	// the cache-key suffixes.
+	Networks      []string
+	NetworkHashes []string
 	// CacheHits/CacheMisses count how many of this request's
 	// (config, network) pairs were served from the result cache.
 	CacheHits   int
@@ -454,11 +467,7 @@ func (s *Server) evaluatePoint(ctx context.Context, req EvaluateRequest) (Evalua
 		resolveSpan.End()
 		return EvaluateResponse{}, badRequest(err)
 	}
-	network := req.Network
-	if network == "" {
-		network = "all"
-	}
-	nets, err := sim.ResolveNetworks(network)
+	nets, err := resolveRequestNetworks(req)
 	if err != nil {
 		resolveSpan.End()
 		return EvaluateResponse{}, badRequest(err)
@@ -470,10 +479,11 @@ func (s *Server) evaluatePoint(ctx context.Context, req EvaluateRequest) (Evalua
 		return EvaluateResponse{}, err
 	}
 	resp := EvaluateResponse{
-		Config:     cfg.Name,
-		ConfigHash: hash,
-		Networks:   make([]string, len(nets)),
-		Reports:    make([]arch.Report, len(nets)),
+		Config:        cfg.Name,
+		ConfigHash:    hash,
+		Networks:      make([]string, len(nets)),
+		NetworkHashes: make([]string, len(nets)),
+		Reports:       make([]arch.Report, len(nets)),
 	}
 	keyPrefix := hash
 	if fs != nil {
@@ -494,15 +504,23 @@ func (s *Server) evaluatePoint(ctx context.Context, req EvaluateRequest) (Evalua
 	lookupStart := time.Now()
 	var missing []nn.Network
 	var missingIdx []int
+	var missingKeys []string
 	for i, net := range nets {
 		resp.Networks[i] = net.Name
-		key := keyPrefix + "|" + net.Name
+		netHash, err := nn.NetworkHash(net)
+		if err != nil {
+			lookupSpan.End()
+			return EvaluateResponse{}, err
+		}
+		resp.NetworkHashes[i] = netHash
+		key := keyPrefix + "|" + netHash
 		if r, ok := s.cache.get(key); ok {
 			resp.Reports[i] = r
 			resp.CacheHits++
 		} else {
 			missing = append(missing, net)
 			missingIdx = append(missingIdx, i)
+			missingKeys = append(missingKeys, key)
 			resp.CacheMisses++
 		}
 	}
@@ -550,7 +568,7 @@ func (s *Server) evaluatePoint(ctx context.Context, req EvaluateRequest) (Evalua
 		s.metrics.evaluations.Add(int64(len(missing)))
 		for j, r := range reports {
 			resp.Reports[missingIdx[j]] = r
-			s.cache.put(keyPrefix+"|"+missing[j].Name, r)
+			s.cache.put(missingKeys[j], r)
 		}
 	}
 	return resp, nil
@@ -630,8 +648,69 @@ func (s *Server) handlePresets(w http.ResponseWriter, r *http.Request) {
 			Description: p.Description,
 		})
 	}
-	for _, n := range nn.Benchmarks() {
-		resp.Networks = append(resp.Networks, n.Name)
+	resp.Networks = nn.Names()
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// resolveRequestNetworks turns a request's workload naming into the
+// network set to evaluate: an inline NetworkSpec (strictly parsed and
+// validated), or a registered name / "all" (empty defaults to "all").
+func resolveRequestNetworks(req EvaluateRequest) ([]nn.Network, error) {
+	if len(req.NetworkSpec) > 0 {
+		if req.Network != "" {
+			return nil, errors.New("serve: request names both Network and NetworkSpec; pick one")
+		}
+		net, err := nn.ParseNetwork(req.NetworkSpec)
+		if err != nil {
+			return nil, err
+		}
+		return []nn.Network{net}, nil
+	}
+	network := req.Network
+	if network == "" {
+		network = "all"
+	}
+	return sim.ResolveNetworks(network)
+}
+
+// NetworkInfo is one /v1/networks vocabulary entry: a registered workload,
+// its canonical content hash (the cache-key suffix), and its shape.
+type NetworkInfo struct {
+	Name string
+	// Hash is nn.NetworkHash of the registry entry; an inline spec that
+	// hashes the same shares its cache entries.
+	Hash string
+	// Layers counts layer instances (repeats expanded); GMACs is the
+	// total multiply-accumulate count in billions.
+	Layers int
+	GMACs  float64
+	// Kinds lists the distinct layer kinds in network order.
+	Kinds []string
+}
+
+// NetworksResponse is the /v1/networks payload.
+type NetworksResponse struct {
+	Networks []NetworkInfo
+}
+
+// handleNetworks serves GET /v1/networks: the workload registry.
+func (s *Server) handleNetworks(w http.ResponseWriter, r *http.Request) {
+	resp := NetworksResponse{}
+	for _, n := range nn.Networks() {
+		hash, err := nn.NetworkHash(n)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		seen := map[nn.LayerKind]bool{}
+		info := NetworkInfo{Name: n.Name, Hash: hash, Layers: n.LayerCount(), GMACs: n.TotalMACs() / 1e9}
+		for _, l := range n.Layers {
+			if k := l.Kind(); !seen[k] {
+				seen[k] = true
+				info.Kinds = append(info.Kinds, string(k))
+			}
+		}
+		resp.Networks = append(resp.Networks, info)
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }

@@ -184,6 +184,14 @@ func (c *Client) Sweep(ctx context.Context, req serve.SweepRequest) (serve.Sweep
 	return resp, err
 }
 
+// Networks calls GET /v1/networks: the server's workload registry with
+// canonical network hashes and layer-kind summaries.
+func (c *Client) Networks(ctx context.Context) (serve.NetworksResponse, error) {
+	var resp serve.NetworksResponse
+	err := c.call(ctx, http.MethodGet, "/v1/networks", nil, &resp)
+	return resp, err
+}
+
 // Metrics calls GET /metrics.
 func (c *Client) Metrics(ctx context.Context) (serve.Snapshot, error) {
 	var resp serve.Snapshot

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"refocus/internal/nn"
 	"refocus/internal/serve"
 )
 
@@ -242,5 +243,33 @@ func TestChaoticServerFullyRecovered(t *testing.T) {
 func TestNewRequiresBaseURL(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Error("empty BaseURL accepted")
+	}
+}
+
+// TestNetworksAgainstRealServer: the client's workload-discovery call
+// lists the registry through a live handler.
+func TestNetworksAgainstRealServer(t *testing.T) {
+	srv := serve.New(serve.Config{})
+	c, _ := testClient(t, srv.Handler(), nil)
+	resp, err := c.Networks(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Networks) != len(nn.Names()) {
+		t.Fatalf("client saw %d networks, registry has %d", len(resp.Networks), len(nn.Names()))
+	}
+	byName := map[string]serve.NetworkInfo{}
+	for _, info := range resp.Networks {
+		byName[info.Name] = info
+	}
+	bert, ok := byName["BERT-base"]
+	if !ok {
+		t.Fatal("BERT-base missing from client network listing")
+	}
+	if bert.Hash != nn.MustNetworkHash(nn.BERTBase()) {
+		t.Errorf("BERT-base hash drifted: %s", bert.Hash)
+	}
+	if bert.GMACs < 11 || bert.GMACs > 12 {
+		t.Errorf("BERT-base GMACs = %.2f, want ≈11.2", bert.GMACs)
 	}
 }

@@ -29,8 +29,16 @@ type Options struct {
 	// ConfigFile is a JSON design point (see LoadConfigFile for the
 	// schema, including the optional "Base" preset overlay).
 	ConfigFile string
-	// Network is a benchmark name (nn.ByName) or "all".
+	// Network is a registered network name (nn.ByName, case-insensitive)
+	// or "all" for the paper's five CNN benchmarks. Ignored when
+	// NetworkFile or NetworkSpec is set.
 	Network string
+	// NetworkFile is a JSON network spec to evaluate instead of a named
+	// workload (see nn.ParseNetwork for the schema).
+	NetworkFile string
+	// NetworkSpec is an already-parsed inline network. The serving layer
+	// lands request-body specs here; a spec given both ways is an error.
+	NetworkSpec *nn.Network
 	// Override mutates the resolved config before validation (flag
 	// overrides like -batch land here). Optional.
 	Override func(*arch.SystemConfig)
@@ -116,21 +124,51 @@ func LoadConfig(data []byte) (arch.SystemConfig, error) {
 	return file.SystemConfig, nil
 }
 
-// ResolveNetworks returns the benchmark set a -network argument names:
-// one network, or all five for "all".
+// ResolveNetworks returns the workload set a -network argument names:
+// one registered network (case-insensitive), or the paper's five CNN
+// benchmarks for "all". A miss lists every valid name.
 func ResolveNetworks(name string) ([]nn.Network, error) {
-	if name == "all" {
+	if strings.EqualFold(name, "all") {
 		return nn.Benchmarks(), nil
 	}
 	net, ok := nn.ByName(name)
 	if !ok {
-		known := make([]string, 0, 5)
-		for _, n := range nn.Benchmarks() {
-			known = append(known, n.Name)
-		}
-		return nil, fmt.Errorf("sim: unknown network %q (known: %s, or \"all\")", name, strings.Join(known, ", "))
+		return nil, fmt.Errorf("sim: unknown network %q (known: %s, or \"all\")", name, strings.Join(nn.Names(), ", "))
 	}
 	return []nn.Network{net}, nil
+}
+
+// LoadNetworkFile reads and strictly parses a JSON network spec.
+func LoadNetworkFile(path string) (nn.Network, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nn.Network{}, fmt.Errorf("sim: %w", err)
+	}
+	return nn.ParseNetwork(data)
+}
+
+// Workloads returns the networks the options select: the inline
+// spec or spec file when given (validated, overriding any Network name),
+// otherwise the named workload set. Tools that need the resolved
+// workloads without evaluating (-dump-network) call this directly.
+func (o Options) Workloads() ([]nn.Network, error) {
+	if o.NetworkSpec != nil && o.NetworkFile != "" {
+		return nil, fmt.Errorf("sim: both NetworkSpec and NetworkFile set; pick one")
+	}
+	if o.NetworkSpec != nil {
+		if err := o.NetworkSpec.Validate(); err != nil {
+			return nil, err
+		}
+		return []nn.Network{*o.NetworkSpec}, nil
+	}
+	if o.NetworkFile != "" {
+		net, err := LoadNetworkFile(o.NetworkFile)
+		if err != nil {
+			return nil, err
+		}
+		return []nn.Network{net}, nil
+	}
+	return ResolveNetworks(o.Network)
 }
 
 // Result is the structured outcome of one pipeline run: the resolved
@@ -177,7 +215,7 @@ func EvaluateCtx(ctx context.Context, opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	nets, err := ResolveNetworks(opts.Network)
+	nets, err := opts.Workloads()
 	if err != nil {
 		return Result{}, err
 	}
@@ -211,16 +249,21 @@ func EvaluateCtx(ctx context.Context, opts Options) (Result, error) {
 }
 
 // CacheKey returns the canonical identity of one (design point, network)
-// evaluation: the arch.ConfigHash of the config joined with the network
-// name. Requests that resolve to the same design point — via a preset, a
-// Base overlay, or raw JSON in any field order — share a key, so a result
-// cache keyed on it serves them all from one evaluation.
-func CacheKey(cfg arch.SystemConfig, network string) (string, error) {
-	hash, err := arch.ConfigHash(cfg)
+// evaluation: arch.ConfigHash joined with nn.NetworkHash. Requests that
+// resolve to the same design point and workload — via presets, Base
+// overlays, raw JSON in any field order, a registered name in any case,
+// or an inline spec identical to a registry entry — share a key, so a
+// result cache keyed on it serves them all from one evaluation.
+func CacheKey(cfg arch.SystemConfig, net nn.Network) (string, error) {
+	cfgHash, err := arch.ConfigHash(cfg)
 	if err != nil {
 		return "", err
 	}
-	return hash + "|" + network, nil
+	netHash, err := nn.NetworkHash(net)
+	if err != nil {
+		return "", err
+	}
+	return cfgHash + "|" + netHash, nil
 }
 
 // Run executes the full pipeline: resolve → override → validate →
@@ -273,7 +316,7 @@ func renderText(res Result, opts Options, out io.Writer) error {
 		if opts.WithDRAM {
 			total = p.TotalWithDRAM()
 		}
-		fmt.Fprintf(out, "%s (%.2f GMACs, %d conv layers)\n", net.Name, net.TotalMACs()/1e9, net.LayerCount())
+		fmt.Fprintf(out, "%s (%.2f GMACs, %d layers)\n", net.Name, net.TotalMACs()/1e9, net.LayerCount())
 		fmt.Fprintf(out, "  latency %.3f ms   FPS %.0f   power %.2f W   FPS/W %.1f   FPS/mm² %.1f\n",
 			r.Latency*1e3, r.FPS, total, r.FPS/total, r.FPSPerMM2)
 		fmt.Fprintf(out, "  power: inDAC %.2f  wDAC %.2f  ADC %.2f  laser %.2f  MRR %.3f  SRAM %.2f  buffers %.2f  CMOS %.2f  (DRAM %.2f)\n",
@@ -285,9 +328,12 @@ func renderText(res Result, opts Options, out io.Writer) error {
 				return err
 			}
 			for _, lp := range arch.TopConsumers(profiles, "cycles", opts.Profile) {
-				fmt.Fprintf(out, "  hot layer %-18s %5.1f%% of cycles  %5.1f%% of energy (%v, %d regions)\n",
-					lp.Layer.Name, 100*lp.ShareOfCycles, 100*lp.ShareOfEnergy,
-					lp.Plan.Geometry.Strategy, lp.Plan.Regions)
+				detail := string(lp.Layer.Kind()) + ", multi-pass"
+				if lp.Plan != nil {
+					detail = fmt.Sprintf("%v, %d regions", lp.Plan.Geometry.Strategy, lp.Plan.Regions)
+				}
+				fmt.Fprintf(out, "  hot layer %-18s %5.1f%% of cycles  %5.1f%% of energy (%s)\n",
+					lp.Layer.Name(), 100*lp.ShareOfCycles, 100*lp.ShareOfEnergy, detail)
 			}
 		}
 	}
@@ -306,10 +352,29 @@ func ListKnown(out io.Writer) {
 		fmt.Fprintf(out, "  %-18s%s  %s\n", p.Name, alias, p.Description)
 	}
 	fmt.Fprintln(out, "networks:")
-	for _, n := range nn.Benchmarks() {
-		fmt.Fprintf(out, "  %-10s %2d conv layers  %6.2f GMACs\n", n.Name, n.LayerCount(), n.TotalMACs()/1e9)
+	for _, n := range nn.Networks() {
+		kinds := map[nn.LayerKind]bool{}
+		parts := make([]string, 0, 3)
+		for _, l := range n.Layers {
+			if k := l.Kind(); !kinds[k] {
+				kinds[k] = true
+				parts = append(parts, string(k))
+			}
+		}
+		fmt.Fprintf(out, "  %-10s %3d layers  %6.2f GMACs  (%s)\n",
+			n.Name, n.LayerCount(), n.TotalMACs()/1e9, strings.Join(parts, ", "))
 	}
-	fmt.Fprintln(out, "  all        every benchmark network")
+	fmt.Fprintln(out, "  all        the five CNN benchmark networks")
+}
+
+// ListNetworks prints the full workload registry with content hashes —
+// the identities the serving cache and -dump-network round-trips key on.
+func ListNetworks(out io.Writer) {
+	fmt.Fprintln(out, "name        layers  GMACs     hash")
+	for _, n := range nn.Networks() {
+		fmt.Fprintf(out, "%-11s %5d  %8.2f  %s\n",
+			n.Name, n.LayerCount(), n.TotalMACs()/1e9, nn.MustNetworkHash(n))
+	}
 }
 
 // Main wraps a tool's run function with the uniform error convention the

@@ -16,6 +16,7 @@ import (
 	"refocus/internal/dataflow"
 	"refocus/internal/dsp"
 	"refocus/internal/jtc"
+	"refocus/internal/nn"
 	"refocus/internal/optics"
 )
 
@@ -133,28 +134,17 @@ func SequenceConv(x [][]float64, kernel [][]float64, corr jtc.Correlator) [][]fl
 }
 
 // MixingEvents estimates the JTC activity of one FNet mixing sublayer on
-// the ReFOCUS execution model: each hidden channel's token column is one
-// pass through a lens-equipped waveguide bank (tiled when seq exceeds T),
-// with the hidden-dimension transform charged to the CMOS side. Returns
-// dataflow-compatible event counts so arch-style power analysis applies.
+// the ReFOCUS execution model, delegating to the dataflow package's
+// fourier-mixing layer kind (dataflow.MixingEvents). Panics on
+// non-positive dimensions, matching the package's functional API.
 func MixingEvents(seqLen, hidden int, cfg dataflow.Config) dataflow.Events {
-	cfg.Validate()
 	if seqLen < 1 || hidden < 1 {
 		panic("transformer: non-positive dimensions")
 	}
-	tiles := (seqLen + cfg.T - 1) / cfg.T
-	// Columns processed NRFCU·NLambda at a time, one pass per tile.
-	passes := float64(tiles) * float64(ceilDiv(hidden, cfg.NRFCU*cfg.NLambda))
-	var e dataflow.Events
-	e.Cycles = passes
-	e.InputDACWrites = float64(seqLen * hidden)
-	// The mixing has no weights — the lens is passive. Outputs are read
-	// every pass (no channel accumulation to exploit).
-	e.ADCReads = float64(seqLen * hidden)
-	e.ActSRAMReads = e.InputDACWrites
-	e.ActSRAMWrites = e.ADCReads
-	e.LaserWaveguideCycles = e.Cycles * float64(cfg.T*cfg.NLambda)
-	e.MRRActiveCycles = e.InputDACWrites
+	e, err := dataflow.MixingEvents(nn.MixingLayer{Name: "mixing", SeqLen: seqLen, Hidden: hidden, Repeat: 1}, cfg)
+	if err != nil {
+		panic("transformer: " + err.Error())
+	}
 	return e
 }
 
@@ -171,5 +161,3 @@ func dims(x [][]float64) (l, d int) {
 	}
 	return l, d
 }
-
-func ceilDiv(a, b int) int { return (a + b - 1) / b }
