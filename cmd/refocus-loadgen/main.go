@@ -1,20 +1,31 @@
-// Command refocus-loadgen hammers a running refocus-serve instance
-// through the resilient client (internal/serveclient): concurrent
-// workers issue evaluate requests with retry, backoff and a circuit
-// breaker, then the run reports how much resilience machinery it took.
+// Command refocus-loadgen hammers a running refocus-serve instance (or
+// cluster coordinator) through the resilient client
+// (internal/serveclient): concurrent workers issue evaluate requests
+// with retry, backoff and a circuit breaker, then the run reports how
+// much resilience machinery it took.
 //
 // Usage:
 //
-//	refocus-loadgen -addr http://127.0.0.1:8080 [-concurrency 8]
-//	                [-requests 50] [-distinct 8] [-preset fb]
-//	                [-network ResNet-18] [-retries 8] [-seed 1]
+//	refocus-loadgen -addr http://127.0.0.1:8080 [-mode evaluate|sweep]
+//	                [-concurrency 8] [-requests 50] [-distinct 8]
+//	                [-points 100] [-stream] [-name-prefix loadgen]
+//	                [-preset fb] [-network ResNet-18] [-retries 8]
+//	                [-seed 1] [-client-timeout 0]
 //
-// Each worker sends -requests requests, cycling through -distinct
-// design-point variants (distinct names force cache misses, keeping the
-// worker pool busy). The process exits nonzero if any request failed
-// after all retries — against a chaotic or overloaded server, a zero
-// exit means the client hid every transient failure, which is exactly
-// what the CI chaos job asserts.
+// In the default evaluate mode each worker sends -requests requests,
+// cycling through -distinct design-point variants (distinct names force
+// cache misses, keeping the worker pool busy). The process exits
+// nonzero if any request failed after all retries — against a chaotic
+// or overloaded server, a zero exit means the client hid every
+// transient failure, which is exactly what the CI chaos job asserts.
+//
+// In sweep mode the run submits one batch of -points distinct design
+// points to POST /v1/sweep and accounts for every point: failed counts
+// points answered with an inline error, lost counts points that never
+// came back at all. -stream consumes the NDJSON lane and reports
+// first_result_ms — proof the first result arrived while the sweep was
+// still running. The kill-a-shard CI gate drives a cluster coordinator
+// this way and asserts failed=0 lost=0.
 package main
 
 import (
@@ -23,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync"
@@ -34,29 +46,124 @@ import (
 	"refocus/internal/serveclient"
 )
 
+// sweepPoints builds n distinct design points on one preset/network.
+func sweepPoints(n int, preset, network, prefix string) []serve.EvaluateRequest {
+	points := make([]serve.EvaluateRequest, n)
+	for i := range points {
+		points[i] = serve.EvaluateRequest{
+			Preset:    preset,
+			Network:   network,
+			Overrides: json.RawMessage(fmt.Sprintf(`{"Name": %q}`, fmt.Sprintf("%s-%d", prefix, i))),
+		}
+	}
+	return points
+}
+
+// runSweep submits one sweep and accounts for every point. Streamed runs
+// consume the NDJSON lane; buffered runs the legacy JSON body.
+func runSweep(ctx context.Context, client *serveclient.Client, out io.Writer,
+	n int, stream bool, preset, network, prefix, addr string) error {
+	req := serve.SweepRequest{Points: sweepPoints(n, preset, network, prefix)}
+	got := make([]bool, n)
+	failed := 0
+	var firstErr error
+	start := time.Now()
+	var firstResult time.Duration
+
+	record := func(idx int, errText string) {
+		if idx >= 0 && idx < n && !got[idx] {
+			got[idx] = true
+			if firstResult == 0 {
+				firstResult = time.Since(start)
+			}
+		}
+		if errText != "" {
+			failed++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("point %d: %s", idx, errText)
+			}
+		}
+	}
+	if stream {
+		err := client.SweepStream(ctx, req, func(line serve.SweepStreamLine) error {
+			record(line.Index, line.Error)
+			return nil
+		})
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	} else {
+		resp, err := client.Sweep(ctx, req)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		for i, p := range resp.Points {
+			// A buffered response always carries one slot per point; an
+			// all-zero slot with no Error would mean the server dropped it.
+			record(i, p.Error)
+		}
+	}
+	total := time.Since(start)
+
+	lost := 0
+	for _, ok := range got {
+		if !ok {
+			lost++
+		}
+	}
+	results := n - lost
+	fmt.Fprintf(out, "sweep: points=%d results=%d failed=%d lost=%d first_result_ms=%d total_ms=%d streamed=%v\n",
+		n, results, failed, lost, firstResult.Milliseconds(), total.Milliseconds(), stream)
+	st := client.Stats()
+	fmt.Fprintf(out, "client: retries=%d shed=%d breaker_opens=%d breaker_rejects=%d against %s\n",
+		st.Retries, st.Shed, st.BreakerOpens, st.BreakerRejects, addr)
+	if failed > 0 || lost > 0 {
+		return fmt.Errorf("refocus-loadgen: sweep lost %d and failed %d of %d points (first: %v)",
+			lost, failed, n, firstErr)
+	}
+	return nil
+}
+
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("refocus-loadgen", flag.ContinueOnError)
 	addr := fs.String("addr", "http://127.0.0.1:8080", "refocus-serve base URL")
-	concurrency := fs.Int("concurrency", 8, "concurrent workers")
-	requests := fs.Int("requests", 50, "requests per worker")
-	distinct := fs.Int("distinct", 8, "distinct design-point variants to cycle through")
+	mode := fs.String("mode", "evaluate", "load shape: evaluate (concurrent single points) or sweep (one batch)")
+	concurrency := fs.Int("concurrency", 8, "concurrent workers (evaluate mode)")
+	requests := fs.Int("requests", 50, "requests per worker (evaluate mode)")
+	distinct := fs.Int("distinct", 8, "distinct design-point variants to cycle through (evaluate mode)")
+	points := fs.Int("points", 100, "design points per batch (sweep mode)")
+	stream := fs.Bool("stream", false, "consume the sweep over the NDJSON streaming lane (sweep mode)")
+	namePrefix := fs.String("name-prefix", "loadgen", "design-point name prefix; vary it to defeat result caches (sweep mode)")
 	preset := fs.String("preset", "fb", "base preset for every request")
 	network := fs.String("network", "ResNet-18", "benchmark network per request")
 	retries := fs.Int("retries", 8, "client retries per request")
 	seed := fs.Int64("seed", 1, "client backoff-jitter seed")
+	clientTimeout := fs.Duration("client-timeout", 0, "HTTP client timeout (0 keeps the client default; raise for long sweeps)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *concurrency < 1 || *requests < 1 || *distinct < 1 {
-		return fmt.Errorf("refocus-loadgen: -concurrency, -requests and -distinct must be >= 1")
+	if *concurrency < 1 || *requests < 1 || *distinct < 1 || *points < 1 {
+		return fmt.Errorf("refocus-loadgen: -concurrency, -requests, -distinct and -points must be >= 1")
 	}
-	client, err := serveclient.New(serveclient.Config{
+	ccfg := serveclient.Config{
 		BaseURL:    *addr,
 		MaxRetries: *retries,
 		Seed:       *seed,
-	})
+	}
+	if *clientTimeout > 0 {
+		ccfg.HTTPClient = &http.Client{Timeout: *clientTimeout}
+	}
+	client, err := serveclient.New(ccfg)
 	if err != nil {
 		return err
+	}
+	switch *mode {
+	case "sweep":
+		return runSweep(ctx, client, out, *points, *stream, *preset, *network, *namePrefix, *addr)
+	case "evaluate":
+		// fall through to the concurrent single-point load below
+	default:
+		return fmt.Errorf("refocus-loadgen: unknown -mode %q (evaluate|sweep)", *mode)
 	}
 
 	start := time.Now()

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"refocus/internal/obs"
+)
+
+// Metrics aggregates the coordinator's counters on an obs.Registry,
+// serving the same two views the worker tier does: a JSON snapshot for
+// dashboards and the CI gates, and the Prometheus text exposition for
+// scrapers. Per-shard routing counters ride the "shard" label.
+type Metrics struct {
+	reg *obs.Registry
+
+	mu        sync.Mutex
+	perShard  map[string]*shardMetrics
+	inFlight  atomic.Int64
+	points    *obs.Counter
+	pointErrs *obs.Counter
+	stream    *obs.Counter
+}
+
+// shardMetrics is one shard's routing counters.
+type shardMetrics struct {
+	routed    *obs.Counter
+	hedges    *obs.Counter
+	failovers *obs.Counter
+}
+
+// newClusterMetrics builds the instrument set with one labeled family
+// row per known shard, so the Prometheus view shows zero rows for idle
+// shards instead of omitting them.
+func newClusterMetrics(shards []string) *Metrics {
+	reg := obs.NewRegistry()
+	m := &Metrics{
+		reg:       reg,
+		perShard:  make(map[string]*shardMetrics, len(shards)),
+		points:    reg.Counter("refocus_cluster_points_total", "Evaluate requests dispatched by the coordinator (sweep points and single evaluates).", nil),
+		pointErrs: reg.Counter("refocus_cluster_point_errors_total", "Dispatched points that failed on every ring successor (client-visible losses).", nil),
+		stream:    reg.Counter("refocus_cluster_stream_lines_total", "Sweep results delivered over the coordinator's NDJSON streaming lane.", nil),
+	}
+	reg.Gauge("refocus_cluster_in_flight", "Requests currently inside a coordinator handler.", nil,
+		func() float64 { return float64(m.inFlight.Load()) })
+	for _, s := range shards {
+		labels := obs.Labels{"shard": s}
+		m.perShard[s] = &shardMetrics{
+			routed:    reg.Counter("refocus_cluster_routed_total", "Points whose ring placement chose this shard as primary.", labels),
+			hedges:    reg.Counter("refocus_cluster_hedges_total", "Hedged dispatches launched past this primary shard (slow or failed first attempt).", labels),
+			failovers: reg.Counter("refocus_cluster_failovers_total", "Points won by a ring successor after this primary shard failed or stalled.", labels),
+		}
+	}
+	return m
+}
+
+// shard returns the counters for one shard name (it must be a ring
+// member; unknown names get a fresh unregistered row rather than a panic).
+func (m *Metrics) shard(name string) *shardMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sm, ok := m.perShard[name]
+	if !ok {
+		labels := obs.Labels{"shard": name}
+		sm = &shardMetrics{
+			routed:    m.reg.Counter("refocus_cluster_routed_total", "Points whose ring placement chose this shard as primary.", labels),
+			hedges:    m.reg.Counter("refocus_cluster_hedges_total", "Hedged dispatches launched past this primary shard (slow or failed first attempt).", labels),
+			failovers: m.reg.Counter("refocus_cluster_failovers_total", "Points won by a ring successor after this primary shard failed or stalled.", labels),
+		}
+		m.perShard[name] = sm
+	}
+	return sm
+}
+
+// writePrometheus renders the text exposition.
+func (m *Metrics) writePrometheus(w io.Writer) error {
+	return m.reg.WritePrometheus(w)
+}
+
+// ShardStats is one shard's externally visible routing counters.
+type ShardStats struct {
+	// Routed counts points placed on this shard as primary; Hedges the
+	// dispatches that launched a second attempt past it; Failovers the
+	// points a ring successor won after this primary failed or stalled.
+	Routed    int64
+	Hedges    int64
+	Failovers int64
+}
+
+// Snapshot is the coordinator's /metrics JSON payload.
+type Snapshot struct {
+	// InFlight is the number of requests currently inside a handler.
+	InFlight int64
+	// Points counts dispatched evaluate requests; PointErrors the subset
+	// that failed on every ring successor — the client-visible losses the
+	// kill-a-shard CI gate asserts stay zero.
+	Points      int64
+	PointErrors int64
+	// Failovers and Hedges sum the per-shard counters.
+	Failovers int64
+	Hedges    int64
+	// StreamLines counts results delivered over the NDJSON lane.
+	StreamLines int64
+	// Shards maps shard base URL to its routing counters.
+	Shards map[string]ShardStats
+}
+
+// snapshot assembles the JSON payload.
+func (m *Metrics) snapshot() Snapshot {
+	s := Snapshot{
+		InFlight:    m.inFlight.Load(),
+		Points:      m.points.Value(),
+		PointErrors: m.pointErrs.Value(),
+		StreamLines: m.stream.Value(),
+		Shards:      make(map[string]ShardStats),
+	}
+	m.mu.Lock()
+	rows := make(map[string]*shardMetrics, len(m.perShard))
+	for name, sm := range m.perShard {
+		rows[name] = sm
+	}
+	m.mu.Unlock()
+	for name, sm := range rows {
+		st := ShardStats{
+			Routed:    sm.routed.Value(),
+			Hedges:    sm.hedges.Value(),
+			Failovers: sm.failovers.Value(),
+		}
+		s.Failovers += st.Failovers
+		s.Hedges += st.Hedges
+		s.Shards[name] = st
+	}
+	return s
+}

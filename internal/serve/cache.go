@@ -38,8 +38,8 @@ func newReportCache(cap int) *reportCache {
 	}
 }
 
-// get returns the cached report for key, marking it most recently used.
-func (c *reportCache) get(key string) (arch.Report, bool) {
+// Get returns the cached report for key, marking it most recently used.
+func (c *reportCache) Get(key string) (arch.Report, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -50,9 +50,9 @@ func (c *reportCache) get(key string) (arch.Report, bool) {
 	return el.Value.(cacheEntry).report, true
 }
 
-// put stores a report under key, evicting the least recently used entry
+// Put stores a report under key, evicting the least recently used entry
 // when the cache is full. Storing an existing key refreshes its recency.
-func (c *reportCache) put(key string, r arch.Report) {
+func (c *reportCache) Put(key string, r arch.Report) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
@@ -70,9 +70,12 @@ func (c *reportCache) put(key string, r arch.Report) {
 	c.items[key] = c.order.PushFront(cacheEntry{key: key, report: r})
 }
 
-// len returns the current entry count.
-func (c *reportCache) len() int {
+// Len returns the current entry count.
+func (c *reportCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
 }
+
+// Cap returns the cache capacity in entries.
+func (c *reportCache) Cap() int { return c.cap }

@@ -11,67 +11,67 @@ import (
 func TestCachePutGet(t *testing.T) {
 	c := newReportCache(4)
 	r := arch.Report{Config: "x", Network: "n", FPS: 42}
-	if _, ok := c.get("k"); ok {
+	if _, ok := c.Get("k"); ok {
 		t.Error("hit on empty cache")
 	}
-	c.put("k", r)
-	got, ok := c.get("k")
+	c.Put("k", r)
+	got, ok := c.Get("k")
 	if !ok || got != r {
 		t.Errorf("get after put: ok=%v got=%+v", ok, got)
 	}
-	if c.len() != 1 {
-		t.Errorf("len %d, want 1", c.len())
+	if c.Len() != 1 {
+		t.Errorf("len %d, want 1", c.Len())
 	}
 }
 
 func TestCacheEvictsLeastRecentlyUsed(t *testing.T) {
 	c := newReportCache(2)
-	c.put("a", arch.Report{Config: "a"})
-	c.put("b", arch.Report{Config: "b"})
+	c.Put("a", arch.Report{Config: "a"})
+	c.Put("b", arch.Report{Config: "b"})
 	// Touch "a" so "b" is the LRU entry when "c" arrives.
-	if _, ok := c.get("a"); !ok {
+	if _, ok := c.Get("a"); !ok {
 		t.Fatal("a missing before eviction")
 	}
-	c.put("c", arch.Report{Config: "c"})
-	if _, ok := c.get("b"); ok {
+	c.Put("c", arch.Report{Config: "c"})
+	if _, ok := c.Get("b"); ok {
 		t.Error("least recently used entry survived eviction")
 	}
-	if _, ok := c.get("a"); !ok {
+	if _, ok := c.Get("a"); !ok {
 		t.Error("recently used entry evicted")
 	}
-	if _, ok := c.get("c"); !ok {
+	if _, ok := c.Get("c"); !ok {
 		t.Error("newest entry missing")
 	}
-	if c.len() != 2 {
-		t.Errorf("len %d, want capacity 2", c.len())
+	if c.Len() != 2 {
+		t.Errorf("len %d, want capacity 2", c.Len())
 	}
 }
 
 func TestCacheUpdateRefreshesEntry(t *testing.T) {
 	c := newReportCache(2)
-	c.put("a", arch.Report{FPS: 1})
-	c.put("b", arch.Report{FPS: 2})
-	c.put("a", arch.Report{FPS: 3}) // update, not insert
-	if c.len() != 2 {
-		t.Fatalf("update grew the cache to %d", c.len())
+	c.Put("a", arch.Report{FPS: 1})
+	c.Put("b", arch.Report{FPS: 2})
+	c.Put("a", arch.Report{FPS: 3}) // update, not insert
+	if c.Len() != 2 {
+		t.Fatalf("update grew the cache to %d", c.Len())
 	}
-	got, _ := c.get("a")
+	got, _ := c.Get("a")
 	if got.FPS != 3 {
 		t.Errorf("updated value lost: %+v", got)
 	}
 	// "a" was refreshed, so inserting "d" must evict "b".
-	c.put("d", arch.Report{FPS: 4})
-	if _, ok := c.get("b"); ok {
+	c.Put("d", arch.Report{FPS: 4})
+	if _, ok := c.Get("b"); ok {
 		t.Error("refresh did not update recency")
 	}
 }
 
 func TestCacheMinimumCapacity(t *testing.T) {
 	c := newReportCache(0)
-	c.put("a", arch.Report{})
-	c.put("b", arch.Report{})
-	if c.len() != 1 {
-		t.Errorf("zero-capacity cache should clamp to 1, len %d", c.len())
+	c.Put("a", arch.Report{})
+	c.Put("b", arch.Report{})
+	if c.Len() != 1 {
+		t.Errorf("zero-capacity cache should clamp to 1, len %d", c.Len())
 	}
 }
 
@@ -84,14 +84,14 @@ func TestCacheConcurrentAccess(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				key := fmt.Sprintf("k%d", (w+i)%32)
-				c.put(key, arch.Report{FPS: float64(i)})
-				c.get(key)
-				c.len()
+				c.Put(key, arch.Report{FPS: float64(i)})
+				c.Get(key)
+				c.Len()
 			}
 		}(w)
 	}
 	wg.Wait()
-	if c.len() > 16 {
-		t.Errorf("cache exceeded capacity: %d", c.len())
+	if c.Len() > 16 {
+		t.Errorf("cache exceeded capacity: %d", c.Len())
 	}
 }

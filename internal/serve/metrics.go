@@ -65,6 +65,7 @@ type Metrics struct {
 	shed          *obs.Counter
 	chaosInjected *obs.Counter
 	chaosSlowed   *obs.Counter
+	streamLines   *obs.Counter
 
 	queueWait   *obs.Histogram
 	cacheLookup *obs.Histogram
@@ -75,7 +76,7 @@ type Metrics struct {
 // newMetrics builds the zeroed instrument set, registering the shared
 // families plus live gauges over the result cache and the in-flight
 // count.
-func newMetrics(cache *reportCache) *Metrics {
+func newMetrics(cache ResultStore) *Metrics {
 	reg := obs.NewRegistry()
 	m := &Metrics{
 		reg:           reg,
@@ -86,6 +87,7 @@ func newMetrics(cache *reportCache) *Metrics {
 		shed:          reg.Counter("refocus_shed_total", "Requests rejected with 429 because the bounded queue ahead of the worker pool was full.", nil),
 		chaosInjected: reg.Counter("refocus_chaos_injected_total", "Requests failed on purpose by the opt-in chaos middleware.", nil),
 		chaosSlowed:   reg.Counter("refocus_chaos_slowed_total", "Evaluations delayed on purpose by the opt-in chaos middleware.", nil),
+		streamLines:   reg.Counter("refocus_sweep_stream_lines_total", "Sweep results delivered over the NDJSON streaming lane.", nil),
 		queueWait:     reg.Histogram("refocus_queue_wait_seconds", "Time requests spent waiting for a worker slot.", nil, obs.FineBuckets),
 		cacheLookup:   reg.Histogram("refocus_cache_lookup_seconds", "Time spent probing the result cache per request.", nil, obs.FineBuckets),
 		evaluate:      reg.Histogram("refocus_evaluate_seconds", "Time spent in design-point evaluation per request that reached the worker pool.", nil, obs.DefBuckets),
@@ -93,10 +95,14 @@ func newMetrics(cache *reportCache) *Metrics {
 	}
 	reg.Gauge("refocus_in_flight", "Requests currently inside a handler.", nil,
 		func() float64 { return float64(m.inFlight.Load()) })
-	reg.Gauge("refocus_cache_entries", "Result-cache entries currently held.", nil,
-		func() float64 { return float64(cache.len()) })
-	reg.Gauge("refocus_cache_capacity", "Result-cache capacity in entries.", nil,
-		func() float64 { return float64(cache.cap) })
+	reg.Gauge("refocus_cache_entries", "Result-cache entries currently held in memory.", nil,
+		func() float64 { return float64(cache.Len()) })
+	reg.Gauge("refocus_cache_capacity", "Result-cache in-memory capacity in entries.", nil,
+		func() float64 { return float64(cache.Cap()) })
+	if dh, ok := cache.(diskHitCounter); ok {
+		reg.Gauge("refocus_cache_disk_hits_total", "Result-cache hits served from the shared on-disk tier (results another shard or a previous incarnation computed).", nil,
+			func() float64 { return float64(dh.DiskHits()) })
+	}
 	return m
 }
 
@@ -140,6 +146,11 @@ type EndpointStats struct {
 type CacheStats struct {
 	Hits, Misses      int64
 	Entries, Capacity int
+	// DiskHits is the subset of Hits served from a shared on-disk store
+	// tier — results this process never computed, found because another
+	// shard (or a previous incarnation) persisted them. Always 0 for the
+	// default in-memory-only cache.
+	DiskHits int64
 }
 
 // Snapshot is the /metrics JSON payload: a consistent-enough
@@ -169,7 +180,7 @@ type Snapshot struct {
 // the metrics mutex (pointers only — the instruments themselves are
 // atomic), and every value read plus the JSON encoding happen outside
 // any lock, so a slow or stalled client can never hold up the handlers.
-func (m *Metrics) snapshot(cache *reportCache) Snapshot {
+func (m *Metrics) snapshot(cache ResultStore) Snapshot {
 	s := Snapshot{
 		InFlight:      m.inFlight.Load(),
 		Evaluations:   m.evaluations.Value(),
@@ -179,10 +190,13 @@ func (m *Metrics) snapshot(cache *reportCache) Snapshot {
 		Cache: CacheStats{
 			Hits:     m.cacheHits.Value(),
 			Misses:   m.cacheMisses.Value(),
-			Entries:  cache.len(),
-			Capacity: cache.cap,
+			Entries:  cache.Len(),
+			Capacity: cache.Cap(),
 		},
 		Endpoints: make(map[string]EndpointStats),
+	}
+	if dh, ok := cache.(diskHitCounter); ok {
+		s.Cache.DiskHits = dh.DiskHits()
 	}
 	m.mu.Lock()
 	routes := make(map[string]*endpointMetrics, len(m.endpoints))

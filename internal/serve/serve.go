@@ -31,6 +31,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -65,6 +66,15 @@ type Config struct {
 	// limit (unbounded queues hang clients and OOM the process).
 	// Default 64.
 	QueueDepth int
+	// Store overrides the result cache. nil means an in-process LRU of
+	// CacheSize entries; point several shards' DiskStores at one
+	// directory and results are shared cluster-wide and survive
+	// restarts. CacheSize still sizes the memory tier gauge-side.
+	Store ResultStore
+	// Limits bounds inline NetworkSpec submissions (zero fields get the
+	// package defaults). Registry networks are trusted and exempt; an
+	// inline spec past a limit is rejected with a structured 422.
+	Limits SpecLimits
 	// Chaos is the opt-in fault-injection middleware for resilience
 	// testing; the zero value (the default) injects nothing.
 	Chaos ChaosConfig
@@ -91,6 +101,7 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
 	}
+	c.Limits = c.Limits.WithDefaults()
 	if c.Logger == nil {
 		// Discard at the handler level: a nil slog.Logger would panic,
 		// and a level above Error suppresses every record.
@@ -103,7 +114,7 @@ func (c Config) withDefaults() Config {
 // and metrics. Create with New; it is safe for concurrent use.
 type Server struct {
 	cfg     Config
-	cache   *reportCache
+	cache   ResultStore
 	metrics *Metrics
 	slots   chan struct{}
 	// admitted counts requests between acquireSlot entry and releaseSlot
@@ -122,7 +133,10 @@ type Server struct {
 // New builds a Server from the config (zero fields defaulted).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	cache := newReportCache(cfg.CacheSize)
+	cache := cfg.Store
+	if cache == nil {
+		cache = newReportCache(cfg.CacheSize)
+	}
 	s := &Server{
 		cfg:       cfg,
 		cache:     cache,
@@ -220,6 +234,23 @@ type SweepResponse struct {
 	Points []SweepPointResult
 }
 
+// NDJSONContentType is the media type of the streaming sweep lane: a
+// request carrying it in Accept gets one SweepStreamLine JSON object per
+// line, each flushed as its point completes, instead of the buffered
+// SweepResponse body.
+const NDJSONContentType = "application/x-ndjson"
+
+// SweepStreamLine is one NDJSON line of a streamed sweep. Lines arrive
+// in completion order, not input order; Index maps each line back to its
+// position in the request's Points array, so a client reassembling the
+// buffered view sorts on it. The embedded fields are exactly a buffered
+// SweepPointResult — the two encodings carry identical information.
+type SweepStreamLine struct {
+	// Index is the point's position in the request's Points array.
+	Index int
+	SweepPointResult
+}
+
 // PresetInfo is one /v1/presets vocabulary entry.
 type PresetInfo struct {
 	Name        string
@@ -258,13 +289,21 @@ func (e *apiError) Error() string { return e.err.Error() }
 // Unwrap exposes the cause to errors.Is/As.
 func (e *apiError) Unwrap() error { return e.err }
 
-// badRequest tags an error as a 400.
-func badRequest(err error) error { return &apiError{status: http.StatusBadRequest, err: err} }
+// BadRequest tags an error as a 400. An error already carrying a status
+// tag (a 422 from the spec limits, a 429 from shedding) keeps it — the
+// more specific classification wins.
+func BadRequest(err error) error {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return err
+	}
+	return &apiError{status: http.StatusBadRequest, err: err}
+}
 
-// statusOf maps an error to its HTTP status: explicit apiError tags win,
+// StatusOf maps an error to its HTTP status: explicit apiError tags win,
 // context cancellation/timeout becomes 503, oversized bodies 413, and
 // anything else is a 500.
-func statusOf(err error) int {
+func StatusOf(err error) int {
 	var ae *apiError
 	if errors.As(err, &ae) {
 		return ae.status
@@ -339,7 +378,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 // writeError sends the structured error payload for err, honoring any
 // Retry-After hint an apiError carries.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
-	status := statusOf(err)
+	status := StatusOf(err)
 	var ae *apiError
 	if errors.As(err, &ae) && ae.retryAfter > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(ae.retryAfter))
@@ -358,10 +397,10 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		return badRequest(fmt.Errorf("serve: parsing request: %w", err))
+		return BadRequest(fmt.Errorf("serve: parsing request: %w", err))
 	}
 	if dec.More() {
-		return badRequest(errors.New("serve: parsing request: trailing data after JSON object"))
+		return BadRequest(errors.New("serve: parsing request: trailing data after JSON object"))
 	}
 	return nil
 }
@@ -460,17 +499,17 @@ func (s *Server) evaluatePoint(ctx context.Context, req EvaluateRequest) (Evalua
 	cfg, err := resolveRequestConfig(req)
 	if err != nil {
 		resolveSpan.End()
-		return EvaluateResponse{}, badRequest(err)
+		return EvaluateResponse{}, BadRequest(err)
 	}
 	fs, err := resolveRequestFaults(req, cfg)
 	if err != nil {
 		resolveSpan.End()
-		return EvaluateResponse{}, badRequest(err)
+		return EvaluateResponse{}, BadRequest(err)
 	}
-	nets, err := resolveRequestNetworks(req)
+	nets, err := resolveRequestNetworks(req, s.cfg.Limits)
 	if err != nil {
 		resolveSpan.End()
-		return EvaluateResponse{}, badRequest(err)
+		return EvaluateResponse{}, BadRequest(err)
 	}
 	hash, err := arch.ConfigHash(cfg)
 	resolveSpan.SetAttr("config", cfg.Name)
@@ -496,7 +535,7 @@ func (s *Server) evaluatePoint(ctx context.Context, req EvaluateRequest) (Evalua
 		// still answer with an honest Degradation block.
 		_, deg, err := fs.Degrade(cfg)
 		if err != nil {
-			return EvaluateResponse{}, badRequest(err)
+			return EvaluateResponse{}, BadRequest(err)
 		}
 		resp.Degradation = &deg
 	}
@@ -514,7 +553,7 @@ func (s *Server) evaluatePoint(ctx context.Context, req EvaluateRequest) (Evalua
 		}
 		resp.NetworkHashes[i] = netHash
 		key := keyPrefix + "|" + netHash
-		if r, ok := s.cache.get(key); ok {
+		if r, ok := s.cache.Get(key); ok {
 			resp.Reports[i] = r
 			resp.CacheHits++
 		} else {
@@ -563,12 +602,12 @@ func (s *Server) evaluatePoint(ctx context.Context, req EvaluateRequest) (Evalua
 		evalSpan.End()
 		s.releaseSlot()
 		if err != nil {
-			return EvaluateResponse{}, badRequest(err)
+			return EvaluateResponse{}, BadRequest(err)
 		}
 		s.metrics.evaluations.Add(int64(len(missing)))
 		for j, r := range reports {
 			resp.Reports[missingIdx[j]] = r
-			s.cache.put(missingKeys[j], r)
+			s.cache.Put(missingKeys[j], r)
 		}
 	}
 	return resp, nil
@@ -603,9 +642,20 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// WantsNDJSON reports whether the request asked for the streaming sweep
+// lane: the NDJSON media type anywhere in Accept, or ?stream=1 for
+// clients that cannot set headers.
+func WantsNDJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), NDJSONContentType) ||
+		r.URL.Query().Get("stream") == "1"
+}
+
 // handleSweep serves POST /v1/sweep: points fan out concurrently (each
 // point's real work still bounded by the worker pool), and per-point
-// failures come back inline instead of aborting the batch.
+// failures come back inline instead of aborting the batch. With
+// Accept: application/x-ndjson the response streams one line per point
+// as it completes; the default is the buffered JSON body in input order,
+// kept for legacy clients.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
@@ -613,29 +663,58 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Points) == 0 {
-		s.writeError(w, badRequest(errors.New("serve: sweep carries no Points")))
+		s.writeError(w, BadRequest(errors.New("serve: sweep carries no Points")))
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
-	resp := SweepResponse{Points: make([]SweepPointResult, len(req.Points))}
-	done := make(chan int, len(req.Points))
+	lines := make(chan SweepStreamLine, len(req.Points))
 	for i := range req.Points {
 		go func(i int) {
-			defer func() { done <- i }()
+			line := SweepStreamLine{Index: i}
 			point, err := s.evaluatePoint(ctx, req.Points[i])
 			if err != nil {
-				resp.Points[i].Error = err.Error()
-				return
+				line.Error = err.Error()
+			} else {
+				line.EvaluateResponse = point
 			}
-			resp.Points[i].EvaluateResponse = point
+			lines <- line
 		}(i)
 	}
+
+	if WantsNDJSON(r) {
+		s.streamSweep(w, len(req.Points), lines)
+		return
+	}
+	resp := SweepResponse{Points: make([]SweepPointResult, len(req.Points))}
 	for range req.Points {
-		<-done
+		line := <-lines
+		resp.Points[line.Index] = line.SweepPointResult
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// streamSweep writes the NDJSON lane: one compact SweepStreamLine per
+// completed point, flushed immediately so the first result reaches the
+// client while later points are still evaluating. Write failures abandon
+// the stream (the client is gone); evaluation failures are inline Error
+// lines, never a broken stream.
+func (s *Server) streamSweep(w http.ResponseWriter, n int, lines <-chan SweepStreamLine) {
+	w.Header().Set("Content-Type", NDJSONContentType)
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	for i := 0; i < n; i++ {
+		line := <-lines
+		start := time.Now()
+		if err := enc.Encode(line); err != nil {
+			return
+		}
+		s.metrics.encode.Observe(time.Since(start).Seconds())
+		s.metrics.streamLines.Inc()
+		rc.Flush() //nolint:errcheck // an unflushable writer just buffers
+	}
 }
 
 // handlePresets serves GET /v1/presets.
@@ -653,15 +732,19 @@ func (s *Server) handlePresets(w http.ResponseWriter, r *http.Request) {
 }
 
 // resolveRequestNetworks turns a request's workload naming into the
-// network set to evaluate: an inline NetworkSpec (strictly parsed and
-// validated), or a registered name / "all" (empty defaults to "all").
-func resolveRequestNetworks(req EvaluateRequest) ([]nn.Network, error) {
+// network set to evaluate: an inline NetworkSpec (strictly parsed,
+// validated, and checked against the resource limits), or a registered
+// name / "all" (empty defaults to "all").
+func resolveRequestNetworks(req EvaluateRequest, lim SpecLimits) ([]nn.Network, error) {
 	if len(req.NetworkSpec) > 0 {
 		if req.Network != "" {
 			return nil, errors.New("serve: request names both Network and NetworkSpec; pick one")
 		}
 		net, err := nn.ParseNetwork(req.NetworkSpec)
 		if err != nil {
+			return nil, err
+		}
+		if err := lim.check(net); err != nil {
 			return nil, err
 		}
 		return []nn.Network{net}, nil

@@ -252,8 +252,8 @@ func TestCanceledRequestContext(t *testing.T) {
 	if err == nil {
 		t.Fatal("canceled context evaluated anyway")
 	}
-	if statusOf(err) != http.StatusServiceUnavailable {
-		t.Errorf("canceled context maps to %d, want 503", statusOf(err))
+	if StatusOf(err) != http.StatusServiceUnavailable {
+		t.Errorf("canceled context maps to %d, want 503", StatusOf(err))
 	}
 	if s.MetricsSnapshot().Evaluations != 0 {
 		t.Error("canceled request still ran an evaluation")
@@ -272,8 +272,8 @@ func TestWorkerSlotTimeout(t *testing.T) {
 	if err == nil {
 		t.Fatal("saturated pool accepted work")
 	}
-	if statusOf(err) != http.StatusServiceUnavailable {
-		t.Errorf("queue timeout maps to %d, want 503", statusOf(err))
+	if StatusOf(err) != http.StatusServiceUnavailable {
+		t.Errorf("queue timeout maps to %d, want 503", StatusOf(err))
 	}
 	if !strings.Contains(err.Error(), "worker slot") {
 		t.Errorf("error should say it was queued: %v", err)

@@ -215,7 +215,7 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any) err
 	}
 	c.requests.Add(1)
 	data, err := c.doWithRetries(ctx, method, path, body)
-	c.settle(err == nil)
+	c.settleOutcome(ctx, err)
 	if err != nil {
 		return err
 	}
@@ -238,6 +238,29 @@ func (c *Client) admit() error {
 	}
 	c.brk.probing = true // half-open: this call is the probe
 	return nil
+}
+
+// settleOutcome classifies a finished request for the breaker. A failure
+// caused by our own context being canceled is neutral — neither success
+// nor failure — because it says nothing about the server's health. This
+// matters under hedging: when a fast shard wins, the canceled loser must
+// not push its (perfectly healthy) shard's breaker toward open.
+func (c *Client) settleOutcome(ctx context.Context, err error) {
+	switch {
+	case err == nil:
+		c.settle(true)
+	case ctx.Err() != nil:
+		c.settleAbandoned()
+	default:
+		c.settle(false)
+	}
+}
+
+// settleAbandoned clears a half-open probe without recording an outcome.
+func (c *Client) settleAbandoned() {
+	c.brk.mu.Lock()
+	defer c.brk.mu.Unlock()
+	c.brk.probing = false
 }
 
 // settle records a whole request's final outcome in the breaker.
