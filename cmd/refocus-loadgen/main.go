@@ -6,11 +6,14 @@
 //
 // Usage:
 //
-//	refocus-loadgen -addr http://127.0.0.1:8080 [-mode evaluate|sweep]
+//	refocus-loadgen -addr http://127.0.0.1:8080
+//	                [-mode evaluate|sweep|robustness]
 //	                [-concurrency 8] [-requests 50] [-distinct 8]
 //	                [-points 100] [-stream] [-name-prefix loadgen]
 //	                [-preset fb] [-network ResNet-18] [-retries 8]
 //	                [-seed 1] [-client-timeout 0]
+//	                [-severities 0,0.5,1] [-trials 16] [-campaign-seed 1]
+//	                [-retrain] [-poll-interval 2s]
 //
 // In the default evaluate mode each worker sends -requests requests,
 // cycling through -distinct design-point variants (distinct names force
@@ -26,6 +29,15 @@
 // first_result_ms — proof the first result arrived while the sweep was
 // still running. The kill-a-shard CI gate drives a cluster coordinator
 // this way and asserts failed=0 lost=0.
+//
+// In robustness mode the run submits one campaign to POST /v1/robustness
+// (fault-severity grid -severities, -trials Monte Carlo chips per level,
+// seeded by -campaign-seed, optionally retraining the reference net with
+// -retrain), polls GET /v1/robustness/{id} every -poll-interval, and
+// prints the per-severity accuracy/yield/throughput frontier when the
+// campaign finishes. Resubmitting the same campaign to a server holding
+// its checkpoint resumes it, which the run reports as resumed=N. The
+// process exits nonzero unless the campaign reaches "done".
 package main
 
 import (
@@ -37,11 +49,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"refocus/internal/robust"
 	"refocus/internal/serve"
 	"refocus/internal/serveclient"
 )
@@ -124,6 +139,68 @@ func runSweep(ctx context.Context, client *serveclient.Client, out io.Writer,
 	return nil
 }
 
+// parseSeverities parses the -severities list.
+func parseSeverities(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("refocus-loadgen: bad -severities entry %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("refocus-loadgen: -severities names no levels")
+	}
+	return out, nil
+}
+
+// runRobustness submits one campaign, polls it to completion, and prints
+// the frontier as a severity table.
+func runRobustness(ctx context.Context, client *serveclient.Client, out io.Writer,
+	spec robust.Spec, pollInterval time.Duration, addr string) error {
+	start := time.Now()
+	st, err := client.RobustnessStart(ctx, spec)
+	if err != nil {
+		return fmt.Errorf("refocus-loadgen: starting campaign: %w", err)
+	}
+	fmt.Fprintf(out, "robustness: campaign %s submitted (%d trials) against %s\n", st.ID, st.TotalTrials, addr)
+	for st.Status == robust.StatusRunning {
+		t := time.NewTimer(pollInterval)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("refocus-loadgen: canceled while polling campaign %s: %w", st.ID, ctx.Err())
+		}
+		if st, err = client.RobustnessStatus(ctx, st.ID); err != nil {
+			return fmt.Errorf("refocus-loadgen: polling campaign: %w", err)
+		}
+	}
+	fmt.Fprintf(out, "robustness: status=%s completed=%d/%d executed=%d resumed=%d failed_chips=%d in %.2fs\n",
+		st.Status, st.CompletedTrials, st.TotalTrials, st.ExecutedTrials, st.ResumedTrials,
+		st.FailedChips, time.Since(start).Seconds())
+	if st.Status != robust.StatusDone {
+		return fmt.Errorf("refocus-loadgen: campaign %s ended %s: %s", st.ID, st.Status, st.Error)
+	}
+	fmt.Fprintf(out, "nominal_fps=%.1f clean_accuracy=%.3f\n", st.NominalFPS, st.CleanAccuracy)
+	fmt.Fprintf(out, "%-9s %-6s %-11s %-11s %-10s %s\n",
+		"severity", "yield", "fleet_fps", "mean_fps", "accuracy", "retrained")
+	for _, p := range st.Frontier {
+		retrained := "-"
+		if p.Retrained != nil {
+			retrained = fmt.Sprintf("%.3f", p.Retrained.Mean)
+		}
+		fmt.Fprintf(out, "%-9.2f %-6.2f %-11.1f %-11.1f %-10.3f %s\n",
+			p.Severity, p.Yield, p.FleetFPS, p.FPS.Mean, p.Accuracy.Mean, retrained)
+	}
+	return nil
+}
+
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("refocus-loadgen", flag.ContinueOnError)
 	addr := fs.String("addr", "http://127.0.0.1:8080", "refocus-serve base URL")
@@ -139,6 +216,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	retries := fs.Int("retries", 8, "client retries per request")
 	seed := fs.Int64("seed", 1, "client backoff-jitter seed")
 	clientTimeout := fs.Duration("client-timeout", 0, "HTTP client timeout (0 keeps the client default; raise for long sweeps)")
+	severities := fs.String("severities", "0,0.5,1", "comma-separated fault-severity multipliers (robustness mode)")
+	trials := fs.Int("trials", 16, "Monte Carlo chips per severity level (robustness mode)")
+	campaignSeed := fs.Int64("campaign-seed", 1, "campaign master seed; same seed + spec = same campaign identity (robustness mode)")
+	retrain := fs.Bool("retrain", false, "also retrain the reference net through each trial's device model (robustness mode)")
+	pollInterval := fs.Duration("poll-interval", 2*time.Second, "campaign status polling interval (robustness mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -160,10 +242,24 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	switch *mode {
 	case "sweep":
 		return runSweep(ctx, client, out, *points, *stream, *preset, *network, *namePrefix, *addr)
+	case "robustness":
+		levels, err := parseSeverities(*severities)
+		if err != nil {
+			return err
+		}
+		spec := robust.Spec{
+			Preset:     *preset,
+			Network:    *network,
+			Severities: levels,
+			Trials:     *trials,
+			Seed:       *campaignSeed,
+			Retrain:    *retrain,
+		}
+		return runRobustness(ctx, client, out, spec, *pollInterval, *addr)
 	case "evaluate":
 		// fall through to the concurrent single-point load below
 	default:
-		return fmt.Errorf("refocus-loadgen: unknown -mode %q (evaluate|sweep)", *mode)
+		return fmt.Errorf("refocus-loadgen: unknown -mode %q (evaluate|sweep|robustness)", *mode)
 	}
 
 	start := time.Now()

@@ -29,7 +29,11 @@
 // instead of queueing without limit. -cache-dir layers a shared
 // content-addressed on-disk result store under the in-memory LRU:
 // results survive restarts, and every shard pointed at the same
-// directory deduplicates work cluster-wide. -max-spec-layers and
+// directory deduplicates work cluster-wide. It also durably checkpoints
+// POST /v1/robustness campaigns (under <cache-dir>/robustness, both
+// roles): a campaign interrupted by a crash or SIGKILL resumes from its
+// completed trials when the same spec is resubmitted to a process with
+// the same -cache-dir. -max-spec-layers and
 // -max-spec-gmacs bound inline NetworkSpec submissions (registry
 // networks are exempt); an over-limit spec is rejected with a structured
 // 422. The -chaos-* flags enable the opt-in fault-injection middleware
@@ -68,6 +72,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -179,6 +184,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 				return fmt.Errorf("refocus-serve: %w", err)
 			}
 			cfg.Store = store
+			cfg.CampaignDir = filepath.Join(*cacheDir, "robustness")
 		}
 		return serve.ListenAndServe(ctx, cfg, *addr, out)
 
@@ -207,6 +213,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			Limits:           limits,
 			Logger:           logger,
 			Trace:            tr,
+		}
+		if *cacheDir != "" {
+			cfg.CampaignDir = filepath.Join(*cacheDir, "robustness")
 		}
 		serveErr := cluster.ListenAndServe(ctx, cfg, *addr, out)
 		if tr != nil {

@@ -9,10 +9,14 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"os"
 	"strconv"
 	"time"
 
+	"refocus/internal/arch"
+	"refocus/internal/faults"
 	"refocus/internal/obs"
+	"refocus/internal/robust"
 	"refocus/internal/serve"
 	"refocus/internal/serveclient"
 )
@@ -47,6 +51,10 @@ type Config struct {
 	// MaxBodyBytes caps request body size; larger bodies get 413.
 	// Default 8 MiB (sweeps are batches; the worker default is 1 MiB).
 	MaxBodyBytes int64
+	// CampaignDir is the robustness-campaign checkpoint directory for
+	// campaigns the coordinator runs (trials fan out across the shards).
+	// Empty disables durability.
+	CampaignDir string
 	// Client is the template for the per-shard serveclient configuration
 	// (BaseURL is overwritten per shard). The zero value gets defaults
 	// tuned for fast failover: 1 retry, breaker threshold 2.
@@ -114,6 +122,7 @@ type Coordinator struct {
 	metrics *Metrics
 	mux     *http.ServeMux
 	logger  *slog.Logger
+	robust  *robust.Manager
 }
 
 // New builds a Coordinator and its per-shard clients.
@@ -142,12 +151,37 @@ func New(cfg Config) (*Coordinator, error) {
 		c.clients[s] = cl
 		c.sems[s] = make(chan struct{}, cfg.ShardConcurrency)
 	}
+	c.robust, err = robust.NewManager(robust.ManagerConfig{
+		Dir:  cfg.CampaignDir,
+		Eval: c.campaignEval,
+		// Trials fan out across the whole cluster, so the per-campaign
+		// bound scales with the fleet rather than one worker's pool.
+		Parallelism: cfg.ShardConcurrency * len(cfg.Shards),
+		Hooks: robust.Hooks{
+			CampaignStarted: func() {
+				c.metrics.robustCampaigns.Inc()
+				c.metrics.robustActive.Add(1)
+			},
+			CampaignDone:  func(error) { c.metrics.robustActive.Add(-1) },
+			TrialExecuted: func(robust.TrialResult) { c.metrics.robustTrials.Inc() },
+			TrialResumed:  func(robust.TrialResult) { c.metrics.robustResumed.Inc() },
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
 	c.mux.Handle("POST /v1/evaluate", c.instrument(c.handleEvaluate))
 	c.mux.Handle("POST /v1/sweep", c.instrument(c.handleSweep))
+	c.mux.Handle("POST /v1/robustness", c.instrument(c.handleRobustnessStart))
+	c.mux.Handle("GET /v1/robustness/{id}", c.instrument(c.handleRobustnessStatus))
 	c.mux.Handle("GET /healthz", c.instrument(c.handleHealthz))
 	c.mux.Handle("GET /metrics", c.instrument(c.handleMetrics))
 	return c, nil
 }
+
+// Close cancels any running robustness campaigns and waits for them to
+// unwind; their checkpoints survive for the next incarnation to resume.
+func (c *Coordinator) Close() { c.robust.Close() }
 
 // Handler returns the coordinator's HTTP handler (all routes).
 func (c *Coordinator) Handler() http.Handler { return c.mux }
@@ -212,6 +246,14 @@ func (c *Coordinator) dispatch(ctx context.Context, req serve.EvaluateRequest) (
 	if err != nil {
 		return serve.EvaluateResponse{}, "", err
 	}
+	return c.dispatchKeyed(ctx, req, key)
+}
+
+// dispatchKeyed is dispatch with the placement key supplied by the
+// caller — robustness campaigns route each trial by its trial seed, so
+// a fixed trial always lands on the same shard regardless of which
+// process (or incarnation) dispatches it.
+func (c *Coordinator) dispatchKeyed(ctx context.Context, req serve.EvaluateRequest, key string) (serve.EvaluateResponse, string, error) {
 	targets := c.ring.Successors(key, c.cfg.Attempts)
 	primary := targets[0]
 	clients := make([]*serveclient.Client, len(targets))
@@ -338,6 +380,104 @@ func (c *Coordinator) streamSweep(w http.ResponseWriter, n int, lines <-chan ser
 	}
 }
 
+// metricEnergy extracts energy per inference for geomean aggregation.
+var metricEnergy arch.Metric = func(r arch.Report) float64 { return r.Energy }
+
+// campaignEval is the robust.TrialEval backing coordinator-run
+// campaigns: each trial becomes an evaluate request dispatched onto the
+// ring by its trial-seed route key, riding the same hedged client chain
+// (retries, breaker, dead-shard failover) ordinary points use. A shed
+// trial (the whole chain answering 429) waits out the Retry-After and
+// redispatches — campaign work is deferrable by definition.
+func (c *Coordinator) campaignEval(ctx context.Context, spec robust.Spec, fs faults.FaultSet, routeKey string) (robust.TrialMetrics, error) {
+	req := serve.EvaluateRequest{
+		Preset:  spec.Preset,
+		Config:  spec.Config,
+		Network: spec.Network,
+	}
+	if !fs.IsZero() {
+		data, err := json.Marshal(fs.Canonical())
+		if err != nil {
+			return robust.TrialMetrics{}, err
+		}
+		req.Faults = data
+	}
+	for {
+		resp, _, err := c.dispatchKeyed(ctx, req, routeKey)
+		if err == nil {
+			return robust.TrialMetrics{
+				FPS:    arch.GeoMean(resp.Reports, arch.MetricFPS),
+				Energy: arch.GeoMean(resp.Reports, metricEnergy),
+			}, nil
+		}
+		var se *serveclient.StatusError
+		if !errors.As(err, &se) || se.Status != http.StatusTooManyRequests {
+			return robust.TrialMetrics{}, err
+		}
+		t := time.NewTimer(time.Second)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return robust.TrialMetrics{}, fmt.Errorf("cluster: campaign trial canceled during backoff: %w", ctx.Err())
+		}
+	}
+}
+
+// handleRobustnessStart serves POST /v1/robustness, mirroring the worker
+// tier's handler: validate the spec, start (or attach to / resume) the
+// campaign, answer 202/200 with its status — or stream NDJSON incumbent
+// updates when asked. The campaign itself runs in the coordinator
+// process; only its trials travel to the shards.
+func (c *Coordinator) handleRobustnessStart(w http.ResponseWriter, r *http.Request) {
+	var spec robust.Spec
+	if err := c.decodeBody(w, r, &spec); err != nil {
+		c.writeError(w, err)
+		return
+	}
+	job, created, err := c.robust.Start(spec)
+	if err != nil {
+		if errors.Is(err, robust.ErrBusy) {
+			w.Header().Set("Retry-After", "5")
+			c.writeJSON(w, http.StatusTooManyRequests,
+				serve.ErrorResponse{Error: err.Error(), Status: http.StatusTooManyRequests})
+			return
+		}
+		c.writeError(w, serve.BadRequest(err))
+		return
+	}
+	if serve.WantsNDJSON(r) {
+		robust.StreamUpdates(w, r, job, c.metrics.stream.Inc)
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusAccepted
+	}
+	c.writeJSON(w, status, job.Status())
+}
+
+// handleRobustnessStatus serves GET /v1/robustness/{id} from the live
+// job or the checkpoint on disk.
+func (c *Coordinator) handleRobustnessStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if job, ok := c.robust.Get(id); ok {
+		c.writeJSON(w, http.StatusOK, job.Status())
+		return
+	}
+	st, err := c.robust.StatusFromDisk(id)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			c.writeJSON(w, http.StatusNotFound,
+				serve.ErrorResponse{Error: fmt.Sprintf("cluster: no campaign %q", id), Status: http.StatusNotFound})
+			return
+		}
+		c.writeError(w, err)
+		return
+	}
+	c.writeJSON(w, http.StatusOK, st)
+}
+
 // HealthResponse is the coordinator's /healthz payload.
 type HealthResponse struct {
 	// Status is "ok" whenever the coordinator itself is up — shard
@@ -372,6 +512,7 @@ func ListenAndServe(ctx context.Context, cfg Config, addr string, out io.Writer)
 	if err != nil {
 		return err
 	}
+	defer c.Close()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("cluster: %w", err)

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"refocus/internal/obs"
+	"refocus/internal/serve"
 )
 
 // Metrics aggregates the coordinator's counters on an obs.Registry,
@@ -21,6 +22,11 @@ type Metrics struct {
 	points    *obs.Counter
 	pointErrs *obs.Counter
 	stream    *obs.Counter
+
+	robustCampaigns *obs.Counter
+	robustTrials    *obs.Counter
+	robustResumed   *obs.Counter
+	robustActive    atomic.Int64
 }
 
 // shardMetrics is one shard's routing counters.
@@ -36,14 +42,19 @@ type shardMetrics struct {
 func newClusterMetrics(shards []string) *Metrics {
 	reg := obs.NewRegistry()
 	m := &Metrics{
-		reg:       reg,
-		perShard:  make(map[string]*shardMetrics, len(shards)),
-		points:    reg.Counter("refocus_cluster_points_total", "Evaluate requests dispatched by the coordinator (sweep points and single evaluates).", nil),
-		pointErrs: reg.Counter("refocus_cluster_point_errors_total", "Dispatched points that failed on every ring successor (client-visible losses).", nil),
-		stream:    reg.Counter("refocus_cluster_stream_lines_total", "Sweep results delivered over the coordinator's NDJSON streaming lane.", nil),
+		reg:             reg,
+		perShard:        make(map[string]*shardMetrics, len(shards)),
+		points:          reg.Counter("refocus_cluster_points_total", "Evaluate requests dispatched by the coordinator (sweep points and single evaluates).", nil),
+		pointErrs:       reg.Counter("refocus_cluster_point_errors_total", "Dispatched points that failed on every ring successor (client-visible losses).", nil),
+		stream:          reg.Counter("refocus_cluster_stream_lines_total", "Sweep results delivered over the coordinator's NDJSON streaming lane.", nil),
+		robustCampaigns: reg.Counter("refocus_robustness_campaigns_total", "Robustness campaigns started on this coordinator (resumed campaigns count again).", nil),
+		robustTrials:    reg.Counter("refocus_robustness_trials_total", "Robustness Monte Carlo trials dispatched across the shards by this coordinator.", nil),
+		robustResumed:   reg.Counter("refocus_robustness_trials_resumed_total", "Robustness trials recovered from checkpoints instead of redispatched.", nil),
 	}
 	reg.Gauge("refocus_cluster_in_flight", "Requests currently inside a coordinator handler.", nil,
 		func() float64 { return float64(m.inFlight.Load()) })
+	reg.Gauge("refocus_robustness_active_campaigns", "Robustness campaigns currently running on this coordinator.", nil,
+		func() float64 { return float64(m.robustActive.Load()) })
 	for _, s := range shards {
 		labels := obs.Labels{"shard": s}
 		m.perShard[s] = &shardMetrics{
@@ -102,6 +113,9 @@ type Snapshot struct {
 	Hedges    int64
 	// StreamLines counts results delivered over the NDJSON lane.
 	StreamLines int64
+	// Robustness aggregates the coordinator-run campaign engine's
+	// counters (same shape as the worker tier's).
+	Robustness serve.RobustnessStats
 	// Shards maps shard base URL to its routing counters.
 	Shards map[string]ShardStats
 }
@@ -113,7 +127,13 @@ func (m *Metrics) snapshot() Snapshot {
 		Points:      m.points.Value(),
 		PointErrors: m.pointErrs.Value(),
 		StreamLines: m.stream.Value(),
-		Shards:      make(map[string]ShardStats),
+		Robustness: serve.RobustnessStats{
+			Campaigns:     m.robustCampaigns.Value(),
+			Active:        m.robustActive.Load(),
+			Trials:        m.robustTrials.Value(),
+			TrialsResumed: m.robustResumed.Value(),
+		},
+		Shards: make(map[string]ShardStats),
 	}
 	m.mu.Lock()
 	rows := make(map[string]*shardMetrics, len(m.perShard))

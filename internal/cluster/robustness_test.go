@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"refocus/internal/robust"
+)
+
+// campaignBody is the tiny real campaign of the serve handler tests: 2
+// severities x 2 trials on the fb preset with a minimal reference task.
+const campaignBody = `{
+	"Preset": "fb", "Network": "ResNet-18",
+	"Severities": [0, 1.5], "Trials": 2, "Seed": 5,
+	"Model": {"RFCUFailProb": 0.15, "WavelengthFailProb": 0.05, "BufferLossSigmaDB": 0.4},
+	"Task": {"Classes": 2, "Size": 4, "TrainSamples": 6, "TestSamples": 4, "Epochs": 1, "LearningRate": 0.05}
+}`
+
+// TestCoordinatorRobustnessCampaign: a campaign submitted to the
+// coordinator runs its trials through ring dispatch across real worker
+// shards and completes with the same frontier contract as a worker-local
+// campaign.
+func TestCoordinatorRobustnessCampaign(t *testing.T) {
+	coord, url, shards, _ := testCluster(t, 2, nil)
+	t.Cleanup(coord.Close)
+
+	code, body := postJSON(t, url+"/v1/robustness", campaignBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit answered %d: %s", code, body)
+	}
+	var st robust.StatusResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.TotalTrials != 4 {
+		t.Fatalf("submit response missing identity or budget: %+v", st)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for st.Status == robust.StatusRunning {
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign still running at deadline: %+v", st)
+		}
+		time.Sleep(50 * time.Millisecond)
+		resp, err := http.Get(url + "/v1/robustness/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("status poll answered %d (%v): %s", resp.StatusCode, err, data)
+		}
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Status != robust.StatusDone {
+		t.Fatalf("campaign ended %q: %s", st.Status, st.Error)
+	}
+	if st.ExecutedTrials != 4 || len(st.Frontier) != 2 {
+		t.Fatalf("executed=%d frontier=%d, want 4 trials and 2 points", st.ExecutedTrials, len(st.Frontier))
+	}
+	if st.NominalFPS <= 0 || st.Frontier[0].FPS.Mean <= 0 {
+		t.Errorf("campaign baselines missing: %+v", st)
+	}
+
+	// Every trial plus the nominal evaluation was dispatched to a shard
+	// (5 points), and real work landed on the fleet — the shard caches
+	// may deduplicate zero-fault trials against the nominal point, so
+	// only the dispatch count is exact.
+	m := coord.MetricsSnapshot()
+	if m.Points < 5 {
+		t.Errorf("coordinator dispatched %d points, want >= 5 (4 trials + nominal)", m.Points)
+	}
+	if m.Robustness.Campaigns != 1 || m.Robustness.Trials != 4 {
+		t.Errorf("coordinator robustness metrics: %+v", m.Robustness)
+	}
+	var evals int64
+	for _, s := range shards {
+		evals += s.MetricsSnapshot().Evaluations
+	}
+	if evals < 1 {
+		t.Error("no evaluation executed on any shard")
+	}
+
+	// Unknown campaign IDs answer 404 at the coordinator tier too.
+	resp, err := http.Get(url + "/v1/robustness/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown campaign answered %d, want 404", resp.StatusCode)
+	}
+}

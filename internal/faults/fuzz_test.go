@@ -1,0 +1,125 @@
+package faults
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"refocus/internal/arch"
+)
+
+// FuzzParseFaultSet: any JSON Parse accepts must survive a canonical
+// round trip — Canonical encodes, the encoding reparses, and the
+// reparse canonicalizes to the same bytes and hash. The fault-set hash
+// is a cache-key component, so an unstable encoding would let one chip
+// serve another chip's degraded report.
+func FuzzParseFaultSet(f *testing.F) {
+	canonJSON, err := json.Marshal(namedFaultSet().Canonical())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(canonJSON)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"Name":"x","DeadRFCUs":[11,3],"DeadWavelengths":{"5":[1,0]}}`))
+	f.Add([]byte(`{"BufferExcessLossDB":0.5,"ADCEnergyFactor":1.2,"PDResponsivityDrop":0.1}`))
+	f.Add([]byte(`{"MaxDynamicRange":64}`))
+	f.Add([]byte(`{"DeadRFCUs":[-1]}`))
+	f.Add([]byte(`{"Unknown":true}`))
+	f.Add([]byte(`{} trailing`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fs, err := Parse(data)
+		if err != nil {
+			return
+		}
+		canon, err := json.Marshal(fs.Canonical())
+		if err != nil {
+			t.Fatalf("parsed fault set fails to encode: %v", err)
+		}
+		fs2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical encoding fails to reparse: %v", err)
+		}
+		canon2, err := json.Marshal(fs2.Canonical())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(canon, canon2) {
+			t.Fatalf("canonical form unstable:\n%s\n%s", canon, canon2)
+		}
+		h1, err := fs.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := fs2.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Fatalf("hash unstable across round trip: %s vs %s", h1, h2)
+		}
+		if fs.IsZero() != fs2.IsZero() {
+			t.Fatalf("IsZero flipped across round trip: %v vs %v", fs.IsZero(), fs2.IsZero())
+		}
+	})
+}
+
+// TestYieldSweepZeroTrials: a sweep with no trial budget is a config
+// error, not a silent empty result a caller could mistake for yield 0.
+func TestYieldSweepZeroTrials(t *testing.T) {
+	for _, trials := range []int{0, -3} {
+		_, err := YieldSweep(context.Background(), arch.FB(), yieldNets(t),
+			MonteCarloModel{RFCUFailProb: 0.1}, trials, 1)
+		if err == nil || !strings.Contains(err.Error(), "need at least 1") {
+			t.Errorf("trials=%d: err %v, want a trial-budget error", trials, err)
+		}
+	}
+}
+
+// TestResilienceCurveRejectsDegenerate: a curve needs at least two
+// points and a positive loss range to sweep.
+func TestResilienceCurveRejectsDegenerate(t *testing.T) {
+	for name, call := range map[string]func() ([]ResiliencePoint, error){
+		"one step":      func() ([]ResiliencePoint, error) { return ResilienceCurve(arch.FB(), 4, 1) },
+		"zero steps":    func() ([]ResiliencePoint, error) { return ResilienceCurve(arch.FB(), 4, 0) },
+		"zero range":    func() ([]ResiliencePoint, error) { return ResilienceCurve(arch.FB(), 0, 8) },
+		"negative loss": func() ([]ResiliencePoint, error) { return ResilienceCurve(arch.FB(), -2, 8) },
+	} {
+		if _, err := call(); err == nil {
+			t.Errorf("%s: accepted a degenerate resilience curve", name)
+		}
+	}
+}
+
+// TestDegradeAllButOneWavelength: killing every wavelength on every
+// unit except one leaves a machine that still runs — at the worst
+// survivor's parallelism — while one more dead wavelength tips it into
+// ErrNothingRuns. Pins the exact boundary of the §5.3 remap.
+func TestDegradeAllButOneWavelength(t *testing.T) {
+	cfg := arch.FB()
+	lams := make(map[int][]int, cfg.NRFCU)
+	for i := 0; i < cfg.NRFCU; i++ {
+		all := make([]int, 0, cfg.NLambda)
+		for l := 0; l < cfg.NLambda; l++ {
+			if i == 0 && l == 0 {
+				continue // the lone survivor
+			}
+			all = append(all, l)
+		}
+		lams[i] = all
+	}
+	_, deg, err := (FaultSet{DeadWavelengths: lams}).Degrade(cfg)
+	if err != nil {
+		t.Fatalf("one-wavelength machine refused to run: %v", err)
+	}
+	if deg.HealthyRFCUs != 1 || deg.EffectiveLambda != 1 {
+		t.Errorf("one-wavelength machine degraded to %d units x %d lambda, want 1x1", deg.HealthyRFCUs, deg.EffectiveLambda)
+	}
+	lams[0] = append(lams[0], 0)
+	_, _, err = (FaultSet{DeadWavelengths: lams}).Degrade(cfg)
+	if !errors.Is(err, ErrNothingRuns) {
+		t.Errorf("fully dark machine: err %v, want ErrNothingRuns", err)
+	}
+}

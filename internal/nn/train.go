@@ -52,6 +52,19 @@ func NewTrainableNet(rng *rand.Rand, inC, f1, f2, classes int) *TrainableNet {
 	}
 }
 
+// Clone returns a deep copy of the parameters with empty forward caches.
+// Forward mutates the receiver's caches, so a shared trained net must be
+// cloned before concurrent use — one clone per goroutine — which is
+// exactly how the robustness campaigns evaluate one reference net across
+// many parallel device trials.
+func (n *TrainableNet) Clone() *TrainableNet {
+	return &TrainableNet{
+		Conv1: n.Conv1.Clone(),
+		Conv2: n.Conv2.Clone(),
+		Head:  n.Head.Clone(),
+	}
+}
+
 // Forward runs input [C,H,W] (H, W divisible by 4) through the network
 // with the supplied convolution implementation, returning the logits and
 // caching intermediates for Backward.

@@ -25,10 +25,15 @@ type CompensationResult struct {
 	Recovered float64
 }
 
-// deviceConv builds a ConvFunc running through a JTC engine whose
+// DeviceConv builds a ConvFunc running through a JTC engine whose
 // correlator carries the device's fixed-pattern detector gains plus the
-// stochastic noise model (quantization off, isolating the analog effects).
-func deviceConv(sigmaFixed float64, deviceSeed int64, model optics.NoiseModel, rng *rand.Rand) nn.ConvFunc {
+// stochastic noise model (quantization off, isolating the analog
+// effects). deviceSeed fixes the device's calibration — the same seed
+// always yields the same fixed-pattern gains — while rng drives the
+// stochastic per-readout noise. The robustness campaigns build one of
+// these per Monte Carlo trial, seeded from the trial, so accuracy
+// results are reproducible independent of execution order.
+func DeviceConv(sigmaFixed float64, deviceSeed int64, model optics.NoiseModel, rng *rand.Rand) nn.ConvFunc {
 	cfg := jtc.DefaultEngineConfig()
 	cfg.Quant = jtc.QuantConfig{}
 	corr := FixedPatternCorrelator(jtc.DigitalCorrelator, sigmaFixed, deviceSeed)
@@ -36,12 +41,13 @@ func deviceConv(sigmaFixed float64, deviceSeed int64, model optics.NoiseModel, r
 	return nn.JTCConv(jtc.NewEngine(cfg))
 }
 
-// confusableTask builds a deliberately hard variant of the prototype task:
+// ConfusableTask builds a deliberately hard variant of the prototype task:
 // all classes share a common base pattern and differ only by a small
 // class-specific delta, so decision margins are thin and analog noise
 // actually costs accuracy (the easy task of nn.SyntheticTask is solved
-// perfectly even under heavy noise — margins absorb it).
-func confusableTask(rng *rand.Rand, classes, size, trainN, testN int, delta, pixelNoise float64) (train, test []nn.TrainSample) {
+// perfectly even under heavy noise — margins absorb it). Deterministic
+// for a given rng state.
+func ConfusableTask(rng *rand.Rand, classes, size, trainN, testN int, delta, pixelNoise float64) (train, test []nn.TrainSample) {
 	base := make([]float64, size*size)
 	for i := range base {
 		if rng.Float64() < 0.4 {
@@ -92,7 +98,7 @@ func tensorFrom(flat []float64, size int) nn.TrainSample {
 // the noisy datapath. Deterministic for a given seed.
 func TrainingCompensation(seed int64, sigmaFixed float64, model optics.NoiseModel) CompensationResult {
 	rng := rand.New(rand.NewSource(seed))
-	train, test := confusableTask(rng, 4, 8, 96, 80, 0.6, 0.15)
+	train, test := ConfusableTask(rng, 4, 8, 96, 80, 0.6, 0.15)
 	deviceSeed := seed * 31
 
 	clean := nn.NewTrainableNet(rand.New(rand.NewSource(seed+1)), 1, 4, 8, 4)
@@ -101,10 +107,10 @@ func TrainingCompensation(seed int64, sigmaFixed float64, model optics.NoiseMode
 	// The noise-aware net trains through a model of the *same device*
 	// (its calibrated fixed pattern) plus stochastic noise.
 	aware := nn.NewTrainableNet(rand.New(rand.NewSource(seed+1)), 1, 4, 8, 4)
-	aware.Train(train, deviceConv(sigmaFixed, deviceSeed, model, rand.New(rand.NewSource(seed+3))), 0.05, 12, rand.New(rand.NewSource(seed+2)))
+	aware.Train(train, DeviceConv(sigmaFixed, deviceSeed, model, rand.New(rand.NewSource(seed+3))), 0.05, 12, rand.New(rand.NewSource(seed+2)))
 
 	evalConv := func(s int64) nn.ConvFunc {
-		return deviceConv(sigmaFixed, deviceSeed, model, rand.New(rand.NewSource(s)))
+		return DeviceConv(sigmaFixed, deviceSeed, model, rand.New(rand.NewSource(s)))
 	}
 	res := CompensationResult{
 		CleanTrainCleanEval: clean.Accuracy(test, nn.ReferenceConv),

@@ -1,0 +1,84 @@
+package robust
+
+import (
+	"math/rand"
+
+	"refocus/internal/nn"
+	"refocus/internal/noise"
+	"refocus/internal/optics"
+)
+
+// Reference-net shape and task hardness, fixed across campaigns so
+// accuracy numbers are comparable between specs: the conv channel widths
+// of the §7.2 net and the confusable-task margins from
+// noise.TrainingCompensation.
+const (
+	harnessF1            = 4
+	harnessF2            = 8
+	confusableDelta      = 0.6
+	confusablePixelNoise = 0.15
+)
+
+// harness owns the campaign's accuracy side: the reference task, the
+// clean-trained reference net, and per-trial device evaluation. Building
+// one trains the clean net once; per-trial calls clone it, so the
+// harness is safe for concurrent trials.
+type harness struct {
+	spec  Spec
+	train []nn.TrainSample
+	test  []nn.TrainSample
+	clean *nn.TrainableNet
+	// cleanAccuracy is the clean net's accuracy on the clean digital
+	// datapath — the campaign's accuracy ceiling.
+	cleanAccuracy float64
+}
+
+// newHarness builds the task and trains the clean reference net, all
+// seeded from the campaign seed (roles split with fixed offsets, the
+// noise-package seeding idiom).
+func newHarness(spec Spec) *harness {
+	t := spec.Task
+	rng := rand.New(rand.NewSource(spec.Seed))
+	train, test := noise.ConfusableTask(rng, t.Classes, t.Size, t.TrainSamples, t.TestSamples, confusableDelta, confusablePixelNoise)
+	clean := nn.NewTrainableNet(rand.New(rand.NewSource(spec.Seed+1)), 1, harnessF1, harnessF2, t.Classes)
+	clean.Train(train, nn.ReferenceConv, t.LearningRate, t.Epochs, rand.New(rand.NewSource(spec.Seed+2)))
+	return &harness{
+		spec:          spec,
+		train:         train,
+		test:          test,
+		clean:         clean,
+		cleanAccuracy: clean.Accuracy(test, nn.ReferenceConv),
+	}
+}
+
+// conv builds the trial device's forward path: the severity-scaled fixed
+// calibration pattern keyed by the trial seed plus severity-scaled
+// stochastic detector noise. The same (seed, severity) always yields the
+// same device.
+func (h *harness) conv(seed int64, severity float64) nn.ConvFunc {
+	d := h.spec.Device
+	model := optics.NoiseModel{
+		ReadSigma: d.ReadSigma * severity,
+		ShotCoeff: d.ShotCoeff * severity,
+		RINSigma:  d.RINSigma * severity,
+	}
+	return noise.DeviceConv(d.FixedPatternSigma*severity, seed, model, rand.New(rand.NewSource(seed+1)))
+}
+
+// accuracy evaluates the clean-trained reference net on this trial's
+// device — what a conventionally trained model loses on the degraded
+// analog datapath. The shared net is cloned per call (Forward mutates
+// caches), keeping concurrent trials race-free.
+func (h *harness) accuracy(seed int64, severity float64) float64 {
+	return h.clean.Clone().Accuracy(h.test, h.conv(seed, severity))
+}
+
+// retrain trains a fresh net through this trial's device model
+// (straight-through gradients, the §7.2 compensation path) and evaluates
+// it on an independent noise draw of the same device.
+func (h *harness) retrain(seed int64, severity float64) float64 {
+	t := h.spec.Task
+	net := nn.NewTrainableNet(rand.New(rand.NewSource(h.spec.Seed+1)), 1, harnessF1, harnessF2, t.Classes)
+	net.Train(h.train, h.conv(seed, severity), t.LearningRate, t.Epochs, rand.New(rand.NewSource(seed+2)))
+	return net.Accuracy(h.test, h.conv(seed+3, severity))
+}

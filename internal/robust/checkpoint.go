@@ -1,0 +1,139 @@
+package robust
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+)
+
+// checkpointVersion guards the on-disk schema; a loader refuses a file
+// written by an incompatible future format instead of misreading it.
+const checkpointVersion = 1
+
+// tmpSeq distinguishes concurrent temp files within one process (the
+// DiskStore idiom: pid + sequence, then an atomic rename).
+var tmpSeq atomic.Int64
+
+// TrialResult is one completed Monte Carlo trial — the checkpoint's unit
+// of durability and the frontier's raw material. Every field derives
+// deterministically from (Spec, Severity, Trial), so a resumed campaign
+// reproduces missing trials bit-for-bit.
+type TrialResult struct {
+	// Severity indexes Spec.Severities; Trial indexes [0, Spec.Trials).
+	Severity int
+	Trial    int
+	// Seed is TrialSeed(spec.Seed, Severity, Trial), recorded so a trial
+	// can be replayed standalone.
+	Seed int64
+	// Failed marks a hard chip failure (faults.ErrNothingRuns): no
+	// compute path survives, so the trial counts against yield and is
+	// excluded from the throughput and accuracy distributions.
+	Failed bool `json:",omitempty"`
+	// FPS and Energy are the degraded machine's geomean throughput and
+	// energy per inference across the spec's networks (zero when Failed).
+	FPS    float64 `json:",omitempty"`
+	Energy float64 `json:",omitempty"`
+	// HealthyRFCUs, EffectiveLambda and EffectiveReuses summarize the
+	// fault remapping (the Degradation record's load-bearing fields).
+	HealthyRFCUs    int `json:",omitempty"`
+	EffectiveLambda int `json:",omitempty"`
+	EffectiveReuses int `json:",omitempty"`
+	// Accuracy is the clean-trained reference net's accuracy on this
+	// trial's device datapath (zero when Failed).
+	Accuracy float64 `json:",omitempty"`
+	// RetrainedAccuracy is the accuracy after retraining through the
+	// device model; present only on Retrain campaigns.
+	RetrainedAccuracy *float64 `json:",omitempty"`
+}
+
+// Checkpoint is the durable campaign state: the defaulted spec, every
+// completed trial, and — once the campaign finishes — the final
+// frontier. It is written atomically (temp file + rename) after every
+// completed trial, so a SIGKILL at any instant leaves either the
+// previous checkpoint or the next one, never a torn file.
+type Checkpoint struct {
+	// Version is the schema version (checkpointVersion).
+	Version int
+	// ID is the campaign identity the file belongs to; a loader rejects
+	// a mismatch rather than resuming someone else's trials.
+	ID string
+	// Spec is the defaulted campaign spec.
+	Spec Spec
+	// Done lists completed trials sorted by (Severity, Trial).
+	Done []TrialResult
+	// NominalFPS and CleanAccuracy are the campaign-level baselines,
+	// present once the campaign finished.
+	NominalFPS    float64 `json:",omitempty"`
+	CleanAccuracy float64 `json:",omitempty"`
+	// Frontier is the final per-severity frontier; non-nil only when the
+	// campaign ran to completion (its presence is how a status probe
+	// tells "done" from "interrupted").
+	Frontier []FrontierPoint `json:",omitempty"`
+}
+
+// CheckpointPath names a campaign's checkpoint file inside dir.
+func CheckpointPath(dir, id string) string {
+	return filepath.Join(dir, "campaign-"+id+".json")
+}
+
+// LoadCheckpoint reads and validates a checkpoint file. A missing file
+// returns an error satisfying errors.Is(err, os.ErrNotExist) — the
+// normal first-run case callers test for.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var cp Checkpoint
+	if err := dec.Decode(&cp); err != nil {
+		return nil, fmt.Errorf("robust: parsing checkpoint %s: %w", path, err)
+	}
+	if cp.Version != checkpointVersion {
+		return nil, fmt.Errorf("robust: checkpoint %s has version %d, want %d", path, cp.Version, checkpointVersion)
+	}
+	if cp.ID == "" {
+		return nil, fmt.Errorf("robust: checkpoint %s carries no campaign ID", path)
+	}
+	return &cp, nil
+}
+
+// writeCheckpoint persists cp atomically into its path: marshal, write a
+// uniquely named temp file in the same directory, rename over the
+// destination. Readers never observe a partial file, and a crash leaves
+// at most a stale temp file behind.
+func writeCheckpoint(path string, cp *Checkpoint) error {
+	data, err := json.MarshalIndent(cp, "", " ")
+	if err != nil {
+		return fmt.Errorf("robust: encoding checkpoint: %w", err)
+	}
+	tmp := fmt.Sprintf("%s.tmp.%d.%d", path, os.Getpid(), tmpSeq.Add(1))
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("robust: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("robust: committing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// sortResults orders trials by (Severity, Trial) — the canonical
+// checkpoint and frontier order, independent of completion order.
+func sortResults(ts []TrialResult) {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Severity != ts[j].Severity {
+			return ts[i].Severity < ts[j].Severity
+		}
+		return ts[i].Trial < ts[j].Trial
+	})
+}
+
+// errWrongCampaign reports a checkpoint/campaign identity mismatch.
+var errWrongCampaign = errors.New("robust: checkpoint belongs to a different campaign")

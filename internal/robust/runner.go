@@ -1,0 +1,451 @@
+package robust
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+
+	"refocus/internal/arch"
+	"refocus/internal/faults"
+)
+
+// TrialMetrics is the throughput side of one surviving trial: geomean
+// FPS and energy per inference across the spec's networks, produced by
+// whatever TrialEval backs the campaign.
+type TrialMetrics struct {
+	// FPS is the degraded machine's geomean frames/s; Energy its geomean
+	// energy per inference.
+	FPS    float64
+	Energy float64
+}
+
+// TrialEval evaluates the degraded design point of one trial. The serve
+// tier implements it on top of its cached, admission-controlled worker
+// pool; the cluster tier dispatches it across shards by routeKey (the
+// campaign ID + trial seed, so a fixed trial always lands on the same
+// shard and rides the ring's dead-shard failover); DirectEval evaluates
+// in-process. A zero fault set asks for the nominal (healthy) machine.
+type TrialEval func(ctx context.Context, spec Spec, fs faults.FaultSet, routeKey string) (TrialMetrics, error)
+
+// metricEnergy extracts energy per inference for geomean aggregation.
+var metricEnergy arch.Metric = func(r arch.Report) float64 { return r.Energy }
+
+// DirectEval returns a TrialEval that evaluates in-process with no
+// cache or admission control — unit tests, offline tools and any caller
+// that does not sit behind the serving tier.
+func DirectEval() TrialEval {
+	return func(ctx context.Context, spec Spec, fs faults.FaultSet, _ string) (TrialMetrics, error) {
+		cfg, err := spec.ResolveConfig()
+		if err != nil {
+			return TrialMetrics{}, err
+		}
+		nets, err := spec.ResolveNetworks()
+		if err != nil {
+			return TrialMetrics{}, err
+		}
+		var reports []arch.Report
+		if fs.IsZero() {
+			reports, err = arch.EvaluateAllCtx(ctx, cfg, nets)
+		} else {
+			var degraded []faults.Report
+			degraded, err = faults.EvaluateAllCtx(ctx, cfg, fs, nets)
+			if err == nil {
+				reports = make([]arch.Report, len(degraded))
+				for i, d := range degraded {
+					reports[i] = d.Report
+				}
+			}
+		}
+		if err != nil {
+			return TrialMetrics{}, err
+		}
+		return TrialMetrics{
+			FPS:    arch.GeoMean(reports, arch.MetricFPS),
+			Energy: arch.GeoMean(reports, metricEnergy),
+		}, nil
+	}
+}
+
+// FrontierPoint is one severity level of the accuracy/yield/throughput
+// frontier: how a fleet of chips manufactured at that fault severity
+// performs. While a campaign runs, incumbent points cover the trials
+// completed so far; the final frontier covers all of them.
+type FrontierPoint struct {
+	// Severity is the fault-model multiplier; SeverityIndex its position
+	// in the spec's grid.
+	Severity      float64
+	SeverityIndex int
+	// Trials counts completed trials at this severity so far; Failed the
+	// hard chip failures among them (no compute path). Yield is the
+	// surviving fraction.
+	Trials int
+	Failed int
+	Yield  float64
+	// FPS and Accuracy summarize the survivors (zero-valued when none
+	// survive — a dead fleet has no throughput, not zero throughput).
+	FPS      faults.Distribution
+	Accuracy faults.Distribution
+	// Retrained is the post-retraining accuracy distribution, present on
+	// Retrain campaigns with at least one survivor.
+	Retrained *faults.Distribution `json:",omitempty"`
+	// FleetFPS is yield-weighted mean throughput — the frontier's
+	// throughput axis: what a wafer of these chips delivers per die sold.
+	FleetFPS float64
+}
+
+// Update is one line of a campaign's NDJSON incumbent stream.
+type Update struct {
+	// Type is "trial" while the campaign runs, then a final "done" or
+	// "failed" line.
+	Type string
+	// Completed counts finished trials (resumed included) out of Total.
+	Completed int
+	Total     int
+	// Incumbent is the refreshed frontier point for the severity the
+	// just-finished trial belongs to (absent on the resume-progress and
+	// final lines).
+	Incumbent *FrontierPoint `json:",omitempty"`
+	// Status carries the full final state on the last line.
+	Status *StatusResponse `json:",omitempty"`
+}
+
+// Hooks observes campaign events, letting the serving tier count
+// metrics without this package importing it. All fields are optional.
+// Runner fires only the trial-level hooks; Manager fires the campaign-
+// level pair.
+type Hooks struct {
+	// CampaignStarted fires when a campaign job begins running;
+	// CampaignDone when it finishes (err nil on success).
+	CampaignStarted func()
+	CampaignDone    func(err error)
+	// TrialExecuted fires for every trial computed in this process;
+	// TrialResumed for every trial skipped because a checkpoint already
+	// held its result.
+	TrialExecuted func(TrialResult)
+	TrialResumed  func(TrialResult)
+}
+
+// Result is a completed campaign.
+type Result struct {
+	// ID is the campaign identity; Spec the defaulted spec it ran.
+	ID   string
+	Spec Spec
+	// NominalFPS is the healthy design point's geomean throughput;
+	// CleanAccuracy the reference net's accuracy on the clean digital
+	// datapath — the two baselines the frontier degrades from.
+	NominalFPS    float64
+	CleanAccuracy float64
+	// Frontier is the final per-severity frontier, in severity order.
+	Frontier []FrontierPoint
+	// Executed counts trials computed in this process, Resumed the ones
+	// recovered from the checkpoint, FailedChips the hard failures among
+	// all of them. Executed+Resumed always equals the trial budget — a
+	// resumed campaign never recomputes (duplicates) a checkpointed
+	// trial.
+	Executed    int
+	Resumed     int
+	FailedChips int
+}
+
+// Runner executes one campaign: Monte Carlo trials over the severity
+// grid with bounded parallelism, checkpointing after every trial, and
+// per-trial seeds independent of execution order. Fields are read-only
+// once Run starts.
+type Runner struct {
+	// Spec is the defaulted, validated campaign spec; ID its identity.
+	Spec Spec
+	ID   string
+	// Dir is the checkpoint directory; "" disables durability.
+	Dir string
+	// Eval evaluates each trial's degraded throughput (required).
+	Eval TrialEval
+	// Parallelism bounds concurrent trials; <1 defaults to 2.
+	Parallelism int
+	// Hooks observes trial completion/resume events.
+	Hooks Hooks
+	// OnUpdate receives incumbent updates as trials finish (may be nil).
+	// Called without internal locks held, possibly concurrently.
+	OnUpdate func(Update)
+}
+
+// trialKey addresses one (severity, trial) cell.
+type trialKey struct {
+	sev, trial int
+}
+
+// update emits u when a sink is attached.
+func (r *Runner) update(u Update) {
+	if r.OnUpdate != nil {
+		r.OnUpdate(u)
+	}
+}
+
+// Run executes the campaign until done, canceled, or the first hard
+// error. It loads any existing checkpoint first and computes only the
+// missing trials; the returned frontier is byte-for-byte the one an
+// uninterrupted run with the same spec produces.
+func (r *Runner) Run(ctx context.Context) (*Result, error) {
+	if r.Eval == nil {
+		return nil, errors.New("robust: Runner.Eval is required")
+	}
+	spec := r.Spec
+	cfg, err := spec.ResolveConfig()
+	if err != nil {
+		return nil, err
+	}
+	total := len(spec.Severities) * spec.Trials
+
+	done := make(map[trialKey]TrialResult, total)
+	path := ""
+	if r.Dir != "" {
+		if err := os.MkdirAll(r.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("robust: checkpoint dir: %w", err)
+		}
+		path = CheckpointPath(r.Dir, r.ID)
+		cp, err := LoadCheckpoint(path)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// First run: nothing to resume.
+		case err != nil:
+			return nil, err
+		case cp.ID != r.ID:
+			return nil, fmt.Errorf("%w: file %s holds %s, want %s", errWrongCampaign, path, cp.ID, r.ID)
+		default:
+			for _, t := range cp.Done {
+				if t.Severity >= 0 && t.Severity < len(spec.Severities) && t.Trial >= 0 && t.Trial < spec.Trials {
+					done[trialKey{t.Severity, t.Trial}] = t
+				}
+			}
+		}
+	}
+	resumed := len(done)
+	if h := r.Hooks.TrialResumed; h != nil {
+		for _, t := range done {
+			h(t)
+		}
+	}
+
+	// Baselines: the clean reference net (trains once per campaign) and
+	// the healthy design point's throughput.
+	har := newHarness(spec)
+	nominal, err := r.Eval(ctx, spec, faults.FaultSet{}, r.ID+"|nominal")
+	if err != nil {
+		return nil, fmt.Errorf("robust: nominal evaluation: %w", err)
+	}
+	if resumed > 0 {
+		r.update(Update{Type: "trial", Completed: resumed, Total: total})
+	}
+
+	var pending []trialKey
+	for s := range spec.Severities {
+		for t := 0; t < spec.Trials; t++ {
+			if _, ok := done[trialKey{s, t}]; !ok {
+				pending = append(pending, trialKey{s, t})
+			}
+		}
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+	}
+	workers := r.Parallelism
+	if workers < 1 {
+		workers = 2
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	next := make(chan trialKey)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range next {
+				t, err := r.runTrial(cctx, cfg, har, k.sev, k.trial)
+				var u Update
+				mu.Lock()
+				if err != nil {
+					fail(err)
+					mu.Unlock()
+					continue
+				}
+				done[k] = t
+				point := partialPoint(spec, done, k.sev)
+				u = Update{Type: "trial", Completed: len(done), Total: total, Incumbent: &point}
+				if path != "" {
+					if werr := writeCheckpoint(path, r.checkpoint(done, nil, 0, 0)); werr != nil {
+						fail(werr)
+					}
+				}
+				mu.Unlock()
+				if h := r.Hooks.TrialExecuted; h != nil {
+					h(t)
+				}
+				r.update(u)
+			}
+		}()
+	}
+feed:
+	for _, k := range pending {
+		select {
+		case next <- k:
+		case <-cctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	res := &Result{
+		ID:            r.ID,
+		Spec:          spec,
+		NominalFPS:    nominal.FPS,
+		CleanAccuracy: har.cleanAccuracy,
+		Frontier:      computeFrontier(spec, done),
+		Executed:      len(pending),
+		Resumed:       resumed,
+	}
+	for _, t := range done {
+		if t.Failed {
+			res.FailedChips++
+		}
+	}
+	if path != "" {
+		cp := r.checkpoint(done, res.Frontier, res.NominalFPS, res.CleanAccuracy)
+		if err := writeCheckpoint(path, cp); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// checkpoint assembles the durable state from the completed-trial map.
+func (r *Runner) checkpoint(done map[trialKey]TrialResult, frontier []FrontierPoint, nominalFPS, cleanAcc float64) *Checkpoint {
+	cp := &Checkpoint{
+		Version:       checkpointVersion,
+		ID:            r.ID,
+		Spec:          r.Spec,
+		Done:          make([]TrialResult, 0, len(done)),
+		Frontier:      frontier,
+		NominalFPS:    nominalFPS,
+		CleanAccuracy: cleanAcc,
+	}
+	for _, t := range done {
+		cp.Done = append(cp.Done, t)
+	}
+	sortResults(cp.Done)
+	return cp
+}
+
+// runTrial computes one (severity, trial) cell: sample faults from the
+// severity-scaled model, degrade locally (a chip with no compute path is
+// a yield loss, never an evaluation), measure degraded throughput via
+// Eval, and evaluate the reference net on the trial's device.
+func (r *Runner) runTrial(ctx context.Context, cfg arch.SystemConfig, har *harness, sev, trial int) (TrialResult, error) {
+	if err := ctx.Err(); err != nil {
+		return TrialResult{}, err
+	}
+	seed := TrialSeed(r.Spec.Seed, sev, trial)
+	severity := r.Spec.Severities[sev]
+	rng := rand.New(rand.NewSource(seed))
+	fs := r.Spec.ScaledModel(severity).Sample(rng, cfg)
+	fs.Name = fmt.Sprintf("sev%d-trial%d", sev, trial)
+	t := TrialResult{Severity: sev, Trial: trial, Seed: seed}
+
+	_, deg, err := fs.Degrade(cfg)
+	if err != nil {
+		if errors.Is(err, faults.ErrNothingRuns) {
+			t.Failed = true
+			return t, nil
+		}
+		return TrialResult{}, fmt.Errorf("robust: trial (%d,%d): %w", sev, trial, err)
+	}
+	t.HealthyRFCUs = deg.HealthyRFCUs
+	t.EffectiveLambda = deg.EffectiveLambda
+	t.EffectiveReuses = deg.EffectiveReuses
+
+	m, err := r.Eval(ctx, r.Spec, fs, fmt.Sprintf("%s|%016x", r.ID, uint64(seed)))
+	if err != nil {
+		return TrialResult{}, fmt.Errorf("robust: trial (%d,%d): %w", sev, trial, err)
+	}
+	t.FPS, t.Energy = m.FPS, m.Energy
+
+	t.Accuracy = har.accuracy(seed, severity)
+	if r.Spec.Retrain {
+		acc := har.retrain(seed, severity)
+		t.RetrainedAccuracy = &acc
+	}
+	return t, nil
+}
+
+// partialPoint computes one severity's incumbent frontier point from the
+// trials completed so far.
+func partialPoint(spec Spec, done map[trialKey]TrialResult, sev int) FrontierPoint {
+	var ts []TrialResult
+	for t := 0; t < spec.Trials; t++ {
+		if r, ok := done[trialKey{sev, t}]; ok {
+			ts = append(ts, r)
+		}
+	}
+	return frontierPoint(spec, sev, ts)
+}
+
+// frontierPoint summarizes one severity level's trials.
+func frontierPoint(spec Spec, sev int, ts []TrialResult) FrontierPoint {
+	p := FrontierPoint{Severity: spec.Severities[sev], SeverityIndex: sev, Trials: len(ts)}
+	var fps, acc, retrained []float64
+	for _, t := range ts {
+		if t.Failed {
+			p.Failed++
+			continue
+		}
+		fps = append(fps, t.FPS)
+		acc = append(acc, t.Accuracy)
+		if t.RetrainedAccuracy != nil {
+			retrained = append(retrained, *t.RetrainedAccuracy)
+		}
+	}
+	if p.Trials > 0 {
+		p.Yield = float64(p.Trials-p.Failed) / float64(p.Trials)
+	}
+	if len(fps) > 0 {
+		p.FPS = faults.NewDistribution(fps)
+		p.Accuracy = faults.NewDistribution(acc)
+		p.FleetFPS = p.Yield * p.FPS.Mean
+	}
+	if len(retrained) > 0 {
+		d := faults.NewDistribution(retrained)
+		p.Retrained = &d
+	}
+	return p
+}
+
+// computeFrontier builds the final frontier from the complete trial map,
+// in severity order. It depends only on the trial values, never on the
+// order they were computed or which process computed them.
+func computeFrontier(spec Spec, done map[trialKey]TrialResult) []FrontierPoint {
+	out := make([]FrontierPoint, len(spec.Severities))
+	for s := range spec.Severities {
+		out[s] = partialPoint(spec, done, s)
+	}
+	return out
+}

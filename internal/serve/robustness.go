@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"refocus/internal/arch"
+	"refocus/internal/faults"
+	"refocus/internal/robust"
+)
+
+// metricEnergy extracts energy per inference for geomean aggregation.
+var metricEnergy arch.Metric = func(r arch.Report) float64 { return r.Energy }
+
+// campaignEval is the robust.TrialEval backing this server's campaigns:
+// each trial's degraded design point goes through the ordinary
+// evaluatePoint path — result cache, worker-slot admission, chaos
+// middleware bypassed (campaigns are internal work, not requests). A
+// trial shed by the worker pool waits out the Retry-After and tries
+// again instead of failing the campaign: shedding protects request
+// latency, and campaign trials are the definition of deferrable work.
+func (s *Server) campaignEval(ctx context.Context, spec robust.Spec, fs faults.FaultSet, _ string) (robust.TrialMetrics, error) {
+	req := EvaluateRequest{
+		Preset:  spec.Preset,
+		Config:  spec.Config,
+		Network: spec.Network,
+	}
+	if !fs.IsZero() {
+		data, err := json.Marshal(fs.Canonical())
+		if err != nil {
+			return robust.TrialMetrics{}, err
+		}
+		req.Faults = data
+	}
+	for {
+		resp, err := s.evaluatePoint(ctx, req)
+		if err == nil {
+			return robust.TrialMetrics{
+				FPS:    arch.GeoMean(resp.Reports, arch.MetricFPS),
+				Energy: arch.GeoMean(resp.Reports, metricEnergy),
+			}, nil
+		}
+		var ae *apiError
+		if !errors.As(err, &ae) || ae.status != http.StatusTooManyRequests {
+			return robust.TrialMetrics{}, err
+		}
+		wait := time.Duration(ae.retryAfter) * time.Second
+		if wait <= 0 {
+			wait = time.Second
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return robust.TrialMetrics{}, fmt.Errorf("serve: campaign trial canceled during backoff: %w", ctx.Err())
+		}
+	}
+}
+
+// handleRobustnessStart serves POST /v1/robustness: validate the
+// campaign spec, start (or attach to) its job, and either answer with
+// the job's status — 202 for a newly created campaign, 200 when
+// attaching to one already running — or, for NDJSON requests, stream
+// incumbent frontier updates until the campaign finishes. Submitting a
+// spec whose checkpoint survives in the campaign directory resumes it:
+// completed trials load from disk and only the missing ones run.
+func (s *Server) handleRobustnessStart(w http.ResponseWriter, r *http.Request) {
+	var spec robust.Spec
+	if err := s.decodeBody(w, r, &spec); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	job, created, err := s.robust.Start(spec)
+	if err != nil {
+		if errors.Is(err, robust.ErrBusy) {
+			err = &apiError{status: http.StatusTooManyRequests, retryAfter: 5, err: err}
+		} else {
+			err = BadRequest(err)
+		}
+		s.writeError(w, err)
+		return
+	}
+	if WantsNDJSON(r) {
+		robust.StreamUpdates(w, r, job, s.metrics.streamLines.Inc)
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusAccepted
+	}
+	s.writeJSON(w, status, job.Status())
+}
+
+// handleRobustnessStatus serves GET /v1/robustness/{id}: the live job's
+// status when the campaign is running in this process, otherwise the
+// checkpoint's view — "done" with the final frontier, or "interrupted"
+// for a campaign a dead process left behind (resubmit its spec to
+// resume).
+func (s *Server) handleRobustnessStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if job, ok := s.robust.Get(id); ok {
+		s.writeJSON(w, http.StatusOK, job.Status())
+		return
+	}
+	st, err := s.robust.StatusFromDisk(id)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			err = &apiError{status: http.StatusNotFound, err: fmt.Errorf("serve: no campaign %q", id)}
+		}
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, st)
+}

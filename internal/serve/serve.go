@@ -39,6 +39,7 @@ import (
 	"refocus/internal/faults"
 	"refocus/internal/nn"
 	"refocus/internal/obs"
+	"refocus/internal/robust"
 	"refocus/internal/sim"
 )
 
@@ -75,6 +76,10 @@ type Config struct {
 	// package defaults). Registry networks are trusted and exempt; an
 	// inline spec past a limit is rejected with a structured 422.
 	Limits SpecLimits
+	// CampaignDir is the robustness-campaign checkpoint directory.
+	// Empty disables durability: campaigns still run, but die with the
+	// process instead of resuming from where they stopped.
+	CampaignDir string
 	// Chaos is the opt-in fault-injection middleware for resilience
 	// testing; the zero value (the default) injects nothing.
 	Chaos ChaosConfig
@@ -123,6 +128,7 @@ type Server struct {
 	chaos    *chaosInjector
 	mux      *http.ServeMux
 	logger   *slog.Logger
+	robust   *robust.Manager
 	// reqSeq numbers requests; joined with a per-process prefix it
 	// forms the X-Request-ID every response carries and every span and
 	// log line repeats.
@@ -153,8 +159,37 @@ func New(cfg Config) *Server {
 	s.mux.Handle("GET /v1/networks", s.instrument("/v1/networks", s.handleNetworks))
 	s.mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	var err error
+	s.robust, err = robust.NewManager(robust.ManagerConfig{
+		Dir:         cfg.CampaignDir,
+		Eval:        s.campaignEval,
+		Parallelism: cfg.Workers,
+		Hooks: robust.Hooks{
+			CampaignStarted: func() {
+				s.metrics.robustCampaigns.Inc()
+				s.metrics.robustActive.Add(1)
+			},
+			CampaignDone:  func(error) { s.metrics.robustActive.Add(-1) },
+			TrialExecuted: func(robust.TrialResult) { s.metrics.robustTrials.Inc() },
+			TrialResumed:  func(robust.TrialResult) { s.metrics.robustResumed.Inc() },
+		},
+	})
+	if err != nil {
+		// Only a checkpoint-directory MkdirAll can fail here; campaigns
+		// lose durability but the service still serves.
+		s.logger.Error("robustness campaign dir unavailable; running without durability", "err", err)
+		s.robust, _ = robust.NewManager(robust.ManagerConfig{Eval: s.campaignEval, Parallelism: cfg.Workers})
+	}
+	s.mux.Handle("POST /v1/robustness", s.instrument("/v1/robustness", s.handleRobustnessStart))
+	// The metrics label avoids the path pattern's braces — they collide
+	// with the Prometheus exposition's label syntax.
+	s.mux.Handle("GET /v1/robustness/{id}", s.instrument("/v1/robustness/status", s.handleRobustnessStatus))
 	return s
 }
+
+// Close cancels any running robustness campaigns and waits for them to
+// unwind; their checkpoints survive for the next incarnation to resume.
+func (s *Server) Close() { s.robust.Close() }
 
 // Handler returns the service's HTTP handler (all routes).
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -822,6 +857,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // addr may use port 0 in tests.
 func ListenAndServe(ctx context.Context, cfg Config, addr string, out io.Writer) error {
 	s := New(cfg)
+	defer s.Close()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)

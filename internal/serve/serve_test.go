@@ -19,6 +19,7 @@ import (
 func testServer(t *testing.T, cfg Config) (*Server, string) {
 	t.Helper()
 	s := New(cfg)
+	t.Cleanup(s.Close)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts.URL

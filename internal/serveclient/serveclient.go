@@ -17,12 +17,14 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"refocus/internal/robust"
 	"refocus/internal/serve"
 )
 
@@ -196,6 +198,23 @@ func (c *Client) Networks(ctx context.Context) (serve.NetworksResponse, error) {
 func (c *Client) Metrics(ctx context.Context) (serve.Snapshot, error) {
 	var resp serve.Snapshot
 	err := c.call(ctx, http.MethodGet, "/metrics", nil, &resp)
+	return resp, err
+}
+
+// RobustnessStart calls POST /v1/robustness: start a campaign (or
+// attach to / resume the one with the same identity) and return its
+// status snapshot. Campaigns run server-side; poll RobustnessStatus
+// with the returned ID until the status leaves "running".
+func (c *Client) RobustnessStart(ctx context.Context, spec robust.Spec) (robust.StatusResponse, error) {
+	var resp robust.StatusResponse
+	err := c.call(ctx, http.MethodPost, "/v1/robustness", spec, &resp)
+	return resp, err
+}
+
+// RobustnessStatus calls GET /v1/robustness/{id}.
+func (c *Client) RobustnessStatus(ctx context.Context, id string) (robust.StatusResponse, error) {
+	var resp robust.StatusResponse
+	err := c.call(ctx, http.MethodGet, "/v1/robustness/"+url.PathEscape(id), nil, &resp)
 	return resp, err
 }
 
@@ -378,14 +397,23 @@ func parseRetryAfter(v string) time.Duration {
 
 // sleep blocks for the attempt's backoff — full jitter over an
 // exponentially growing cap, floored by the server's Retry-After hint —
-// or returns early with the context's error.
+// or returns early with the context's error. A wait the caller's
+// deadline cannot outlive fails immediately: sleeping out the full
+// backoff only to time out afterwards wastes the caller's remaining
+// budget without ever reaching the server.
 func (c *Client) sleep(ctx context.Context, attempt int, retryAfter time.Duration) error {
 	d := c.backoff(attempt)
 	if retryAfter > d {
 		d = retryAfter
 	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("serveclient: canceled before backoff: %w", err)
+	}
 	if d <= 0 {
-		return ctx.Err()
+		return nil
+	}
+	if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) < d {
+		return fmt.Errorf("serveclient: %v backoff exceeds the caller's deadline: %w", d, context.DeadlineExceeded)
 	}
 	t := time.NewTimer(d)
 	defer t.Stop()

@@ -173,6 +173,54 @@ func TestContextCancelStopsBackoff(t *testing.T) {
 	}
 }
 
+// TestBackoffNeverSleepsPastDeadline: a backoff the caller's deadline
+// cannot outlive fails immediately with the deadline error, instead of
+// sleeping out the full Retry-After only to time out afterwards. The
+// server shed with Retry-After: 5, so a client that waited would burn
+// ~5s against a 50ms deadline.
+func TestBackoffNeverSleepsPastDeadline(t *testing.T) {
+	c, _ := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "5")
+		http.Error(w, "shed", http.StatusTooManyRequests)
+	}), nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Evaluate(ctx, serve.EvaluateRequest{Preset: "fb"})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("call against a permanently shedding server succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error should carry the deadline cause, got %v", err)
+	}
+	if elapsed > time.Second {
+		t.Errorf("call took %v against a 50ms deadline; backoff slept past it", elapsed)
+	}
+}
+
+// TestSleepSkipsDoomedWait: sleep itself refuses a wait longer than the
+// remaining deadline budget, without blocking at all.
+func TestSleepSkipsDoomedWait(t *testing.T) {
+	c, err := New(Config{BaseURL: "http://x", BaseBackoff: time.Millisecond, MaxBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := c.sleep(ctx, 0, 10*time.Second); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("doomed sleep returned %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 10*time.Millisecond {
+		t.Errorf("doomed sleep blocked %v before refusing", time.Since(start))
+	}
+	// A wait that fits the budget still happens.
+	if err := c.sleep(ctx, 0, time.Millisecond); err != nil {
+		t.Fatalf("affordable sleep failed: %v", err)
+	}
+}
+
 // TestBackoffDeterministicAndBounded: the jitter sequence replays under
 // one seed and never exceeds the configured cap.
 func TestBackoffDeterministicAndBounded(t *testing.T) {
