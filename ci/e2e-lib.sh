@@ -1,0 +1,58 @@
+# ci/e2e-lib.sh — shared boot/wait/teardown helpers for the CI e2e jobs.
+#
+# Source this from each workflow run step that needs it (`. ci/e2e-lib.sh`);
+# workflow steps run in separate shells, so the functions do not carry over
+# between steps. Every service starts through start_bg so its PID lands in
+# a file and its output in $E2E_LOG_DIR: kills always go through the stored
+# PID — never process-table matching, which can match a coordinator's own
+# -shards argument — and a failing job can print every captured service log
+# with dump_logs.
+
+E2E_LOG_DIR=${E2E_LOG_DIR:-/tmp/e2e-logs}
+
+# start_bg NAME CMD [ARG...] — start CMD in the background with its PID
+# stored in /tmp/NAME.pid and its combined output in $E2E_LOG_DIR/NAME.log.
+start_bg() {
+  local name=$1
+  shift
+  mkdir -p "$E2E_LOG_DIR"
+  "$@" >"$E2E_LOG_DIR/$name.log" 2>&1 &
+  echo $! >"/tmp/$name.pid"
+}
+
+# wait_healthz BASEURL [TRIES] — poll BASEURL/healthz until it answers
+# (TRIES attempts 0.2s apart, default 50 = 10s) or fail the step.
+wait_healthz() {
+  local url=$1 tries=${2:-50} i
+  for i in $(seq 1 "$tries"); do
+    if curl -fsS "$url/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.2
+  done
+  echo "$url never became healthy" >&2
+  return 1
+}
+
+# stop_pids NAME... — TERM each named service if its PID file exists.
+# Idempotent and tolerant of already-dead processes, for `if: always()`
+# teardown steps.
+stop_pids() {
+  local name
+  for name in "$@"; do
+    if [ -f "/tmp/$name.pid" ]; then
+      kill "$(cat "/tmp/$name.pid")" 2>/dev/null || true
+    fi
+  done
+}
+
+# dump_logs — print every captured service log; the `if: failure()`
+# diagnostics step.
+dump_logs() {
+  local f
+  for f in "$E2E_LOG_DIR"/*.log; do
+    [ -f "$f" ] || continue
+    echo "===== $f ====="
+    cat "$f"
+  done
+}

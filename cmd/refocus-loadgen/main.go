@@ -7,13 +7,16 @@
 // Usage:
 //
 //	refocus-loadgen -addr http://127.0.0.1:8080
-//	                [-mode evaluate|sweep|robustness]
+//	                [-mode evaluate|sweep|robustness|optimize]
 //	                [-concurrency 8] [-requests 50] [-distinct 8]
 //	                [-points 100] [-stream] [-name-prefix loadgen]
 //	                [-preset fb] [-network ResNet-18] [-retries 8]
 //	                [-seed 1] [-client-timeout 0]
 //	                [-severities 0,0.5,1] [-trials 16] [-campaign-seed 1]
 //	                [-retrain] [-poll-interval 2s]
+//	                [-strategy evolve] [-generations 8] [-population 16]
+//	                [-objectives fps,fps_per_watt,fps_per_mm2,pap]
+//	                [-area-budget 0] [-power-budget 0] [-yield-trials 0]
 //
 // In the default evaluate mode each worker sends -requests requests,
 // cycling through -distinct design-point variants (distinct names force
@@ -38,6 +41,16 @@
 // campaign finishes. Resubmitting the same campaign to a server holding
 // its checkpoint resumes it, which the run reports as resumed=N. The
 // process exits nonzero unless the campaign reaches "done".
+//
+// In optimize mode the run submits one design-space search to
+// POST /v1/optimize (-strategy over a -generations x -population budget,
+// objectives from -objectives, optional -area-budget / -power-budget
+// constraints and a -yield-trials Monte Carlo yield axis, seeded by
+// -campaign-seed), polls GET /v1/optimize/{id} every -poll-interval,
+// and prints the Pareto front when the search finishes. Resubmitting
+// the same search to a server holding its checkpoint resumes it
+// (resumed=N). The process exits nonzero unless the search reaches
+// "done" — a search that ends "failed" or "interrupted" is a failure.
 package main
 
 import (
@@ -56,6 +69,7 @@ import (
 	"syscall"
 	"time"
 
+	"refocus/internal/opt"
 	"refocus/internal/robust"
 	"refocus/internal/serve"
 	"refocus/internal/serveclient"
@@ -201,6 +215,68 @@ func runRobustness(ctx context.Context, client *serveclient.Client, out io.Write
 	return nil
 }
 
+// parseObjectives parses the -objectives list.
+func parseObjectives(s string) ([]opt.Objective, error) {
+	var out []opt.Objective
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		out = append(out, opt.Objective(part))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("refocus-loadgen: -objectives names no axes")
+	}
+	return out, nil
+}
+
+// runOptimize submits one design-space search, polls it to completion,
+// and prints the Pareto front as a table. A search that ends in any
+// terminal state other than "done" is an error — the non-zero exit is
+// the contract CI gates rely on.
+func runOptimize(ctx context.Context, client *serveclient.Client, out io.Writer,
+	spec opt.Spec, pollInterval time.Duration, addr string) error {
+	start := time.Now()
+	st, err := client.OptimizeStart(ctx, spec)
+	if err != nil {
+		return fmt.Errorf("refocus-loadgen: starting search: %w", err)
+	}
+	fmt.Fprintf(out, "optimize: search %s submitted (strategy=%s budget=%d points) against %s\n",
+		st.ID, st.Strategy, st.TotalPoints, addr)
+	for st.Status == opt.StatusRunning {
+		t := time.NewTimer(pollInterval)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("refocus-loadgen: canceled while polling search %s: %w", st.ID, ctx.Err())
+		}
+		if st, err = client.OptimizeStatus(ctx, st.ID); err != nil {
+			return fmt.Errorf("refocus-loadgen: polling search: %w", err)
+		}
+	}
+	fmt.Fprintf(out, "optimize: status=%s completed=%d/%d executed=%d resumed=%d invalid=%d infeasible=%d in %.2fs\n",
+		st.Status, st.CompletedPoints, st.TotalPoints, st.ExecutedPoints, st.ResumedPoints,
+		st.InvalidPoints, st.InfeasiblePoints, time.Since(start).Seconds())
+	if st.Status != opt.StatusDone {
+		return fmt.Errorf("refocus-loadgen: search %s ended %s: %s", st.ID, st.Status, st.Error)
+	}
+	fmt.Fprintf(out, "front: %d points\n", len(st.Front))
+	fmt.Fprintf(out, "%-22s %-10s %-12s %-12s %-10s %-9s %-9s %s\n",
+		"config", "fps", "fps_per_w", "fps_per_mm2", "pap", "power_w", "area_mm2", "yield")
+	for _, p := range st.Front {
+		yield := "-"
+		if p.Metrics.Yield > 0 {
+			yield = fmt.Sprintf("%.2f", p.Metrics.Yield)
+		}
+		fmt.Fprintf(out, "%-22s %-10.1f %-12.2f %-12.2f %-10.3g %-9.2f %-9.1f %s\n",
+			p.Config, p.Metrics.FPS, p.Metrics.FPSPerWatt, p.Metrics.FPSPerMM2,
+			p.Metrics.PAP, p.Metrics.PowerW, p.Metrics.AreaMM2, yield)
+	}
+	return nil
+}
+
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("refocus-loadgen", flag.ContinueOnError)
 	addr := fs.String("addr", "http://127.0.0.1:8080", "refocus-serve base URL")
@@ -220,7 +296,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	trials := fs.Int("trials", 16, "Monte Carlo chips per severity level (robustness mode)")
 	campaignSeed := fs.Int64("campaign-seed", 1, "campaign master seed; same seed + spec = same campaign identity (robustness mode)")
 	retrain := fs.Bool("retrain", false, "also retrain the reference net through each trial's device model (robustness mode)")
-	pollInterval := fs.Duration("poll-interval", 2*time.Second, "campaign status polling interval (robustness mode)")
+	pollInterval := fs.Duration("poll-interval", 2*time.Second, "status polling interval (robustness and optimize modes)")
+	strategy := fs.String("strategy", "", "search strategy: random, anneal, evolve or halving; empty means the server default (optimize mode)")
+	generations := fs.Int("generations", 0, "search generations; 0 means the server default (optimize mode)")
+	population := fs.Int("population", 0, "candidates per generation; 0 means the server default (optimize mode)")
+	objectives := fs.String("objectives", "", "comma-separated objective axes; empty means the server default (optimize mode)")
+	areaBudget := fs.Float64("area-budget", 0, "area constraint in mm^2; 0 means unconstrained (optimize mode)")
+	powerBudget := fs.Float64("power-budget", 0, "power constraint in watts; 0 means unconstrained (optimize mode)")
+	yieldTrials := fs.Int("yield-trials", 0, "Monte Carlo chips per candidate for the yield axis; 0 disables it (optimize mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -256,10 +339,30 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			Retrain:    *retrain,
 		}
 		return runRobustness(ctx, client, out, spec, *pollInterval, *addr)
+	case "optimize":
+		spec := opt.Spec{
+			Preset:        *preset,
+			Network:       *network,
+			Strategy:      *strategy,
+			Generations:   *generations,
+			Population:    *population,
+			Seed:          *campaignSeed,
+			AreaBudgetMM2: *areaBudget,
+			PowerBudgetW:  *powerBudget,
+			YieldTrials:   *yieldTrials,
+		}
+		if *objectives != "" {
+			axes, err := parseObjectives(*objectives)
+			if err != nil {
+				return err
+			}
+			spec.Objectives = axes
+		}
+		return runOptimize(ctx, client, out, spec, *pollInterval, *addr)
 	case "evaluate":
 		// fall through to the concurrent single-point load below
 	default:
-		return fmt.Errorf("refocus-loadgen: unknown -mode %q (evaluate|sweep|robustness)", *mode)
+		return fmt.Errorf("refocus-loadgen: unknown -mode %q (evaluate|sweep|robustness|optimize)", *mode)
 	}
 
 	start := time.Now()

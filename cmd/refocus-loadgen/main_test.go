@@ -1,0 +1,165 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"refocus/internal/opt"
+	"refocus/internal/robust"
+	"refocus/internal/serve"
+)
+
+// stubCampaignServer answers the robustness endpoints with a campaign
+// that starts "running" and ends in the given terminal state.
+func stubCampaignServer(t *testing.T, terminal robust.Status, errText string) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/robustness", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(robust.StatusResponse{ID: "stub", Status: robust.StatusRunning, TotalTrials: 4})
+	})
+	mux.HandleFunc("GET /v1/robustness/{id}", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(robust.StatusResponse{ID: "stub", Status: terminal, TotalTrials: 4, Error: errText})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRobustnessFailedCampaignExitsNonzero pins the exit-code contract
+// CI gates rely on: a campaign that ends "failed" (or any terminal
+// state other than "done") must surface as a non-nil error — never a
+// silent zero exit.
+func TestRobustnessFailedCampaignExitsNonzero(t *testing.T) {
+	for _, terminal := range []robust.Status{robust.StatusFailed, robust.StatusInterrupted} {
+		t.Run(string(terminal), func(t *testing.T) {
+			ts := stubCampaignServer(t, terminal, "boom")
+			var out strings.Builder
+			err := run(context.Background(), []string{
+				"-addr", ts.URL, "-mode", "robustness", "-poll-interval", "1ms",
+			}, &out)
+			if err == nil {
+				t.Fatalf("campaign ending %q produced no error; output:\n%s", terminal, out.String())
+			}
+			if !strings.Contains(err.Error(), string(terminal)) {
+				t.Errorf("error %q does not name the terminal state %q", err, terminal)
+			}
+		})
+	}
+}
+
+// TestOptimizeFailedSearchExitsNonzero is the same contract for the
+// optimize mode.
+func TestOptimizeFailedSearchExitsNonzero(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/optimize", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(opt.StatusResponse{ID: "stub", Status: opt.StatusRunning, TotalPoints: 4})
+	})
+	mux.HandleFunc("GET /v1/optimize/{id}", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(opt.StatusResponse{ID: "stub", Status: opt.StatusFailed, TotalPoints: 4, Error: "boom"})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	var out strings.Builder
+	err := run(context.Background(), []string{
+		"-addr", ts.URL, "-mode", "optimize", "-poll-interval", "1ms",
+	}, &out)
+	if err == nil {
+		t.Fatalf("failed search produced no error; output:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "failed") {
+		t.Errorf("error %q does not name the failed state", err)
+	}
+}
+
+// TestOptimizeModeEndToEnd drives the optimize mode against a real
+// in-process server and checks the front table lands on stdout.
+func TestOptimizeModeEndToEnd(t *testing.T) {
+	s := serve.New(serve.Config{})
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	var out strings.Builder
+	err := run(context.Background(), []string{
+		"-addr", ts.URL, "-mode", "optimize", "-poll-interval", "10ms",
+		"-network", "ResNet-18", "-strategy", "random",
+		"-generations", "2", "-population", "2", "-campaign-seed", "9",
+	}, &out)
+	if err != nil {
+		t.Fatalf("optimize run failed: %v\noutput:\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "status=done") {
+		t.Errorf("output missing done status:\n%s", text)
+	}
+	if !strings.Contains(text, "front:") || !strings.Contains(text, "fps_per_mm2") {
+		t.Errorf("output missing the front table:\n%s", text)
+	}
+}
+
+// TestOptimizeObjectivesFlag: -objectives narrows the searched axes
+// (accepted end to end by a real server), an empty list is rejected
+// before any request, and a bad axis surfaces the server's 400.
+func TestOptimizeObjectivesFlag(t *testing.T) {
+	s := serve.New(serve.Config{})
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	var out strings.Builder
+	err := run(context.Background(), []string{
+		"-addr", ts.URL, "-mode", "optimize", "-poll-interval", "10ms",
+		"-network", "ResNet-18", "-strategy", "random",
+		"-generations", "2", "-population", "2", "-campaign-seed", "9",
+		"-objectives", "fps, pap",
+	}, &out)
+	if err != nil {
+		t.Fatalf("optimize with -objectives failed: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "status=done") {
+		t.Errorf("output missing done status:\n%s", out.String())
+	}
+
+	if err := run(context.Background(), []string{
+		"-addr", ts.URL, "-mode", "optimize", "-objectives", " , ",
+	}, &out); err == nil || !strings.Contains(err.Error(), "no axes") {
+		t.Errorf("empty -objectives error = %v, want 'names no axes'", err)
+	}
+	if err := run(context.Background(), []string{
+		"-addr", ts.URL, "-mode", "optimize", "-objectives", "speed",
+	}, &out); err == nil {
+		t.Error("unknown objective axis was accepted")
+	}
+}
+
+// TestRobustnessModeEndToEnd drives a tiny real campaign through the
+// robustness mode and checks the frontier table lands on stdout.
+func TestRobustnessModeEndToEnd(t *testing.T) {
+	s := serve.New(serve.Config{})
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	var out strings.Builder
+	err := run(context.Background(), []string{
+		"-addr", ts.URL, "-mode", "robustness", "-poll-interval", "10ms",
+		"-network", "ResNet-18", "-severities", "0,1", "-trials", "2",
+		"-campaign-seed", "3",
+	}, &out)
+	if err != nil {
+		t.Fatalf("robustness run failed: %v\noutput:\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "status=done") {
+		t.Errorf("output missing done status:\n%s", text)
+	}
+	if !strings.Contains(text, "fleet_fps") || !strings.Contains(text, "nominal_fps") {
+		t.Errorf("output missing the frontier table:\n%s", text)
+	}
+}

@@ -30,10 +30,11 @@
 // content-addressed on-disk result store under the in-memory LRU:
 // results survive restarts, and every shard pointed at the same
 // directory deduplicates work cluster-wide. It also durably checkpoints
-// POST /v1/robustness campaigns (under <cache-dir>/robustness, both
-// roles): a campaign interrupted by a crash or SIGKILL resumes from its
-// completed trials when the same spec is resubmitted to a process with
-// the same -cache-dir. -max-spec-layers and
+// POST /v1/robustness campaigns (under <cache-dir>/robustness) and
+// POST /v1/optimize design-space searches (under <cache-dir>/optimize),
+// both roles: a campaign or search interrupted by a crash or SIGKILL
+// resumes from its completed work when the same spec is resubmitted to a
+// process with the same -cache-dir. -max-spec-layers and
 // -max-spec-gmacs bound inline NetworkSpec submissions (registry
 // networks are exempt); an over-limit spec is rejected with a structured
 // 422. The -chaos-* flags enable the opt-in fault-injection middleware
@@ -185,6 +186,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			}
 			cfg.Store = store
 			cfg.CampaignDir = filepath.Join(*cacheDir, "robustness")
+			cfg.OptimizeDir = filepath.Join(*cacheDir, "optimize")
 		}
 		return serve.ListenAndServe(ctx, cfg, *addr, out)
 
@@ -216,6 +218,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 		if *cacheDir != "" {
 			cfg.CampaignDir = filepath.Join(*cacheDir, "robustness")
+			cfg.OptimizeDir = filepath.Join(*cacheDir, "optimize")
 		}
 		serveErr := cluster.ListenAndServe(ctx, cfg, *addr, out)
 		if tr != nil {

@@ -16,6 +16,7 @@ import (
 	"refocus/internal/arch"
 	"refocus/internal/faults"
 	"refocus/internal/obs"
+	"refocus/internal/opt"
 	"refocus/internal/robust"
 	"refocus/internal/serve"
 	"refocus/internal/serveclient"
@@ -55,6 +56,10 @@ type Config struct {
 	// campaigns the coordinator runs (trials fan out across the shards).
 	// Empty disables durability.
 	CampaignDir string
+	// OptimizeDir is the design-space-search checkpoint directory for
+	// searches the coordinator runs (candidate evaluations fan out across
+	// the shards). Empty disables durability.
+	OptimizeDir string
 	// Client is the template for the per-shard serveclient configuration
 	// (BaseURL is overwritten per shard). The zero value gets defaults
 	// tuned for fast failover: 1 retry, breaker threshold 2.
@@ -123,6 +128,7 @@ type Coordinator struct {
 	mux     *http.ServeMux
 	logger  *slog.Logger
 	robust  *robust.Manager
+	opt     *opt.Manager
 }
 
 // New builds a Coordinator and its per-shard clients.
@@ -170,18 +176,44 @@ func New(cfg Config) (*Coordinator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
+	c.opt, err = opt.NewManager(opt.ManagerConfig{
+		Dir:  cfg.OptimizeDir,
+		Eval: c.optimizeEval,
+		// Candidate evaluations fan out across the whole cluster, so the
+		// per-search bound scales with the fleet rather than one worker's
+		// pool.
+		Parallelism: cfg.ShardConcurrency * len(cfg.Shards),
+		Hooks: opt.Hooks{
+			SearchStarted: func() {
+				c.metrics.optSearches.Inc()
+				c.metrics.optActive.Add(1)
+			},
+			SearchDone:    func(error) { c.metrics.optActive.Add(-1) },
+			PointExecuted: func(opt.CandidateResult) { c.metrics.optPoints.Inc() },
+			PointResumed:  func(opt.CandidateResult) { c.metrics.optResumed.Inc() },
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
 	c.mux.Handle("POST /v1/evaluate", c.instrument(c.handleEvaluate))
 	c.mux.Handle("POST /v1/sweep", c.instrument(c.handleSweep))
 	c.mux.Handle("POST /v1/robustness", c.instrument(c.handleRobustnessStart))
 	c.mux.Handle("GET /v1/robustness/{id}", c.instrument(c.handleRobustnessStatus))
+	c.mux.Handle("POST /v1/optimize", c.instrument(c.handleOptimizeStart))
+	c.mux.Handle("GET /v1/optimize/{id}", c.instrument(c.handleOptimizeStatus))
 	c.mux.Handle("GET /healthz", c.instrument(c.handleHealthz))
 	c.mux.Handle("GET /metrics", c.instrument(c.handleMetrics))
 	return c, nil
 }
 
-// Close cancels any running robustness campaigns and waits for them to
-// unwind; their checkpoints survive for the next incarnation to resume.
-func (c *Coordinator) Close() { c.robust.Close() }
+// Close cancels any running robustness campaigns and design-space
+// searches and waits for them to unwind; their checkpoints survive for
+// the next incarnation to resume.
+func (c *Coordinator) Close() {
+	c.robust.Close()
+	c.opt.Close()
+}
 
 // Handler returns the coordinator's HTTP handler (all routes).
 func (c *Coordinator) Handler() http.Handler { return c.mux }

@@ -27,6 +27,11 @@ type Metrics struct {
 	robustTrials    *obs.Counter
 	robustResumed   *obs.Counter
 	robustActive    atomic.Int64
+
+	optSearches *obs.Counter
+	optPoints   *obs.Counter
+	optResumed  *obs.Counter
+	optActive   atomic.Int64
 }
 
 // shardMetrics is one shard's routing counters.
@@ -50,11 +55,16 @@ func newClusterMetrics(shards []string) *Metrics {
 		robustCampaigns: reg.Counter("refocus_robustness_campaigns_total", "Robustness campaigns started on this coordinator (resumed campaigns count again).", nil),
 		robustTrials:    reg.Counter("refocus_robustness_trials_total", "Robustness Monte Carlo trials dispatched across the shards by this coordinator.", nil),
 		robustResumed:   reg.Counter("refocus_robustness_trials_resumed_total", "Robustness trials recovered from checkpoints instead of redispatched.", nil),
+		optSearches:     reg.Counter("refocus_optimize_searches_total", "Design-space searches started on this coordinator (resumed searches count again).", nil),
+		optPoints:       reg.Counter("refocus_optimize_points_total", "Design-space candidate points dispatched across the shards by this coordinator.", nil),
+		optResumed:      reg.Counter("refocus_optimize_points_resumed_total", "Design-space candidate points recovered from checkpoints instead of redispatched.", nil),
 	}
 	reg.Gauge("refocus_cluster_in_flight", "Requests currently inside a coordinator handler.", nil,
 		func() float64 { return float64(m.inFlight.Load()) })
 	reg.Gauge("refocus_robustness_active_campaigns", "Robustness campaigns currently running on this coordinator.", nil,
 		func() float64 { return float64(m.robustActive.Load()) })
+	reg.Gauge("refocus_optimize_active_searches", "Design-space searches currently running on this coordinator.", nil,
+		func() float64 { return float64(m.optActive.Load()) })
 	for _, s := range shards {
 		labels := obs.Labels{"shard": s}
 		m.perShard[s] = &shardMetrics{
@@ -116,6 +126,9 @@ type Snapshot struct {
 	// Robustness aggregates the coordinator-run campaign engine's
 	// counters (same shape as the worker tier's).
 	Robustness serve.RobustnessStats
+	// Optimize aggregates the coordinator-run design-space search
+	// engine's counters (same shape as the worker tier's).
+	Optimize serve.OptimizeStats
 	// Shards maps shard base URL to its routing counters.
 	Shards map[string]ShardStats
 }
@@ -132,6 +145,12 @@ func (m *Metrics) snapshot() Snapshot {
 			Active:        m.robustActive.Load(),
 			Trials:        m.robustTrials.Value(),
 			TrialsResumed: m.robustResumed.Value(),
+		},
+		Optimize: serve.OptimizeStats{
+			Searches:      m.optSearches.Value(),
+			Active:        m.optActive.Load(),
+			Points:        m.optPoints.Value(),
+			PointsResumed: m.optResumed.Value(),
 		},
 		Shards: make(map[string]ShardStats),
 	}

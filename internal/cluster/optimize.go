@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"refocus/internal/arch"
+	"refocus/internal/opt"
+	"refocus/internal/serve"
+	"refocus/internal/serveclient"
+)
+
+// optimizeEval is the opt.PointEval backing coordinator-run searches:
+// each candidate becomes an evaluate request dispatched onto the ring by
+// its config-hash route key, riding the same hedged client chain
+// (retries, breaker, dead-shard failover) ordinary points use. Routing
+// by config hash means a candidate the search revisits — or one any
+// earlier search evaluated — lands on the shard already holding its
+// cached report. A shed candidate (the whole chain answering 429) waits
+// out the Retry-After and redispatches — optimizer work is deferrable by
+// definition.
+func (c *Coordinator) optimizeEval(ctx context.Context, spec opt.Spec, cfg arch.SystemConfig, routeKey string) (opt.PointMetrics, error) {
+	data, err := arch.ConfigJSON(cfg)
+	if err != nil {
+		return opt.PointMetrics{}, err
+	}
+	req := serve.EvaluateRequest{
+		Config:  data,
+		Network: spec.Network,
+	}
+	for {
+		resp, _, err := c.dispatchKeyed(ctx, req, routeKey)
+		if err == nil {
+			return opt.PointMetricsFromReports(resp.Reports), nil
+		}
+		var se *serveclient.StatusError
+		if !errors.As(err, &se) || se.Status != http.StatusTooManyRequests {
+			return opt.PointMetrics{}, err
+		}
+		t := time.NewTimer(time.Second)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return opt.PointMetrics{}, fmt.Errorf("cluster: optimizer point canceled during backoff: %w", ctx.Err())
+		}
+	}
+}
+
+// handleOptimizeStart serves POST /v1/optimize, mirroring the worker
+// tier's handler: validate the spec, start (or attach to / resume) the
+// search, answer 202/200 with its status — or stream NDJSON incumbent
+// updates when asked. The search itself runs in the coordinator process;
+// only its candidate evaluations travel to the shards.
+func (c *Coordinator) handleOptimizeStart(w http.ResponseWriter, r *http.Request) {
+	var spec opt.Spec
+	if err := c.decodeBody(w, r, &spec); err != nil {
+		c.writeError(w, err)
+		return
+	}
+	job, created, err := c.opt.Start(spec)
+	if err != nil {
+		if errors.Is(err, opt.ErrBusy) {
+			w.Header().Set("Retry-After", "5")
+			c.writeJSON(w, http.StatusTooManyRequests,
+				serve.ErrorResponse{Error: err.Error(), Status: http.StatusTooManyRequests})
+			return
+		}
+		c.writeError(w, serve.BadRequest(err))
+		return
+	}
+	if serve.WantsNDJSON(r) {
+		opt.StreamUpdates(w, r, job, c.metrics.stream.Inc)
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusAccepted
+	}
+	c.writeJSON(w, status, job.Status())
+}
+
+// handleOptimizeStatus serves GET /v1/optimize/{id} from the live job or
+// the checkpoint on disk.
+func (c *Coordinator) handleOptimizeStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if job, ok := c.opt.Get(id); ok {
+		c.writeJSON(w, http.StatusOK, job.Status())
+		return
+	}
+	st, err := c.opt.StatusFromDisk(id)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			c.writeJSON(w, http.StatusNotFound,
+				serve.ErrorResponse{Error: fmt.Sprintf("cluster: no search %q", id), Status: http.StatusNotFound})
+			return
+		}
+		c.writeError(w, err)
+		return
+	}
+	c.writeJSON(w, http.StatusOK, st)
+}

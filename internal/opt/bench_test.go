@@ -1,0 +1,35 @@
+package opt
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkOptimizeStep measures one full search step — deterministic
+// proposal plus in-process evaluation of an 8-candidate generation on
+// ResNet-50 — the unit of work /v1/optimize repeats per generation.
+func BenchmarkOptimizeStep(b *testing.B) {
+	spec := Spec{
+		Preset:      "fb",
+		Network:     "ResNet-50",
+		Strategy:    StrategyRandom,
+		Generations: 1,
+		Population:  8,
+		Seed:        7,
+	}.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	id, err := spec.ID()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eval := DirectEval()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := &Runner{Spec: spec, ID: id, Eval: eval, Parallelism: 4}
+		if _, err := r.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

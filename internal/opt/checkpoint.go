@@ -1,0 +1,140 @@
+package opt
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+)
+
+// checkpointVersion guards the on-disk schema; a loader refuses a file
+// written by an incompatible future format instead of misreading it.
+const checkpointVersion = 1
+
+// tmpSeq distinguishes concurrent temp files within one process (the
+// DiskStore idiom: pid + sequence, then an atomic rename).
+var tmpSeq atomic.Int64
+
+// CandidateResult is one evaluated design point — the checkpoint's unit
+// of durability and the front's raw material. Every field derives
+// deterministically from (Spec, Gen, Index), so a resumed search
+// reproduces missing candidates bit-for-bit.
+type CandidateResult struct {
+	// Gen and Index address the candidate's cell in the search schedule:
+	// Gen is the proposal round, Index the slot within it.
+	Gen   int
+	Index int
+	// Candidate is the proposed point as axis indices into the space.
+	Candidate Candidate
+	// Seed is CandidateSeed(spec.Seed, Gen, Index), driving the
+	// candidate's yield sweep when the search samples one.
+	Seed int64
+	// M, NRFCU, NLambda and Reuses are the resolved axis values.
+	M       int
+	NRFCU   int
+	NLambda int
+	Reuses  int
+	// Config names the materialized design point and ConfigHash is its
+	// canonical content hash — the route/cache key its evaluation rode.
+	Config     string `json:",omitempty"`
+	ConfigHash string `json:",omitempty"`
+	// Invalid marks a point the architecture model rejects (Note says
+	// why); it is recorded so the search never retries it, but carries
+	// no metrics and can never enter the front.
+	Invalid bool   `json:",omitempty"`
+	Note    string `json:",omitempty"`
+	// Feasible reports whether the point satisfies the spec's area and
+	// power budgets; only feasible points enter the front.
+	Feasible bool `json:",omitempty"`
+	// Metrics are the candidate's measured objectives.
+	Metrics Metrics
+}
+
+// Checkpoint is the durable search state: the defaulted spec, every
+// evaluated candidate, and — once the search finishes — the final
+// front. It is written atomically (temp file + rename) after every
+// evaluated candidate, so a SIGKILL at any instant leaves either the
+// previous checkpoint or the next one, never a torn file.
+type Checkpoint struct {
+	// Version is the schema version (checkpointVersion).
+	Version int
+	// ID is the search identity the file belongs to; a loader rejects a
+	// mismatch rather than resuming someone else's candidates.
+	ID string
+	// Spec is the defaulted search spec.
+	Spec Spec
+	// Done lists evaluated candidates sorted by (Gen, Index).
+	Done []CandidateResult
+	// Front is the final Pareto front; non-nil only when the search ran
+	// to completion (its presence is how a status probe tells "done"
+	// from "interrupted"). Deliberately not omitempty: a finished search
+	// whose every point broke the budgets has an empty-but-present
+	// front, which must still read back as done.
+	Front []FrontPoint
+}
+
+// CheckpointPath names a search's checkpoint file inside dir.
+func CheckpointPath(dir, id string) string {
+	return filepath.Join(dir, "search-"+id+".json")
+}
+
+// LoadCheckpoint reads and validates a checkpoint file. A missing file
+// returns an error satisfying errors.Is(err, os.ErrNotExist) — the
+// normal first-run case callers test for.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var cp Checkpoint
+	if err := dec.Decode(&cp); err != nil {
+		return nil, fmt.Errorf("opt: parsing checkpoint %s: %w", path, err)
+	}
+	if cp.Version != checkpointVersion {
+		return nil, fmt.Errorf("opt: checkpoint %s has version %d, want %d", path, cp.Version, checkpointVersion)
+	}
+	if cp.ID == "" {
+		return nil, fmt.Errorf("opt: checkpoint %s carries no search ID", path)
+	}
+	return &cp, nil
+}
+
+// writeCheckpoint persists cp atomically into its path: marshal, write a
+// uniquely named temp file in the same directory, rename over the
+// destination. Readers never observe a partial file, and a crash leaves
+// at most a stale temp file behind.
+func writeCheckpoint(path string, cp *Checkpoint) error {
+	data, err := json.MarshalIndent(cp, "", " ")
+	if err != nil {
+		return fmt.Errorf("opt: encoding checkpoint: %w", err)
+	}
+	tmp := fmt.Sprintf("%s.tmp.%d.%d", path, os.Getpid(), tmpSeq.Add(1))
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("opt: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("opt: committing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// sortResults orders candidates by (Gen, Index) — the canonical
+// checkpoint and front order, independent of completion order.
+func sortResults(rs []CandidateResult) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Gen != rs[j].Gen {
+			return rs[i].Gen < rs[j].Gen
+		}
+		return rs[i].Index < rs[j].Index
+	})
+}
+
+// errWrongSearch reports a checkpoint/search identity mismatch.
+var errWrongSearch = errors.New("opt: checkpoint belongs to a different search")

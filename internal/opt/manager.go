@@ -1,0 +1,375 @@
+package opt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// ErrBusy reports that the manager is already running its maximum number
+// of concurrent searches; the serving tier maps it to 429 with a
+// Retry-After, mirroring worker-slot shedding.
+var ErrBusy = errors.New("opt: too many active searches")
+
+// Status is a search lifecycle state as reported by StatusResponse.
+type Status string
+
+// Search lifecycle states. StatusInterrupted is only ever reported from
+// disk: a checkpoint exists but no live job does, i.e. the process died
+// mid-search and re-submitting the spec will resume it.
+const (
+	StatusRunning     Status = "running"
+	StatusDone        Status = "done"
+	StatusFailed      Status = "failed"
+	StatusInterrupted Status = "interrupted"
+)
+
+// StatusResponse is the wire form of a search's state, served by
+// GET /v1/optimize/{id} and embedded in the final stream line.
+type StatusResponse struct {
+	// ID is the search identity; Name the spec's optional label.
+	ID   string `json:",omitempty"`
+	Name string `json:",omitempty"`
+	// Strategy is the spec's search strategy.
+	Strategy string `json:",omitempty"`
+	// Status is the lifecycle state.
+	Status Status
+	// TotalPoints is the budget bound (generations × population);
+	// CompletedPoints how many candidates are evaluated — below the
+	// bound for strategies that deliberately spend less (successive
+	// halving) — split into ExecutedPoints (computed by a live process)
+	// and ResumedPoints (recovered from the checkpoint).
+	TotalPoints     int
+	CompletedPoints int
+	ExecutedPoints  int
+	ResumedPoints   int
+	// InvalidPoints counts candidates the architecture model rejected;
+	// InfeasiblePoints the evaluated ones that broke the budgets.
+	InvalidPoints    int
+	InfeasiblePoints int
+	// Front is the Pareto front: final on done searches, incumbent
+	// (over the candidates evaluated so far) while running.
+	Front []FrontPoint `json:",omitempty"`
+	// Error explains a failed search.
+	Error string `json:",omitempty"`
+}
+
+// ManagerConfig configures a Manager.
+type ManagerConfig struct {
+	// Dir is the checkpoint directory; "" runs searches without
+	// durability (they cannot survive a restart).
+	Dir string
+	// Eval evaluates candidate design points (required).
+	Eval PointEval
+	// Parallelism bounds concurrent evaluations per search; <1 defaults
+	// to 2.
+	Parallelism int
+	// MaxActive bounds concurrently running searches; <1 defaults to 2.
+	MaxActive int
+	// Hooks observes search and point events (metrics counters).
+	Hooks Hooks
+}
+
+// Manager owns search jobs for a serving process: it starts them,
+// deduplicates re-submissions by search identity, exposes status for
+// live and on-disk searches, and cancels everything on Close.
+type Manager struct {
+	cfg    ManagerConfig
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+	wg   sync.WaitGroup
+}
+
+// NewManager builds a Manager, creating the checkpoint directory if
+// configured.
+func NewManager(cfg ManagerConfig) (*Manager, error) {
+	if cfg.Eval == nil {
+		return nil, errors.New("opt: ManagerConfig.Eval is required")
+	}
+	if cfg.MaxActive < 1 {
+		cfg.MaxActive = 2
+	}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("opt: search dir: %w", err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Manager{cfg: cfg, ctx: ctx, cancel: cancel, jobs: make(map[string]*Job)}, nil
+}
+
+// Start launches a search for spec, or attaches to the already-running
+// job with the same identity (created reports which). A spec whose
+// checkpoint exists on disk resumes from it. Returns ErrBusy when
+// MaxActive searches are already running.
+func (m *Manager) Start(spec Spec) (job *Job, created bool, err error) {
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, false, err
+	}
+	id, err := spec.ID()
+	if err != nil {
+		return nil, false, err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.ctx.Err(); err != nil {
+		return nil, false, fmt.Errorf("opt: manager closed: %w", err)
+	}
+	if j, ok := m.jobs[id]; ok && !j.finished() {
+		return j, false, nil
+	}
+	active := 0
+	for _, j := range m.jobs {
+		if !j.finished() {
+			active++
+		}
+	}
+	if active >= m.cfg.MaxActive {
+		return nil, false, ErrBusy
+	}
+
+	j := newJob(id, spec)
+	m.jobs[id] = j
+	m.wg.Add(1)
+	go m.run(j)
+	return j, true, nil
+}
+
+// Get returns the live job with the given search ID, if any.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// StatusFromDisk reads a search's checkpoint and reports it as "done"
+// (front present) or "interrupted" (partial — resubmitting the spec
+// resumes it). A missing checkpoint returns an error satisfying
+// errors.Is(err, os.ErrNotExist).
+func (m *Manager) StatusFromDisk(id string) (StatusResponse, error) {
+	if m.cfg.Dir == "" {
+		return StatusResponse{}, os.ErrNotExist
+	}
+	cp, err := LoadCheckpoint(CheckpointPath(m.cfg.Dir, id))
+	if err != nil {
+		return StatusResponse{}, err
+	}
+	st := StatusResponse{
+		ID:              cp.ID,
+		Name:            cp.Spec.Name,
+		Strategy:        cp.Spec.Strategy,
+		Status:          StatusInterrupted,
+		TotalPoints:     cp.Spec.Generations * cp.Spec.Population,
+		CompletedPoints: len(cp.Done),
+		ResumedPoints:   len(cp.Done),
+	}
+	for _, c := range cp.Done {
+		switch {
+		case c.Invalid:
+			st.InvalidPoints++
+		case !c.Feasible:
+			st.InfeasiblePoints++
+		}
+	}
+	if cp.Front != nil {
+		st.Status = StatusDone
+		st.Front = cp.Front
+	}
+	return st, nil
+}
+
+// Close cancels every running search and waits for them to unwind.
+// Their checkpoints survive, so a restarted process resumes them.
+func (m *Manager) Close() {
+	m.cancel()
+	m.wg.Wait()
+}
+
+// run executes one search job to completion.
+func (m *Manager) run(j *Job) {
+	defer m.wg.Done()
+	if h := m.cfg.Hooks.SearchStarted; h != nil {
+		h()
+	}
+	r := &Runner{
+		Spec:        j.spec,
+		ID:          j.id,
+		Dir:         m.cfg.Dir,
+		Eval:        m.cfg.Eval,
+		Parallelism: m.cfg.Parallelism,
+		Hooks: Hooks{
+			PointExecuted: func(c CandidateResult) {
+				j.recordPoint(c, false)
+				if h := m.cfg.Hooks.PointExecuted; h != nil {
+					h(c)
+				}
+			},
+			PointResumed: func(c CandidateResult) {
+				j.recordPoint(c, true)
+				if h := m.cfg.Hooks.PointResumed; h != nil {
+					h(c)
+				}
+			},
+		},
+		OnUpdate: j.publish,
+	}
+	res, err := r.Run(m.ctx)
+	j.finish(res, err)
+	if h := m.cfg.Hooks.SearchDone; h != nil {
+		h(err)
+	}
+}
+
+// Job is one live search: its mutable progress state plus a broadcast
+// channel fan-out for NDJSON streaming.
+type Job struct {
+	id   string
+	spec Spec
+
+	mu       sync.Mutex
+	done     bool
+	executed int
+	resumed  int
+	// records accumulates every evaluated candidate so the incumbent
+	// front can be computed on demand while the search runs.
+	records map[cell]CandidateResult
+	result  *Result
+	errText string
+	subs    map[chan Update]struct{}
+	doneCh  chan struct{}
+}
+
+func newJob(id string, spec Spec) *Job {
+	return &Job{
+		id:      id,
+		spec:    spec,
+		records: make(map[cell]CandidateResult),
+		subs:    make(map[chan Update]struct{}),
+		doneCh:  make(chan struct{}),
+	}
+}
+
+// ID returns the search identity.
+func (j *Job) ID() string { return j.id }
+
+// Done is closed when the search finishes (any outcome).
+func (j *Job) Done() <-chan struct{} { return j.doneCh }
+
+func (j *Job) finished() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.done
+}
+
+// recordPoint updates progress state for one evaluated candidate.
+func (j *Job) recordPoint(c CandidateResult, viaResume bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if viaResume {
+		j.resumed++
+	} else {
+		j.executed++
+	}
+	j.records[cell{c.Gen, c.Index}] = c
+}
+
+// publish broadcasts u to subscribers. Slow subscribers miss
+// intermediate updates (their channel is full); the final line is
+// delivered via Subscribe's close instead.
+func (j *Job) publish(u Update) {
+	j.mu.Lock()
+	for ch := range j.subs {
+		select {
+		case ch <- u:
+		default:
+		}
+	}
+	j.mu.Unlock()
+}
+
+// finish records the terminal state and wakes everyone waiting.
+func (j *Job) finish(res *Result, err error) {
+	j.mu.Lock()
+	j.done = true
+	j.result = res
+	if err != nil {
+		j.errText = err.Error()
+	}
+	for ch := range j.subs {
+		close(ch)
+	}
+	j.subs = make(map[chan Update]struct{})
+	j.mu.Unlock()
+	close(j.doneCh)
+}
+
+// Subscribe returns a channel of progress updates and a cancel func the
+// caller must invoke when done. The channel is closed when the search
+// finishes (immediately, if it already has); intermediate updates are
+// dropped rather than blocking the search when the subscriber lags.
+func (j *Job) Subscribe() (<-chan Update, func()) {
+	ch := make(chan Update, 16)
+	j.mu.Lock()
+	if j.done {
+		j.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	return ch, func() {
+		j.mu.Lock()
+		if _, ok := j.subs[ch]; ok {
+			delete(j.subs, ch)
+			close(ch)
+		}
+		j.mu.Unlock()
+	}
+}
+
+// Status reports the job's current state, including the incumbent front
+// over the candidates evaluated so far.
+func (j *Job) Status() StatusResponse {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := StatusResponse{
+		ID:              j.id,
+		Name:            j.spec.Name,
+		Strategy:        j.spec.Strategy,
+		Status:          StatusRunning,
+		TotalPoints:     j.spec.Generations * j.spec.Population,
+		CompletedPoints: j.executed + j.resumed,
+		ExecutedPoints:  j.executed,
+		ResumedPoints:   j.resumed,
+		Error:           j.errText,
+	}
+	for _, c := range j.records {
+		switch {
+		case c.Invalid:
+			st.InvalidPoints++
+		case !c.Feasible:
+			st.InfeasiblePoints++
+		}
+	}
+	if j.done {
+		if j.result != nil {
+			st.Status = StatusDone
+			st.Front = j.result.Front
+		} else {
+			st.Status = StatusFailed
+		}
+		return st
+	}
+	if front := computeFront(j.spec, j.records); len(front) > 0 {
+		st.Front = front
+	}
+	return st
+}

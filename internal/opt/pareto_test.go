@@ -1,0 +1,212 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// randVec draws a vector with small-integer coordinates so dominance and
+// exact ties both occur often.
+func randVec(rng *rand.Rand, dim int) []float64 {
+	v := make([]float64, dim)
+	for i := range v {
+		v[i] = float64(rng.Intn(5))
+	}
+	return v
+}
+
+func TestDominatesBasics(t *testing.T) {
+	if !Dominates([]float64{2, 2}, []float64{1, 2}) {
+		t.Error("(2,2) should dominate (1,2)")
+	}
+	if Dominates([]float64{2, 1}, []float64{1, 2}) {
+		t.Error("(2,1) must not dominate (1,2)")
+	}
+	if Dominates([]float64{1, 2}, []float64{1, 2}) {
+		t.Error("dominance must be irreflexive")
+	}
+	if Dominates([]float64{1, 2}, []float64{1}) {
+		t.Error("mismatched lengths must not dominate")
+	}
+}
+
+// TestDominatesPartialOrder property-checks that strict dominance is a
+// strict partial order: irreflexive, antisymmetric, transitive.
+func TestDominatesPartialOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		dim := 2 + rng.Intn(3)
+		a, b, c := randVec(rng, dim), randVec(rng, dim), randVec(rng, dim)
+		if Dominates(a, a) {
+			t.Fatalf("irreflexivity broken for %v", a)
+		}
+		if Dominates(a, b) && Dominates(b, a) {
+			t.Fatalf("antisymmetry broken for %v, %v", a, b)
+		}
+		if Dominates(a, b) && Dominates(b, c) && !Dominates(a, c) {
+			t.Fatalf("transitivity broken for %v, %v, %v", a, b, c)
+		}
+	}
+}
+
+// frontSet returns the front's member vectors as a canonical sorted set
+// of encodings — the insertion-order-independent view of front
+// membership.
+func frontSet(points [][]float64) []string {
+	idx := ParetoFront(points)
+	out := make([]string, 0, len(idx))
+	for _, i := range idx {
+		s := ""
+		for _, v := range points[i] {
+			s += string(rune('a'+int(v))) + ","
+		}
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestFrontInvariantUnderInsertionOrder property-checks that the set of
+// front member vectors does not depend on the order points are listed.
+func TestFrontInvariantUnderInsertionOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		n := 3 + rng.Intn(10)
+		points := make([][]float64, n)
+		for i := range points {
+			points[i] = randVec(rng, 3)
+		}
+		want := frontSet(points)
+		shuffled := make([][]float64, n)
+		copy(shuffled, points)
+		rng.Shuffle(n, func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got := frontSet(shuffled)
+		if len(got) != len(want) {
+			t.Fatalf("front size changed under shuffle: %v vs %v", got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("front membership changed under shuffle: %v vs %v", got, want)
+			}
+		}
+	}
+}
+
+// TestFrontInvariantUnderObjectivePermutation property-checks that
+// permuting the objective axes permutes front members' coordinates but
+// never changes which points are in the front.
+func TestFrontInvariantUnderObjectivePermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		n := 3 + rng.Intn(10)
+		dim := 3
+		points := make([][]float64, n)
+		for i := range points {
+			points[i] = randVec(rng, dim)
+		}
+		perm := rng.Perm(dim)
+		permuted := make([][]float64, n)
+		for i, p := range points {
+			q := make([]float64, dim)
+			for k, pk := range perm {
+				q[k] = p[pk]
+			}
+			permuted[i] = q
+		}
+		want := ParetoFront(points)
+		got := ParetoFront(permuted)
+		if len(want) != len(got) {
+			t.Fatalf("front size changed under axis permutation: %v vs %v", got, want)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("front membership changed under axis permutation: %v vs %v", got, want)
+			}
+		}
+	}
+}
+
+func TestFrontDropsDominatedAndDuplicates(t *testing.T) {
+	points := [][]float64{{1, 1}, {2, 2}, {1, 3}, {2, 2}, {0, 0}}
+	got := ParetoFront(points)
+	want := []int{1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("front = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("front = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHypervolumeKnownValues(t *testing.T) {
+	ref := []float64{0, 0}
+	// Two rectangles 3x1 and 1x3 overlapping in the unit square.
+	hv := Hypervolume([][]float64{{3, 1}, {1, 3}}, ref)
+	if math.Abs(hv-5) > 1e-12 {
+		t.Errorf("2D hypervolume = %g, want 5", hv)
+	}
+	// A dominated point adds nothing.
+	hv2 := Hypervolume([][]float64{{3, 1}, {1, 3}, {1, 1}}, ref)
+	if math.Abs(hv2-5) > 1e-12 {
+		t.Errorf("dominated point changed hypervolume: %g", hv2)
+	}
+	// Points at or below the reference contribute nothing.
+	if hv := Hypervolume([][]float64{{0, 5}, {-1, 2}}, ref); hv != 0 {
+		t.Errorf("points outside the box contributed %g", hv)
+	}
+	// 3D cube.
+	if hv := Hypervolume([][]float64{{2, 2, 2}}, []float64{0, 0, 0}); math.Abs(hv-8) > 1e-12 {
+		t.Errorf("3D hypervolume = %g, want 8", hv)
+	}
+}
+
+// TestHypervolumeMonotone property-checks that adding a point never
+// shrinks the hypervolume.
+func TestHypervolumeMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ref := []float64{0, 0, 0}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		points := make([][]float64, n)
+		for i := range points {
+			points[i] = []float64{rng.Float64() * 4, rng.Float64() * 4, rng.Float64() * 4}
+		}
+		base := Hypervolume(points, ref)
+		extra := append(points, []float64{rng.Float64() * 4, rng.Float64() * 4, rng.Float64() * 4})
+		if grown := Hypervolume(extra, ref); grown < base-1e-9 {
+			t.Fatalf("hypervolume shrank from %g to %g when adding a point", base, grown)
+		}
+	}
+}
+
+func TestRankAndCrowd(t *testing.T) {
+	spec := Spec{Objectives: []Objective{ObjectiveFPS, ObjectiveFPSPerWatt}}
+	recs := []CandidateResult{
+		{Feasible: true, Metrics: Metrics{FPS: 3, FPSPerWatt: 1}},
+		{Feasible: true, Metrics: Metrics{FPS: 1, FPSPerWatt: 3}},
+		{Feasible: true, Metrics: Metrics{FPS: 1, FPSPerWatt: 1}},
+		{Invalid: true},
+		{Feasible: false, Metrics: Metrics{FPS: 9, FPSPerWatt: 9, AreaMM2: 500}},
+	}
+	spec.AreaBudgetMM2 = 100
+	rank, crowd := rankAndCrowd(spec, recs)
+	if rank[0] != 0 || rank[1] != 0 {
+		t.Errorf("non-dominated feasible points should rank 0, got %v", rank)
+	}
+	if rank[2] <= rank[0] {
+		t.Errorf("dominated point should rank below the front, got %v", rank)
+	}
+	if rank[4] <= rank[2] {
+		t.Errorf("infeasible point should rank below every feasible one, got %v", rank)
+	}
+	if rank[3] <= rank[4] {
+		t.Errorf("invalid point should rank below infeasible, got %v", rank)
+	}
+	if !math.IsInf(crowd[0], 1) || !math.IsInf(crowd[1], 1) {
+		t.Errorf("boundary points should have infinite crowding, got %v", crowd)
+	}
+}

@@ -1,0 +1,128 @@
+package opt
+
+import (
+	"context"
+	"testing"
+)
+
+func TestStrategyRegistry(t *testing.T) {
+	for _, name := range Strategies() {
+		s, err := strategyFor(name)
+		if err != nil {
+			t.Fatalf("strategyFor(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("strategy %q reports name %q", name, s.Name())
+		}
+	}
+	if _, err := strategyFor("magic"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+// TestSeededDeterminismPerStrategy runs every strategy twice with the
+// same seed and requires bit-identical fronts — the property every
+// other guarantee (resume byte-identity, cluster-side caching) builds
+// on.
+func TestSeededDeterminismPerStrategy(t *testing.T) {
+	for _, strategy := range Strategies() {
+		t.Run(strategy, func(t *testing.T) {
+			spec := testSpec(strategy)
+			a := mustRun(t, spec, "", 3)
+			b := mustRun(t, spec, "", 3)
+			if got, want := frontJSON(t, a.Front), frontJSON(t, b.Front); got != want {
+				t.Errorf("front not deterministic:\n run1 %s\n run2 %s", want, got)
+			}
+			if a.Completed != b.Completed || a.Invalid != b.Invalid || a.Infeasible != b.Infeasible {
+				t.Errorf("counters not deterministic: %+v vs %+v", a, b)
+			}
+		})
+	}
+}
+
+// TestHalvingSpendsLess checks the successive-halving schedule: rungs
+// shrink, so the strategy completes fewer points than the budget bound.
+func TestHalvingSpendsLess(t *testing.T) {
+	spec := Spec{
+		Preset:      "fb",
+		Network:     "ResNet-50",
+		Strategy:    StrategyHalving,
+		Generations: 3,
+		Population:  8,
+		Seed:        11,
+	}.WithDefaults()
+	res := mustRun(t, spec, "", 4)
+	want := 8 + 4 + 2
+	if res.Completed != want {
+		t.Errorf("halving Completed = %d, want %d (shrinking rungs)", res.Completed, want)
+	}
+	if len(res.Front) == 0 {
+		t.Error("halving produced no front")
+	}
+}
+
+// searchHypervolume runs one strategy on a fixed budget and returns its
+// feasible front's objective vectors.
+func searchFront(t *testing.T, strategy string, seed int64) [][]float64 {
+	t.Helper()
+	spec := Spec{
+		Preset:      "fb",
+		Network:     "ResNet-50",
+		Strategy:    strategy,
+		Generations: 6,
+		Population:  12,
+		Seed:        seed,
+	}.WithDefaults()
+	id, err := spec.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Spec: spec, ID: id, Eval: DirectEval(), Parallelism: 4}
+	res, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := make([][]float64, len(res.Front))
+	for i, p := range res.Front {
+		vecs[i] = spec.objectiveVector(p.Metrics)
+	}
+	return vecs
+}
+
+// TestEvolveDominatesRandomOnHypervolume is the acceptance gate for the
+// search actually searching: on the same fixed evaluation budget over
+// the ResNet-50 preset space, the evolutionary strategy's front must
+// dominate the random baseline's on hypervolume. Both runs are fully
+// seeded, so this is a deterministic regression test, not a flaky
+// statistical one.
+func TestEvolveDominatesRandomOnHypervolume(t *testing.T) {
+	seed := int64(11)
+	evolve := searchFront(t, StrategyEvolve, seed)
+	random := searchFront(t, StrategyRandom, seed)
+	if len(evolve) == 0 || len(random) == 0 {
+		t.Fatal("empty front")
+	}
+	// Common reference point: slightly below the componentwise minimum
+	// over both fronts, so every point contributes volume.
+	dim := len(evolve[0])
+	ref := make([]float64, dim)
+	first := true
+	for _, set := range [][][]float64{evolve, random} {
+		for _, v := range set {
+			for i := range ref {
+				if first || v[i] < ref[i] {
+					ref[i] = v[i]
+				}
+			}
+			first = false
+		}
+	}
+	for i := range ref {
+		ref[i] *= 0.9
+	}
+	hvEvolve := Hypervolume(evolve, ref)
+	hvRandom := Hypervolume(random, ref)
+	if hvEvolve <= hvRandom {
+		t.Errorf("evolve hypervolume %g does not beat random %g on the fixed budget", hvEvolve, hvRandom)
+	}
+}

@@ -1,0 +1,61 @@
+package opt
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// NDJSONContentType is the newline-delimited JSON media type the
+// incumbent stream is served with (the serving tier's streaming
+// convention; duplicated here because serve imports this package).
+const NDJSONContentType = "application/x-ndjson"
+
+// StreamUpdates writes a search's progress to w as NDJSON: one Update
+// line per evaluated candidate (lagging readers skip intermediates
+// rather than stalling the search), then a final line whose Status
+// carries the terminal state. onLine, if non-nil, is called after each
+// line (stream metrics). Blocks until the search finishes or the client
+// disconnects.
+func StreamUpdates(w http.ResponseWriter, r *http.Request, j *Job, onLine func()) {
+	w.Header().Set("Content-Type", NDJSONContentType)
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	line := func(u Update) bool {
+		if err := enc.Encode(u); err != nil {
+			return false
+		}
+		rc.Flush()
+		if onLine != nil {
+			onLine()
+		}
+		return true
+	}
+
+	updates, cancel := j.Subscribe()
+	defer cancel()
+	ctx := r.Context()
+stream:
+	for {
+		select {
+		case u, ok := <-updates:
+			if !ok {
+				break stream
+			}
+			if !line(u) {
+				return
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+
+	st := j.Status()
+	final := Update{Completed: st.CompletedPoints, Total: st.TotalPoints, Status: &st}
+	if st.Status == StatusDone {
+		final.Type = "done"
+	} else {
+		final.Type = "failed"
+	}
+	line(final)
+}

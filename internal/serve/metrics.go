@@ -72,6 +72,11 @@ type Metrics struct {
 	robustResumed   *obs.Counter
 	robustActive    atomic.Int64
 
+	optSearches *obs.Counter
+	optPoints   *obs.Counter
+	optResumed  *obs.Counter
+	optActive   atomic.Int64
+
 	queueWait   *obs.Histogram
 	cacheLookup *obs.Histogram
 	evaluate    *obs.Histogram
@@ -96,6 +101,9 @@ func newMetrics(cache ResultStore) *Metrics {
 		robustCampaigns: reg.Counter("refocus_robustness_campaigns_total", "Robustness campaigns started on this process (resumed campaigns count again).", nil),
 		robustTrials:    reg.Counter("refocus_robustness_trials_total", "Robustness Monte Carlo trials executed by this process.", nil),
 		robustResumed:   reg.Counter("refocus_robustness_trials_resumed_total", "Robustness trials recovered from checkpoints instead of recomputed.", nil),
+		optSearches:     reg.Counter("refocus_optimize_searches_total", "Design-space searches started on this process (resumed searches count again).", nil),
+		optPoints:       reg.Counter("refocus_optimize_points_total", "Design-space candidate points evaluated by this process.", nil),
+		optResumed:      reg.Counter("refocus_optimize_points_resumed_total", "Design-space candidate points recovered from checkpoints instead of recomputed.", nil),
 		queueWait:       reg.Histogram("refocus_queue_wait_seconds", "Time requests spent waiting for a worker slot.", nil, obs.FineBuckets),
 		cacheLookup:     reg.Histogram("refocus_cache_lookup_seconds", "Time spent probing the result cache per request.", nil, obs.FineBuckets),
 		evaluate:        reg.Histogram("refocus_evaluate_seconds", "Time spent in design-point evaluation per request that reached the worker pool.", nil, obs.DefBuckets),
@@ -105,6 +113,8 @@ func newMetrics(cache ResultStore) *Metrics {
 		func() float64 { return float64(m.inFlight.Load()) })
 	reg.Gauge("refocus_robustness_active_campaigns", "Robustness campaigns currently running.", nil,
 		func() float64 { return float64(m.robustActive.Load()) })
+	reg.Gauge("refocus_optimize_active_searches", "Design-space searches currently running.", nil,
+		func() float64 { return float64(m.optActive.Load()) })
 	reg.Gauge("refocus_cache_entries", "Result-cache entries currently held in memory.", nil,
 		func() float64 { return float64(cache.Len()) })
 	reg.Gauge("refocus_cache_capacity", "Result-cache in-memory capacity in entries.", nil,
@@ -177,6 +187,21 @@ type RobustnessStats struct {
 	TrialsResumed int64
 }
 
+// OptimizeStats is the externally visible form of the design-space
+// search engine's counters.
+type OptimizeStats struct {
+	// Searches counts searches started on this process; Active the
+	// ones currently running.
+	Searches int64
+	Active   int64
+	// Points counts candidate design points evaluated here;
+	// PointsResumed the ones recovered from checkpoints instead of
+	// recomputed — the observable proof that a restarted search did not
+	// redo its work.
+	Points        int64
+	PointsResumed int64
+}
+
 // Snapshot is the /metrics JSON payload: a consistent-enough
 // point-in-time copy of every counter (individual counters are atomic;
 // the set is not read under one lock, which is fine for monitoring).
@@ -198,8 +223,10 @@ type Snapshot struct {
 	ChaosSlowed   int64
 	// Robustness aggregates the campaign engine's counters.
 	Robustness RobustnessStats
-	Cache      CacheStats
-	Endpoints  map[string]EndpointStats
+	// Optimize aggregates the design-space search engine's counters.
+	Optimize  OptimizeStats
+	Cache     CacheStats
+	Endpoints map[string]EndpointStats
 }
 
 // snapshot assembles the JSON payload. The endpoint map is copied under
@@ -218,6 +245,12 @@ func (m *Metrics) snapshot(cache ResultStore) Snapshot {
 			Active:        m.robustActive.Load(),
 			Trials:        m.robustTrials.Value(),
 			TrialsResumed: m.robustResumed.Value(),
+		},
+		Optimize: OptimizeStats{
+			Searches:      m.optSearches.Value(),
+			Active:        m.optActive.Load(),
+			Points:        m.optPoints.Value(),
+			PointsResumed: m.optResumed.Value(),
 		},
 		Cache: CacheStats{
 			Hits:     m.cacheHits.Value(),

@@ -133,7 +133,7 @@ func TestMetricsJSONSchemaFrozen(t *testing.T) {
 	if err := json.Unmarshal(body, &snap); err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"InFlight", "Evaluations", "Shed", "ChaosInjected", "ChaosSlowed", "Robustness", "Cache", "Endpoints"}
+	want := []string{"InFlight", "Evaluations", "Shed", "ChaosInjected", "ChaosSlowed", "Robustness", "Optimize", "Cache", "Endpoints"}
 	if len(snap) != len(want) {
 		t.Errorf("top-level keys changed: got %d keys in %s", len(snap), body)
 	}

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"refocus/internal/arch"
+	"refocus/internal/opt"
+)
+
+// optimizeEval is the opt.PointEval backing this server's design-space
+// searches: each candidate design point goes through the ordinary
+// evaluatePoint path — result cache, worker-slot admission — so a
+// candidate the search (or any earlier search, or a plain /v1/evaluate
+// request) already visited is a cache hit, not a re-evaluation. A
+// candidate shed by the worker pool waits out the Retry-After and tries
+// again instead of failing the search: shedding protects request
+// latency, and optimizer points are the definition of deferrable work.
+func (s *Server) optimizeEval(ctx context.Context, spec opt.Spec, cfg arch.SystemConfig, _ string) (opt.PointMetrics, error) {
+	data, err := arch.ConfigJSON(cfg)
+	if err != nil {
+		return opt.PointMetrics{}, err
+	}
+	req := EvaluateRequest{
+		Config:  data,
+		Network: spec.Network,
+	}
+	for {
+		resp, err := s.evaluatePoint(ctx, req)
+		if err == nil {
+			return opt.PointMetricsFromReports(resp.Reports), nil
+		}
+		var ae *apiError
+		if !errors.As(err, &ae) || ae.status != http.StatusTooManyRequests {
+			return opt.PointMetrics{}, err
+		}
+		wait := time.Duration(ae.retryAfter) * time.Second
+		if wait <= 0 {
+			wait = time.Second
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return opt.PointMetrics{}, fmt.Errorf("serve: optimizer point canceled during backoff: %w", ctx.Err())
+		}
+	}
+}
+
+// handleOptimizeStart serves POST /v1/optimize: validate the search
+// spec, start (or attach to) its job, and either answer with the job's
+// status — 202 for a newly created search, 200 when attaching to one
+// already running — or, for NDJSON requests, stream incumbent-front
+// updates until the search finishes. Submitting a spec whose checkpoint
+// survives in the optimize directory resumes it: completed candidates
+// load from disk and only the missing ones run.
+func (s *Server) handleOptimizeStart(w http.ResponseWriter, r *http.Request) {
+	var spec opt.Spec
+	if err := s.decodeBody(w, r, &spec); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	job, created, err := s.opt.Start(spec)
+	if err != nil {
+		if errors.Is(err, opt.ErrBusy) {
+			err = &apiError{status: http.StatusTooManyRequests, retryAfter: 5, err: err}
+		} else {
+			err = BadRequest(err)
+		}
+		s.writeError(w, err)
+		return
+	}
+	if WantsNDJSON(r) {
+		opt.StreamUpdates(w, r, job, s.metrics.streamLines.Inc)
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusAccepted
+	}
+	s.writeJSON(w, status, job.Status())
+}
+
+// handleOptimizeStatus serves GET /v1/optimize/{id}: the live job's
+// status when the search is running in this process, otherwise the
+// checkpoint's view — "done" with the final front, or "interrupted"
+// for a search a dead process left behind (resubmit its spec to
+// resume).
+func (s *Server) handleOptimizeStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if job, ok := s.opt.Get(id); ok {
+		s.writeJSON(w, http.StatusOK, job.Status())
+		return
+	}
+	st, err := s.opt.StatusFromDisk(id)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			err = &apiError{status: http.StatusNotFound, err: fmt.Errorf("serve: no search %q", id)}
+		}
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, st)
+}

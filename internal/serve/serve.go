@@ -39,6 +39,7 @@ import (
 	"refocus/internal/faults"
 	"refocus/internal/nn"
 	"refocus/internal/obs"
+	"refocus/internal/opt"
 	"refocus/internal/robust"
 	"refocus/internal/sim"
 )
@@ -80,6 +81,10 @@ type Config struct {
 	// Empty disables durability: campaigns still run, but die with the
 	// process instead of resuming from where they stopped.
 	CampaignDir string
+	// OptimizeDir is the design-space-search checkpoint directory.
+	// Empty disables durability: searches still run, but die with the
+	// process instead of resuming from where they stopped.
+	OptimizeDir string
 	// Chaos is the opt-in fault-injection middleware for resilience
 	// testing; the zero value (the default) injects nothing.
 	Chaos ChaosConfig
@@ -129,6 +134,7 @@ type Server struct {
 	mux      *http.ServeMux
 	logger   *slog.Logger
 	robust   *robust.Manager
+	opt      *opt.Manager
 	// reqSeq numbers requests; joined with a per-process prefix it
 	// forms the X-Request-ID every response carries and every span and
 	// log line repeats.
@@ -184,12 +190,38 @@ func New(cfg Config) *Server {
 	// The metrics label avoids the path pattern's braces — they collide
 	// with the Prometheus exposition's label syntax.
 	s.mux.Handle("GET /v1/robustness/{id}", s.instrument("/v1/robustness/status", s.handleRobustnessStatus))
+	s.opt, err = opt.NewManager(opt.ManagerConfig{
+		Dir:         cfg.OptimizeDir,
+		Eval:        s.optimizeEval,
+		Parallelism: cfg.Workers,
+		Hooks: opt.Hooks{
+			SearchStarted: func() {
+				s.metrics.optSearches.Inc()
+				s.metrics.optActive.Add(1)
+			},
+			SearchDone:    func(error) { s.metrics.optActive.Add(-1) },
+			PointExecuted: func(opt.CandidateResult) { s.metrics.optPoints.Inc() },
+			PointResumed:  func(opt.CandidateResult) { s.metrics.optResumed.Inc() },
+		},
+	})
+	if err != nil {
+		// Only a checkpoint-directory MkdirAll can fail here; searches
+		// lose durability but the service still serves.
+		s.logger.Error("optimize checkpoint dir unavailable; running without durability", "err", err)
+		s.opt, _ = opt.NewManager(opt.ManagerConfig{Eval: s.optimizeEval, Parallelism: cfg.Workers})
+	}
+	s.mux.Handle("POST /v1/optimize", s.instrument("/v1/optimize", s.handleOptimizeStart))
+	s.mux.Handle("GET /v1/optimize/{id}", s.instrument("/v1/optimize/status", s.handleOptimizeStatus))
 	return s
 }
 
-// Close cancels any running robustness campaigns and waits for them to
-// unwind; their checkpoints survive for the next incarnation to resume.
-func (s *Server) Close() { s.robust.Close() }
+// Close cancels any running robustness campaigns and design-space
+// searches and waits for them to unwind; their checkpoints survive for
+// the next incarnation to resume.
+func (s *Server) Close() {
+	s.robust.Close()
+	s.opt.Close()
+}
 
 // Handler returns the service's HTTP handler (all routes).
 func (s *Server) Handler() http.Handler { return s.mux }

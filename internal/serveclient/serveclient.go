@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"refocus/internal/opt"
 	"refocus/internal/robust"
 	"refocus/internal/serve"
 )
@@ -215,6 +216,23 @@ func (c *Client) RobustnessStart(ctx context.Context, spec robust.Spec) (robust.
 func (c *Client) RobustnessStatus(ctx context.Context, id string) (robust.StatusResponse, error) {
 	var resp robust.StatusResponse
 	err := c.call(ctx, http.MethodGet, "/v1/robustness/"+url.PathEscape(id), nil, &resp)
+	return resp, err
+}
+
+// OptimizeStart calls POST /v1/optimize: start a design-space search
+// (or attach to / resume the one with the same identity) and return its
+// status snapshot. Searches run server-side; poll OptimizeStatus with
+// the returned ID until the status leaves "running".
+func (c *Client) OptimizeStart(ctx context.Context, spec opt.Spec) (opt.StatusResponse, error) {
+	var resp opt.StatusResponse
+	err := c.call(ctx, http.MethodPost, "/v1/optimize", spec, &resp)
+	return resp, err
+}
+
+// OptimizeStatus calls GET /v1/optimize/{id}.
+func (c *Client) OptimizeStatus(ctx context.Context, id string) (opt.StatusResponse, error) {
+	var resp opt.StatusResponse
+	err := c.call(ctx, http.MethodGet, "/v1/optimize/"+url.PathEscape(id), nil, &resp)
 	return resp, err
 }
 

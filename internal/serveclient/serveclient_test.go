@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"refocus/internal/nn"
+	"refocus/internal/opt"
+	"refocus/internal/robust"
 	"refocus/internal/serve"
 )
 
@@ -319,5 +321,48 @@ func TestNetworksAgainstRealServer(t *testing.T) {
 	}
 	if bert.GMACs < 11 || bert.GMACs > 12 {
 		t.Errorf("BERT-base GMACs = %.2f, want ≈11.2", bert.GMACs)
+	}
+}
+
+// TestOptimizeAndRobustnessRoundTrip drives the campaign/search client
+// methods against a real worker: start, poll by ID, and confirm the
+// terminal statuses come back decoded.
+func TestOptimizeAndRobustnessRoundTrip(t *testing.T) {
+	s := serve.New(serve.Config{})
+	t.Cleanup(s.Close)
+	c, _ := testClient(t, s.Handler(), nil)
+	ctx := context.Background()
+
+	ost, err := c.OptimizeStart(ctx, opt.Spec{
+		Preset: "fb", Network: "AlexNet", Strategy: "random",
+		Generations: 2, Population: 4, Seed: 7,
+	})
+	if err != nil {
+		t.Fatalf("OptimizeStart: %v", err)
+	}
+	for ost.Status == opt.StatusRunning {
+		time.Sleep(10 * time.Millisecond)
+		if ost, err = c.OptimizeStatus(ctx, ost.ID); err != nil {
+			t.Fatalf("OptimizeStatus: %v", err)
+		}
+	}
+	if ost.Status != opt.StatusDone || len(ost.Front) == 0 {
+		t.Errorf("search ended %q with %d front points", ost.Status, len(ost.Front))
+	}
+
+	rst, err := c.RobustnessStart(ctx, robust.Spec{
+		Preset: "fb", Network: "AlexNet", Severities: []float64{0}, Trials: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatalf("RobustnessStart: %v", err)
+	}
+	for rst.Status == robust.StatusRunning {
+		time.Sleep(10 * time.Millisecond)
+		if rst, err = c.RobustnessStatus(ctx, rst.ID); err != nil {
+			t.Fatalf("RobustnessStatus: %v", err)
+		}
+	}
+	if rst.Status != robust.StatusDone || len(rst.Frontier) == 0 {
+		t.Errorf("campaign ended %q with %d frontier points", rst.Status, len(rst.Frontier))
 	}
 }
